@@ -1,0 +1,119 @@
+//! E10 — §5.3: "Existing disk layouts (e.g., ext4) may impose unnecessary
+//! overhead since each Demikernel libOS supports only a single
+//! application, which may not require an entire UNIX file system."
+//!
+//! Regenerates: device block writes per append (write amplification) and
+//! virtual time per operation for catfs's single-application log layout
+//! vs the ext4-like layout (inodes + bitmap + indirect blocks), on the
+//! identical simulated NVMe device.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use demi_bench::Table;
+use demikernel::libos::catfs::Catfs;
+use demikernel::libos::LibOs;
+use demikernel::runtime::Runtime;
+use demikernel::types::Sga;
+use posix_sim::Ext4Sim;
+use sim_fabric::{SimClock, SimTime};
+use spdk_sim::nvme::{NvmeConfig, NvmeDevice};
+
+struct LayoutResult {
+    blocks_per_append: f64,
+    time_per_append: SimTime,
+    metadata_share: f64,
+}
+
+fn run_catfs(appends: u32, size: usize) -> LayoutResult {
+    let rt = Runtime::new();
+    let device = NvmeDevice::new(rt.clock().clone(), NvmeConfig::default());
+    let fs = Catfs::new(&rt, device.clone());
+    let qd = fs.create("bench").unwrap();
+    let payload = vec![0xCDu8; size];
+    let before = device.stats().blocks_written;
+    let t0 = rt.now();
+    for _ in 0..appends {
+        fs.blocking_push(qd, &Sga::from_slice(&payload)).unwrap();
+    }
+    let blocks = device.stats().blocks_written - before;
+    let elapsed = rt.now().saturating_since(t0);
+    LayoutResult {
+        blocks_per_append: blocks as f64 / appends as f64,
+        time_per_append: SimTime::from_nanos(elapsed.as_nanos() / appends as u64),
+        metadata_share: 0.0, // The log layout has no metadata write class.
+    }
+}
+
+fn run_ext4(appends: u32, size: usize) -> LayoutResult {
+    let clock = SimClock::new();
+    let device = NvmeDevice::new(clock.clone(), NvmeConfig::default());
+    let mut fs = Ext4Sim::format(device.clone(), clock.clone(), None);
+    let fd = fs.create("bench").unwrap();
+    let payload = vec![0xCDu8; size];
+    let before = device.stats().blocks_written;
+    let t0 = clock.now();
+    for _ in 0..appends {
+        fs.append(fd, &payload).unwrap();
+    }
+    let blocks = device.stats().blocks_written - before;
+    let elapsed = clock.now().saturating_since(t0);
+    let stats = fs.stats();
+    LayoutResult {
+        blocks_per_append: blocks as f64 / appends as f64,
+        time_per_append: SimTime::from_nanos(elapsed.as_nanos() / appends as u64),
+        metadata_share: stats.metadata_writes as f64
+            / (stats.metadata_writes + stats.data_writes) as f64,
+    }
+}
+
+fn experiment_table() {
+    let mut table = Table::new(
+        "E10: storage layout comparison (500 appends, same NVMe device)",
+        &[
+            "record size",
+            "layout",
+            "blocks/append",
+            "time/append",
+            "metadata share",
+        ],
+    );
+    for &size in &[128usize, 1024, 4096] {
+        let log = run_catfs(500, size);
+        let ext4 = run_ext4(500, size);
+        table.row(&[
+            format!("{size}B"),
+            "catfs log".into(),
+            format!("{:.2}", log.blocks_per_append),
+            format!("{}", log.time_per_append),
+            format!("{:.0}%", log.metadata_share * 100.0),
+        ]);
+        table.row(&[
+            format!("{size}B"),
+            "ext4-like".into(),
+            format!("{:.2}", ext4.blocks_per_append),
+            format!("{}", ext4.time_per_append),
+            format!("{:.0}%", ext4.metadata_share * 100.0),
+        ]);
+        assert!(
+            ext4.blocks_per_append > log.blocks_per_append,
+            "the general-purpose layout must write more blocks"
+        );
+        assert!(ext4.time_per_append.as_nanos() > log.time_per_append.as_nanos());
+    }
+    table.print();
+}
+
+fn bench(c: &mut Criterion) {
+    experiment_table();
+    let mut group = c.benchmark_group("e10_storage_layout");
+    group.sample_size(10);
+    group.bench_function("catfs_100_appends", |b| {
+        b.iter(|| run_catfs(criterion::black_box(100), 128))
+    });
+    group.bench_function("ext4_100_appends", |b| {
+        b.iter(|| run_ext4(criterion::black_box(100), 128))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

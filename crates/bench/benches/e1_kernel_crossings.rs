@@ -1,0 +1,99 @@
+//! E1 — Fig. 1 / §1: "the kernel adds significant overhead to every I/O
+//! access"; kernel bypass removes it from the data path.
+//!
+//! Regenerates: UDP echo RTT, kernel crossings per request, and copies per
+//! request for catnip (kernel-bypass) vs catnap (traditional), across
+//! message sizes. Expected shape: catnip RTT several× lower, with exactly
+//! zero crossings and zero libOS copies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use demi_bench::{catnap_udp_echo, catnap_udp_echo_with_cost, catnip_udp_echo, Table};
+use posix_sim::CostModel;
+use sim_fabric::SimTime;
+
+fn experiment_table() {
+    let mut table = Table::new(
+        "E1: data-path kernel involvement (UDP echo, 200 rounds)",
+        &["size", "path", "mean RTT", "crossings/req", "copies/req"],
+    );
+    for &size in &[64usize, 512, 1400] {
+        let bypass = catnip_udp_echo(1_000 + size as u64, size, 200);
+        let kernel = catnap_udp_echo(2_000 + size as u64, size, 200);
+        table.row(&[
+            format!("{size}B"),
+            "catnip (bypass)".into(),
+            format!("{}", bypass.mean_rtt),
+            format!("{:.1}", bypass.crossings_per_req),
+            format!("{:.1}", bypass.copies_per_req),
+        ]);
+        table.row(&[
+            format!("{size}B"),
+            "catnap (kernel)".into(),
+            format!("{}", kernel.mean_rtt),
+            format!("{:.1}", kernel.crossings_per_req),
+            format!("{:.1}", kernel.copies_per_req),
+        ]);
+        assert_eq!(bypass.crossings_per_req, 0.0, "bypass must not cross");
+        assert!(
+            kernel.mean_rtt.as_nanos() > bypass.mean_rtt.as_nanos(),
+            "the kernel path must be slower"
+        );
+    }
+    table.print();
+
+    // Ablation: which kernel overhead dominates? Zero out one cost class
+    // at a time (DESIGN.md's ablation of the Fig. 1 gap).
+    let mut ablation = Table::new(
+        "E1 ablation: kernel overhead decomposition (1400B echo)",
+        &["cost model", "mean RTT"],
+    );
+    let full = catnap_udp_echo_with_cost(3_001, 1400, 200, CostModel::default());
+    let no_crossings = catnap_udp_echo_with_cost(
+        3_002,
+        1400,
+        200,
+        CostModel {
+            syscall: SimTime::ZERO,
+            ..CostModel::default()
+        },
+    );
+    let no_copies = catnap_udp_echo_with_cost(
+        3_003,
+        1400,
+        200,
+        CostModel {
+            copy_per_kib: SimTime::ZERO,
+            ..CostModel::default()
+        },
+    );
+    let free = catnap_udp_echo_with_cost(3_004, 1400, 200, CostModel::free());
+    for (label, stats) in [
+        ("full kernel", full),
+        ("crossings free (copies only)", no_crossings),
+        ("copies free (crossings only)", no_copies),
+        ("both free (stack + fabric only)", free),
+    ] {
+        ablation.row(&[label.into(), format!("{}", stats.mean_rtt)]);
+    }
+    ablation.print();
+    assert!(full.mean_rtt.as_nanos() > no_crossings.mean_rtt.as_nanos());
+    assert!(full.mean_rtt.as_nanos() > no_copies.mean_rtt.as_nanos());
+}
+
+fn bench(c: &mut Criterion) {
+    experiment_table();
+    let mut group = c.benchmark_group("e1_kernel_crossings");
+    group.sample_size(10);
+    // Wall-clock cost of simulating one full echo world per path: a proxy
+    // for host-side per-request processing work.
+    group.bench_function("catnip_echo_world_64B", |b| {
+        b.iter(|| catnip_udp_echo(criterion::black_box(7), 64, 50))
+    });
+    group.bench_function("catnap_echo_world_64B", |b| {
+        b.iter(|| catnap_udp_echo(criterion::black_box(7), 64, 50))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

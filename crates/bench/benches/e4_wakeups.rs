@@ -1,0 +1,162 @@
+//! E4 — §4.4: "wait wakes exactly one thread on each pop completion, so
+//! there are never wasted wake ups for threads with no data to process" —
+//! vs epoll's level-triggered wake-all plus the extra read syscall.
+//!
+//! Regenerates: wakeups, wasted wakeups, and post-wakeup syscalls for W
+//! concurrent waiters consuming M completions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use demi_bench::Table;
+use demikernel::libos::{LibOs, SocketKind};
+use demikernel::testing::{catnip_pair, host_ip};
+use demikernel::types::Sga;
+use dpdk_sim::{DpdkPort, PortConfig};
+use net_stack::types::SocketAddr;
+use net_stack::{NetworkStack, StackConfig};
+use posix_sim::epoll::EpollRegistry;
+use posix_sim::{CostModel, KernelSockets, SimKernel};
+use sim_fabric::{Fabric, MacAddress};
+
+/// The epoll herd: W waiter "threads", level-triggered readiness, one
+/// consumer wins each message. Returns (wakeups, wasted, post_syscalls).
+fn epoll_herd(waiters: usize, messages: usize) -> (u64, u64, u64) {
+    let fabric = Fabric::new(41);
+    let mk = |fabric: &Fabric, last: u8| {
+        let port = DpdkPort::new(fabric, PortConfig::basic(MacAddress::from_last_octet(last)));
+        let stack = NetworkStack::new(port, fabric.clock(), StackConfig::new(host_ip(last)));
+        KernelSockets::new(SimKernel::new(fabric.clock(), CostModel::default()), stack)
+    };
+    let mut sender = mk(&fabric, 1);
+    let mut receiver = mk(&fabric, 2);
+    let mut epoll = EpollRegistry::new();
+    let tx = sender.udp_socket(1000).unwrap();
+    let rx = receiver.udp_socket(2000).unwrap();
+    let ep = epoll.create(&mut receiver);
+    epoll.add(&mut receiver, ep, rx).unwrap();
+
+    let mut wakeups = 0u64;
+    let mut wasted = 0u64;
+    let mut post_syscalls = 0u64;
+    let mut buf = [0u8; 64];
+    for m in 0..messages {
+        sender
+            .sendto(tx, SocketAddr::new(host_ip(2), 2000), &[m as u8])
+            .unwrap();
+        // Let the datagram arrive.
+        for _ in 0..20 {
+            sender.poll();
+            receiver.poll();
+            if !fabric.advance_to_next_event() {
+                break;
+            }
+        }
+        // The herd: all W threads are blocked in epoll_wait when the
+        // completion lands, so the kernel wakes ALL of them (they all
+        // observe readiness before any consumes)...
+        let mut woken = 0;
+        for _ in 0..waiters {
+            if !epoll.wait(&mut receiver, ep, 8).unwrap().is_empty() {
+                woken += 1;
+            }
+        }
+        assert_eq!(woken, waiters, "level-triggered: everyone sees ready");
+        wakeups += woken as u64;
+        // ...then each issues its own recvfrom; one wins, the rest wasted
+        // their wakeup (the paper's exact complaint).
+        let mut consumed = false;
+        for _ in 0..woken {
+            post_syscalls += 1; // The separate recvfrom syscall.
+            match receiver.recvfrom(rx, &mut buf).unwrap() {
+                Some(_) => consumed = true,
+                None => wasted += 1,
+            }
+        }
+        assert!(consumed, "someone must win the race");
+    }
+    (wakeups, wasted, post_syscalls)
+}
+
+/// Demikernel: W waiters each own a pop qtoken; each completion resolves
+/// exactly one. Returns (wakeups, wasted).
+fn demikernel_waiters(waiters: usize, messages: usize) -> (u64, u64) {
+    let (rt, _fabric, client, server) = catnip_pair(42);
+    let sqd = server.socket(SocketKind::Udp).unwrap();
+    server.bind(sqd, SocketAddr::new(host_ip(2), 7)).unwrap();
+    let cqd = client.socket(SocketKind::Udp).unwrap();
+    client.bind(cqd, SocketAddr::new(host_ip(1), 9000)).unwrap();
+    // Warm ARP.
+    client
+        .pushto(cqd, &Sga::from_slice(b"w"), SocketAddr::new(host_ip(2), 7))
+        .unwrap();
+    let _ = server.blocking_pop(sqd).unwrap();
+    rt.metrics().reset();
+
+    // W outstanding pops — the W "waiter threads".
+    let mut tokens: Vec<_> = (0..waiters).map(|_| server.pop(sqd).unwrap()).collect();
+    let mut delivered = 0;
+    while delivered < messages {
+        client
+            .pushto(
+                cqd,
+                &Sga::from_slice(&[delivered as u8]),
+                SocketAddr::new(host_ip(2), 7),
+            )
+            .unwrap();
+        // One completion wakes exactly one waiter, with the data attached.
+        let (idx, result) = server.wait_any(&tokens, None).unwrap();
+        let (_, _sga) = result.expect_pop();
+        delivered += 1;
+        tokens[idx] = server.pop(sqd).unwrap(); // Re-arm that waiter.
+    }
+    let m = rt.metrics().snapshot();
+    // A wakeup without data would show as wakeups > wakeups_with_data.
+    (m.wakeups, m.wakeups - m.wakeups_with_data)
+}
+
+fn experiment_table() {
+    const MESSAGES: usize = 50;
+    let mut table = Table::new(
+        "E4: wakeups for W waiters consuming 50 completions",
+        &[
+            "W",
+            "epoll wakeups",
+            "epoll wasted",
+            "epoll extra syscalls",
+            "demi wakeups",
+            "demi wasted",
+        ],
+    );
+    for &w in &[1usize, 2, 4, 8, 16] {
+        let (ew, ewasted, esys) = epoll_herd(w, MESSAGES);
+        let (dw, dwasted) = demikernel_waiters(w, MESSAGES);
+        // The paper's arithmetic: wake-all wastes (W-1) wakeups/completion.
+        assert_eq!(ewasted, ((w - 1) * MESSAGES) as u64);
+        assert_eq!(dwasted, 0);
+        assert_eq!(dw, MESSAGES as u64);
+        table.row(&[
+            format!("{w}"),
+            format!("{ew}"),
+            format!("{ewasted}"),
+            format!("{esys}"),
+            format!("{dw}"),
+            format!("{dwasted}"),
+        ]);
+    }
+    table.print();
+}
+
+fn bench(c: &mut Criterion) {
+    experiment_table();
+    let mut group = c.benchmark_group("e4_wakeups");
+    group.sample_size(10);
+    group.bench_function("epoll_herd_w8", |b| {
+        b.iter(|| epoll_herd(8, criterion::black_box(20)))
+    });
+    group.bench_function("wait_any_w8", |b| {
+        b.iter(|| demikernel_waiters(8, criterion::black_box(20)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

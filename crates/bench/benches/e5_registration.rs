@@ -1,0 +1,233 @@
+//! E5 — §2/§3.1/§4.5: memory registration and receive provisioning.
+//!
+//! Three parts, matching the paper's sentences:
+//! (a) "Applications have to register memory before using it for I/O" —
+//!     explicit per-buffer registration cost vs the libOS's pre-registered
+//!     pools (transparent registration);
+//! (b) "allocating too few buffers causes communication to fail" and
+//!     "buffers of the right size" — RDMA receive under-provisioning;
+//! (c) "allocating too many buffers wastes memory ... any registered
+//!     memory must be pinned" — the pin-vs-allocation-cost trade-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use demi_bench::Table;
+use demi_memory::MemoryManager;
+use demikernel::libos::{LibOs, SocketKind};
+use demikernel::testing::{catcorn_pair, host_ip};
+use demikernel::types::Sga;
+use net_stack::types::SocketAddr;
+use rdma_sim::{device::registration_cost, MrAccess, QpState, RdmaDevice};
+use sim_fabric::{Fabric, MacAddress, SimTime};
+
+fn part_a_registration_amortization() {
+    const OPS: u64 = 10_000;
+    const SIZE: usize = 4096;
+    // Explicit path: register + deregister around every I/O buffer, the
+    // discipline raw verbs forces on applications.
+    let per_op = registration_cost(SIZE);
+    let explicit_total = SimTime::from_nanos(per_op.as_nanos() * OPS);
+    // Transparent path: the libOS pools pre-register; count actual
+    // registrations for the same traffic.
+    let mgr = MemoryManager::warmed();
+    let warm_regs_before = mgr.region_stats().registrations;
+    for _ in 0..OPS {
+        let _buf = mgr.alloc(SIZE);
+    }
+    let transparent_regs = mgr.region_stats().registrations - warm_regs_before;
+
+    let mut table = Table::new(
+        "E5a: registration cost for 10k × 4KiB I/O buffers",
+        &["strategy", "registrations", "registration time", "per op"],
+    );
+    table.row(&[
+        "explicit (per buffer)".into(),
+        format!("{OPS}"),
+        format!("{explicit_total}"),
+        format!("{per_op}"),
+    ]);
+    table.row(&[
+        "transparent (libOS pools)".into(),
+        format!("{transparent_regs}"),
+        "0ns (amortized at startup)".into(),
+        "0ns".into(),
+    ]);
+    table.print();
+    assert_eq!(transparent_regs, 0);
+}
+
+fn part_b_receive_provisioning() {
+    // Raw verbs: a sender bursts 8 messages at receivers that posted
+    // {0, 4, 8} buffers of {right, too-small} sizes.
+    let run = |posted: usize, buf_size: usize| -> (u64, u64, bool) {
+        let fabric = Fabric::new(5);
+        let a = RdmaDevice::new(&fabric, MacAddress::from_last_octet(1));
+        let b = RdmaDevice::new(&fabric, MacAddress::from_last_octet(2));
+        let (apd, acq) = (a.alloc_pd(), a.create_cq());
+        let aqp = a.create_qp(apd, acq, acq);
+        let (bpd, bcq) = (b.alloc_pd(), b.create_cq());
+        let bqp = b.create_qp(bpd, bcq, bcq);
+        b.listen(18515).unwrap();
+        a.connect(aqp, b.mac(), 18515, fabric.clock().now())
+            .unwrap();
+        for _ in 0..10_000 {
+            a.poll(fabric.clock().now());
+            b.poll(fabric.clock().now());
+            let _ = b.accept(18515, bqp, fabric.clock().now());
+            if a.qp_state(aqp) == Ok(QpState::Rts) && b.qp_state(bqp) == Ok(QpState::Rts) {
+                break;
+            }
+            if !fabric.advance_to_next_event() {
+                if let Some(t) = [a.next_deadline(), b.next_deadline()]
+                    .into_iter()
+                    .flatten()
+                    .min()
+                {
+                    fabric.clock().advance_to(t);
+                }
+            }
+        }
+        let send_mr = a.register_mr(apd, 8 * 512, MrAccess::LOCAL_ONLY);
+        let recv_mr = b.register_mr(bpd, 8 * 4096, MrAccess::LOCAL_ONLY);
+        for i in 0..posted {
+            b.post_recv(bqp, i as u64, recv_mr, i * 4096, buf_size)
+                .unwrap();
+        }
+        for i in 0..8u64 {
+            a.post_send(
+                aqp,
+                i,
+                send_mr,
+                (i as usize) * 512,
+                512,
+                fabric.clock().now(),
+            )
+            .unwrap();
+        }
+        let mut ok = 0u64;
+        let mut failed = 0u64;
+        for _ in 0..500_000 {
+            a.poll(fabric.clock().now());
+            b.poll(fabric.clock().now());
+            for c in a.poll_cq(acq, 16) {
+                if c.status.is_ok() {
+                    ok += 1;
+                } else {
+                    failed += 1;
+                }
+            }
+            for _ in b.poll_cq(bcq, 16) {}
+            if ok + failed == 8 {
+                break;
+            }
+            if !fabric.advance_to_next_event() {
+                match [a.next_deadline(), b.next_deadline()]
+                    .into_iter()
+                    .flatten()
+                    .min()
+                {
+                    Some(t) => fabric.clock().advance_to(t),
+                    None => break,
+                }
+            }
+        }
+        let broke = a.qp_state(aqp) == Ok(QpState::Error);
+        (ok, failed, broke)
+    };
+
+    let mut table = Table::new(
+        "E5b: raw RDMA — receiver provisioning for an 8×512B burst",
+        &[
+            "posted recvs",
+            "buffer size",
+            "sends ok",
+            "sends failed",
+            "conn broke",
+        ],
+    );
+    for (posted, size, label) in [
+        (8usize, 4096usize, "8 × right size"),
+        (4, 4096, "4 × right size (too few)"),
+        (8, 256, "8 × too small"),
+    ] {
+        let (ok, failed, broke) = run(posted, size);
+        table.row(&[
+            label.into(),
+            format!("{size}B"),
+            format!("{ok}"),
+            format!("{failed}"),
+            format!("{broke}"),
+        ]);
+    }
+    table.print();
+
+    // Through catcorn, the same burst just works: the libOS provisioned.
+    let (_rt, _fabric, client, server) = catcorn_pair(51);
+    let lqd = server.socket(SocketKind::Tcp).unwrap();
+    server
+        .bind(lqd, SocketAddr::new(host_ip(2), 18515))
+        .unwrap();
+    server.listen(lqd, 8).unwrap();
+    let aqt = server.accept(lqd).unwrap();
+    let cqd = client.socket(SocketKind::Tcp).unwrap();
+    let cqt = client
+        .connect(cqd, SocketAddr::new(host_ip(2), 18515))
+        .unwrap();
+    let sqd = server.wait(aqt, None).unwrap().expect_accept();
+    client.wait(cqt, None).unwrap();
+    let tokens: Vec<_> = (0..8u64)
+        .map(|i| client.push(cqd, &Sga::from_slice(&[i as u8; 512])).unwrap())
+        .collect();
+    for _ in 0..8 {
+        let _ = server.blocking_pop(sqd).unwrap().expect_pop();
+    }
+    assert!(client
+        .wait_all(&tokens, None)
+        .unwrap()
+        .iter()
+        .all(|r| !r.is_failed()));
+    println!("through catcorn: 8/8 delivered, 0 RNR — the libOS manages the buffers\n");
+}
+
+fn part_c_pin_tradeoff() {
+    // Hold H live buffers: pinned bytes grow with provisioning while the
+    // cold (registration-bearing) allocation fraction falls.
+    let mut table = Table::new(
+        "E5c: pinned memory vs registration-bearing allocations (4KiB bufs)",
+        &["live buffers", "pinned bytes", "cold allocs", "warm allocs"],
+    );
+    for &live in &[16usize, 64, 256, 1024] {
+        let mgr = MemoryManager::new();
+        let mut held = Vec::new();
+        for _ in 0..live {
+            held.push(mgr.alloc(4096));
+        }
+        // Steady-state traffic on top of the held set.
+        for _ in 0..4096 {
+            let _ = mgr.alloc(4096);
+        }
+        let pool = mgr.pool_stats();
+        table.row(&[
+            format!("{live}"),
+            format!("{}", mgr.region_stats().pinned_bytes),
+            format!("{}", pool.cold_allocs),
+            format!("{}", pool.warm_allocs),
+        ]);
+    }
+    table.print();
+}
+
+fn bench(c: &mut Criterion) {
+    part_a_registration_amortization();
+    part_b_receive_provisioning();
+    part_c_pin_tradeoff();
+    let mut group = c.benchmark_group("e5_registration");
+    group.sample_size(10);
+    let mgr = MemoryManager::warmed();
+    group.bench_function("pooled_alloc_4k", |b| {
+        b.iter(|| criterion::black_box(mgr.alloc(4096)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! E6 — §4.2/§4.3: filters offload to the device ("libOSes always
+//! implement filters directly on supported devices but default to the
+//! CPU"), and "filters ... can improve cache utilization by steering I/O
+//! to CPUs based on application-specific parameters (e.g., keys in a
+//! key-value store)".
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use demi_bench::{CoreCaches, SteeringPolicy, Table, ZipfKeys};
+use demikernel::libos::catnip::Catnip;
+use demikernel::libos::{LibOs, SocketKind};
+use demikernel::ops::Demikernel;
+use demikernel::runtime::Runtime;
+use demikernel::testing::{host_ip, host_mac};
+use demikernel::types::Sga;
+use dpdk_sim::PortConfig;
+use net_stack::types::SocketAddr;
+use sim_fabric::Fabric;
+
+/// Runs the filter placement experiment; returns
+/// (cpu_evals, device_cycles, device_filtered).
+fn filter_placement(slots: usize, packets: u32, match_pct: u32) -> (u64, u64, u64) {
+    let fabric = Fabric::new(61);
+    let rt = Runtime::with_fabric(fabric.clone());
+    let sender = Catnip::new(&rt, &fabric, host_mac(1), host_ip(1));
+    let receiver_libos = Catnip::with_port_config(
+        &rt,
+        &fabric,
+        PortConfig {
+            mac: host_mac(2),
+            num_rx_queues: 1,
+            rx_ring_size: 4096,
+            smartnic_slots: slots,
+        },
+        host_ip(2),
+    );
+    let receiver = Demikernel::new(Rc::new(receiver_libos.clone()));
+
+    let raw = receiver.socket(SocketKind::Udp).unwrap();
+    receiver
+        .bind(raw, SocketAddr::new(host_ip(2), 514))
+        .unwrap();
+    let wanted = receiver
+        .filter(raw, Rc::new(|sga: &Sga| sga.to_vec()[0] == 1))
+        .unwrap();
+
+    let tx = sender.socket(SocketKind::Udp).unwrap();
+    sender.bind(tx, SocketAddr::new(host_ip(1), 9000)).unwrap();
+    let mut expected = 0u32;
+    let period = 100 / match_pct; // Matches spread evenly through the run.
+    for i in 0..packets {
+        let tag = u32::from(i % period == 0);
+        expected += tag;
+        sender
+            .pushto(
+                tx,
+                &Sga::from_slice(&[tag as u8, i as u8]),
+                SocketAddr::new(host_ip(2), 514),
+            )
+            .unwrap();
+    }
+    for _ in 0..expected {
+        let (_, sga) = receiver.blocking_pop(wanted).unwrap().expect_pop();
+        assert_eq!(sga.to_vec()[0], 1);
+    }
+    let ops = receiver.ops_stats();
+    let nic = receiver_libos.port().smartnic_stats();
+    (ops.cpu_filter_evals, nic.device_cycles, nic.frames_filtered)
+}
+
+fn experiment_tables() {
+    let mut t1 = Table::new(
+        "E6a: filter placement (1000 packets, 10% match)",
+        &["device", "host evals", "device cycles", "device-dropped"],
+    );
+    for (slots, label) in [
+        (0usize, "plain NIC (CPU filter)"),
+        (4, "SmartNIC (offloaded)"),
+    ] {
+        let (evals, cycles, dropped) = filter_placement(slots, 1000, 10);
+        t1.row(&[
+            label.into(),
+            format!("{evals}"),
+            format!("{cycles}"),
+            format!("{dropped}"),
+        ]);
+        if slots == 0 {
+            assert!(evals >= 900, "CPU does the filtering work: {evals}");
+        } else {
+            assert_eq!(evals, 0, "offloaded filter must not burn host evals");
+            assert!(dropped >= 890);
+        }
+    }
+    t1.print();
+
+    // E6b: key-based steering vs RSS, per-core caches.
+    let mut t2 = Table::new(
+        "E6b: cache hit rate — RSS vs key steering (zipf 0.99, 4 cores)",
+        &["cache entries/core", "RSS hit rate", "steered hit rate"],
+    );
+    for &capacity in &[64usize, 256, 1024] {
+        let mut rss = CoreCaches::new(4, capacity);
+        let mut steered = CoreCaches::new(4, capacity);
+        let mut keys = ZipfKeys::new(62, 4096, 0.99);
+        for i in 0..100_000u64 {
+            let key = keys.next_key();
+            let flow = i % 257; // Many client connections.
+            rss.access(SteeringPolicy::Rss, key, flow);
+            steered.access(SteeringPolicy::ByKey, key, flow);
+        }
+        assert!(steered.hit_rate() > rss.hit_rate());
+        t2.row(&[
+            format!("{capacity}"),
+            format!("{:.1}%", rss.hit_rate() * 100.0),
+            format!("{:.1}%", steered.hit_rate() * 100.0),
+        ]);
+    }
+    t2.print();
+}
+
+fn bench(c: &mut Criterion) {
+    experiment_tables();
+    let mut group = c.benchmark_group("e6_offload_steering");
+    group.sample_size(10);
+    group.bench_function("cpu_filter_world", |b| {
+        b.iter(|| filter_placement(0, criterion::black_box(200), 10))
+    });
+    group.bench_function("device_filter_world", |b| {
+        b.iter(|| filter_placement(4, criterion::black_box(200), 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

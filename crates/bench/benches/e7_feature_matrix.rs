@@ -1,0 +1,87 @@
+//! E7 — Table 1 + §2: the accelerator taxonomy, regenerated from device
+//! capability probes, and the consequence the paper draws from it: the
+//! same application runs over every category only because the libOS fills
+//! each device's gaps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use demi_bench::Table;
+use demikernel::libos::{LibOs, SocketKind};
+use demikernel::testing::{catcorn_pair, catnip_pair, host_ip};
+use demikernel::types::Sga;
+use net_stack::types::SocketAddr;
+use sim_fabric::DeviceCaps;
+
+fn caps_row(table: &mut Table, caps: &DeviceCaps) {
+    let b = |v: bool| if v { "✓" } else { "–" }.to_string();
+    table.row(&[
+        caps.name.into(),
+        caps.category.label().into(),
+        b(caps.kernel_bypass),
+        b(caps.reliable_transport),
+        b(caps.network_stack),
+        b(caps.buffer_management),
+        b(caps.flow_control),
+        b(caps.program_offload),
+        b(caps.block_storage),
+        caps.missing_os_features().len().to_string(),
+    ]);
+}
+
+fn experiment_table() {
+    let mut table = Table::new(
+        "E7: Table 1 regenerated — what each device provides",
+        &[
+            "device", "category", "bypass", "reliable", "netstack", "bufmgmt", "flowctl",
+            "offload", "storage", "#missing",
+        ],
+    );
+    caps_row(&mut table, &dpdk_sim::capabilities());
+    caps_row(&mut table, &spdk_sim::capabilities());
+    caps_row(&mut table, &rdma_sim::capabilities());
+    caps_row(&mut table, &dpdk_sim::smartnic_capabilities());
+    table.print();
+
+    // The consequence: one echo body, every device class, unmodified.
+    fn echo(client: &dyn LibOs, server: &dyn LibOs, port: u16) {
+        let lqd = server.socket(SocketKind::Tcp).unwrap();
+        server.bind(lqd, SocketAddr::new(host_ip(2), port)).unwrap();
+        server.listen(lqd, 8).unwrap();
+        let aqt = server.accept(lqd).unwrap();
+        let cqd = client.socket(SocketKind::Tcp).unwrap();
+        let cqt = client
+            .connect(cqd, SocketAddr::new(host_ip(2), port))
+            .unwrap();
+        let sqd = server.wait(aqt, None).unwrap().expect_accept();
+        client.wait(cqt, None).unwrap();
+        client
+            .blocking_push(cqd, &Sga::from_slice(b"probe"))
+            .unwrap();
+        let (_, sga) = server.blocking_pop(sqd).unwrap().expect_pop();
+        assert_eq!(sga.to_vec(), b"probe");
+    }
+
+    let (_rt, _f, c, s) = catnip_pair(71);
+    echo(&c, &s, 7000);
+    println!("echo ran over catnip ({})", c.device_caps().unwrap().name);
+    let (_rt, _f, c, s) = catcorn_pair(72);
+    echo(&c, &s, 18515);
+    println!("echo ran over catcorn ({})", c.device_caps().unwrap().name);
+    println!("one source, two device classes — the libOS supplied the differences\n");
+}
+
+fn bench(c: &mut Criterion) {
+    experiment_table();
+    let mut group = c.benchmark_group("e7_feature_matrix");
+    group.sample_size(10);
+    group.bench_function("capability_probe", |b| {
+        b.iter(|| {
+            criterion::black_box(dpdk_sim::capabilities().missing_os_features());
+            criterion::black_box(rdma_sim::capabilities().missing_os_features());
+            criterion::black_box(spdk_sim::capabilities().missing_os_features());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

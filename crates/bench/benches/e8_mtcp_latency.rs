@@ -1,0 +1,78 @@
+//! E8 — §6: "We explored mTCP but found it to be too expensive; for
+//! example, its latency was higher than the Linux kernel's."
+//!
+//! Regenerates: echo RTT for three stacks on identical fabric/devices —
+//! the Demikernel (catnip), the in-kernel POSIX path (catnap), and the
+//! mTCP model (POSIX-preserving user stack with batching epochs).
+//! Expected shape: demikernel < kernel < mTCP on latency, while mTCP
+//! keeps POSIX's copies and zero syscalls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use demi_bench::{catnap_udp_echo, catnip_udp_echo, mtcp_echo_world, Table};
+use sim_fabric::SimTime;
+
+fn experiment_table() {
+    const ROUNDS: u32 = 100;
+    const SIZE: usize = 1024;
+
+    let demi = catnip_udp_echo(81, SIZE, ROUNDS);
+    let kernel = catnap_udp_echo(82, SIZE, ROUNDS);
+    let mut table = Table::new(
+        "E8: stack latency comparison (1KiB echo, 100 rounds)",
+        &["stack", "mean RTT", "syscalls/req", "copies/req"],
+    );
+    table.row(&[
+        "demikernel (catnip)".into(),
+        format!("{}", demi.mean_rtt),
+        format!("{:.1}", demi.crossings_per_req),
+        format!("{:.1}", demi.copies_per_req),
+    ]);
+    table.row(&[
+        "kernel (catnap)".into(),
+        format!("{}", kernel.mean_rtt),
+        format!("{:.1}", kernel.crossings_per_req),
+        format!("{:.1}", kernel.copies_per_req),
+    ]);
+    for &epoch_us in &[10u64, 32] {
+        let mtcp = mtcp_echo_world(83, SIZE, ROUNDS, SimTime::from_micros(epoch_us));
+        table.row(&[
+            format!("mTCP model (epoch {epoch_us}µs)"),
+            format!("{}", mtcp.mean_rtt),
+            format!("{:.1}", mtcp.crossings_per_req),
+            format!("{:.1}", mtcp.copies_per_req),
+        ]);
+        // The paper's ordering: user-level batching beats nothing on
+        // latency — it is worse than the kernel.
+        assert!(
+            mtcp.mean_rtt.as_nanos() > kernel.mean_rtt.as_nanos(),
+            "mTCP (epoch {epoch_us}µs) must be slower than the kernel: \
+             {} vs {}",
+            mtcp.mean_rtt,
+            kernel.mean_rtt
+        );
+        assert_eq!(mtcp.crossings_per_req, 0.0, "no syscalls — kernel bypassed");
+        assert!(
+            mtcp.copies_per_req >= 2.0,
+            "POSIX interface keeps the copies"
+        );
+    }
+    assert!(demi.mean_rtt.as_nanos() < kernel.mean_rtt.as_nanos());
+    table.print();
+    println!(
+        "shape check: demikernel < kernel < mTCP on latency — matches the paper's \
+         related-work observation\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment_table();
+    let mut group = c.benchmark_group("e8_mtcp_latency");
+    group.sample_size(10);
+    group.bench_function("mtcp_world_20rounds", |b| {
+        b.iter(|| mtcp_echo_world(criterion::black_box(9), 1024, 20, SimTime::from_micros(10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! Echo-workload runners shared by E1, E2, and E8.
+
+use demikernel::libos::{LibOs, SocketKind};
+use demikernel::testing::{catnip_pair, host_ip};
+use demikernel::types::Sga;
+use dpdk_sim::{DpdkPort, PortConfig};
+use net_stack::types::SocketAddr;
+use net_stack::{NetworkStack, StackConfig};
+use posix_sim::{MtcpConfig, MtcpSim};
+use sim_fabric::{Fabric, MacAddress, SimTime};
+
+/// Results of an echo run.
+#[derive(Debug, Clone, Copy)]
+pub struct EchoStats {
+    /// Mean round-trip time in virtual nanoseconds.
+    pub mean_rtt: SimTime,
+    /// Kernel crossings per request (both hosts).
+    pub crossings_per_req: f64,
+    /// Payload copies per request (both hosts).
+    pub copies_per_req: f64,
+}
+
+/// Runs `rounds` UDP echo RTTs of `size` bytes over catnip.
+pub fn catnip_udp_echo(seed: u64, size: usize, rounds: u32) -> EchoStats {
+    let (rt, _fabric, client, server) = catnip_pair(seed);
+    let sqd = server.socket(SocketKind::Udp).unwrap();
+    server.bind(sqd, SocketAddr::new(host_ip(2), 7)).unwrap();
+    let cqd = client.socket(SocketKind::Udp).unwrap();
+    client.bind(cqd, SocketAddr::new(host_ip(1), 9000)).unwrap();
+    let payload = vec![0xA5u8; size];
+
+    // Warm ARP.
+    client
+        .pushto(
+            cqd,
+            &Sga::from_slice(b"warm"),
+            SocketAddr::new(host_ip(2), 7),
+        )
+        .unwrap();
+    let (from, _) = server.blocking_pop(sqd).unwrap().expect_pop();
+
+    rt.metrics().reset();
+    let t0 = rt.now();
+    for _ in 0..rounds {
+        client
+            .pushto(
+                cqd,
+                &Sga::from_slice(&payload),
+                SocketAddr::new(host_ip(2), 7),
+            )
+            .unwrap();
+        let (_, sga) = server.blocking_pop(sqd).unwrap().expect_pop();
+        server.pushto(sqd, &sga, from.unwrap()).unwrap();
+        let _ = client.blocking_pop(cqd).unwrap();
+    }
+    let elapsed = rt.now().saturating_since(t0);
+    let m = rt.metrics().snapshot();
+    EchoStats {
+        mean_rtt: SimTime::from_nanos(elapsed.as_nanos() / rounds as u64),
+        crossings_per_req: m.data_path_syscalls as f64 / rounds as f64,
+        copies_per_req: m.copies as f64 / rounds as f64,
+    }
+}
+
+/// Runs `rounds` UDP echo RTTs of `size` bytes over the kernel baseline.
+pub fn catnap_udp_echo(seed: u64, size: usize, rounds: u32) -> EchoStats {
+    catnap_udp_echo_with_cost(seed, size, rounds, posix_sim::CostModel::default())
+}
+
+/// Kernel-baseline echo with an explicit cost model — the ablation that
+/// separates crossing costs from copy costs.
+pub fn catnap_udp_echo_with_cost(
+    seed: u64,
+    size: usize,
+    rounds: u32,
+    cost: posix_sim::CostModel,
+) -> EchoStats {
+    use demikernel::libos::catnap::Catnap;
+    use demikernel::runtime::Runtime;
+    let fabric = Fabric::new(seed);
+    let rt = Runtime::with_fabric(fabric.clone());
+    let client = Catnap::with_cost_model(
+        &rt,
+        &fabric,
+        MacAddress::from_last_octet(1),
+        host_ip(1),
+        cost,
+    );
+    let server = Catnap::with_cost_model(
+        &rt,
+        &fabric,
+        MacAddress::from_last_octet(2),
+        host_ip(2),
+        cost,
+    );
+    run_catnap_echo(&rt, &client, &server, size, rounds)
+}
+
+fn run_catnap_echo(
+    rt: &demikernel::runtime::Runtime,
+    client: &demikernel::libos::catnap::Catnap,
+    server: &demikernel::libos::catnap::Catnap,
+    size: usize,
+    rounds: u32,
+) -> EchoStats {
+    let sqd = server.socket(SocketKind::Udp).unwrap();
+    server.bind(sqd, SocketAddr::new(host_ip(2), 7)).unwrap();
+    let cqd = client.socket(SocketKind::Udp).unwrap();
+    client.bind(cqd, SocketAddr::new(host_ip(1), 9000)).unwrap();
+    let payload = vec![0xA5u8; size];
+
+    client
+        .pushto(
+            cqd,
+            &Sga::from_slice(b"warm"),
+            SocketAddr::new(host_ip(2), 7),
+        )
+        .unwrap();
+    let (from, _) = server.blocking_pop(sqd).unwrap().expect_pop();
+
+    client.sim_kernel().reset_stats();
+    server.sim_kernel().reset_stats();
+    let t0 = rt.now();
+    for _ in 0..rounds {
+        client
+            .pushto(
+                cqd,
+                &Sga::from_slice(&payload),
+                SocketAddr::new(host_ip(2), 7),
+            )
+            .unwrap();
+        let (_, sga) = server.blocking_pop(sqd).unwrap().expect_pop();
+        server.pushto(sqd, &sga, from.unwrap()).unwrap();
+        let _ = client.blocking_pop(cqd).unwrap();
+    }
+    let elapsed = rt.now().saturating_since(t0);
+    let ck = client.kernel_stats().unwrap();
+    let sk = server.kernel_stats().unwrap();
+    EchoStats {
+        mean_rtt: SimTime::from_nanos(elapsed.as_nanos() / rounds as u64),
+        crossings_per_req: (ck.syscalls + sk.syscalls) as f64 / rounds as f64,
+        copies_per_req: (ck.copies + sk.copies) as f64 / rounds as f64,
+    }
+}
+
+/// Runs `rounds` TCP echo RTTs over an mTCP-style batched user stack
+/// (client side batched; plain in-kernel-style server for symmetry with
+/// the related-work comparison).
+pub fn mtcp_echo_world(seed: u64, size: usize, rounds: u32, epoch: SimTime) -> EchoStats {
+    let fabric = Fabric::new(seed);
+    let server_port = DpdkPort::new(&fabric, PortConfig::basic(MacAddress::from_last_octet(2)));
+    let server = NetworkStack::new(server_port, fabric.clock(), StackConfig::new(host_ip(2)));
+    let client_port = DpdkPort::new(&fabric, PortConfig::basic(MacAddress::from_last_octet(1)));
+    let client_stack = NetworkStack::new(client_port, fabric.clock(), StackConfig::new(host_ip(1)));
+    let mut mtcp = MtcpSim::new(client_stack, fabric.clock(), MtcpConfig { epoch });
+
+    // Settle helper (no shared Runtime here: mtcp is its own world).
+    let settle = |mtcp: &mut MtcpSim, until: &mut dyn FnMut(&mut MtcpSim) -> bool| {
+        for _ in 0..1_000_000 {
+            mtcp.poll();
+            server.poll();
+            if until(mtcp) {
+                return;
+            }
+            if fabric.advance_to_next_event() {
+                continue;
+            }
+            let deadline = [mtcp.next_deadline(), server.next_deadline()]
+                .into_iter()
+                .flatten()
+                .min();
+            match deadline {
+                Some(t) => fabric.clock().advance_to(t),
+                None => return,
+            }
+        }
+        panic!("mtcp echo world did not settle");
+    };
+
+    let lid = server.tcp_listen(80, 16).unwrap();
+    let conn = mtcp.connect(SocketAddr::new(host_ip(2), 80)).unwrap();
+    settle(&mut mtcp, &mut |m| m.is_established(conn));
+    let mut sconn = None;
+    settle(&mut mtcp, &mut |_| {
+        sconn = server.tcp_accept(lid).unwrap();
+        sconn.is_some()
+    });
+    let sconn = sconn.unwrap();
+
+    let payload = vec![0xA5u8; size];
+    let mut buf = vec![0u8; size.max(64)];
+    let t0 = fabric.clock().now();
+    for _ in 0..rounds {
+        mtcp.send(conn, &payload).unwrap();
+        // Server echoes at stream level.
+        let mut echoed = 0;
+        settle(&mut mtcp, &mut |_| {
+            while let Ok(Some(chunk)) = server.tcp_recv(sconn) {
+                echoed += chunk.len();
+                server.tcp_send(sconn, chunk).unwrap();
+            }
+            echoed >= size
+        });
+        // Client drains the echo through the batched receive path.
+        let mut got = 0;
+        settle(&mut mtcp, &mut |m| {
+            while let Some(n) = m.recv(conn, &mut buf) {
+                got += n;
+            }
+            got >= size
+        });
+    }
+    let elapsed = fabric.clock().now().saturating_since(t0);
+    let meter = mtcp.meter().stats();
+    EchoStats {
+        mean_rtt: SimTime::from_nanos(elapsed.as_nanos() / rounds as u64),
+        crossings_per_req: meter.syscalls as f64 / rounds as f64, // Zero.
+        copies_per_req: meter.copies as f64 / rounds as f64,
+    }
+}

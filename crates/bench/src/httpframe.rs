@@ -1,0 +1,103 @@
+//! An HTTP-like framer: the §5.2 alternative to libOS-inserted framing.
+//!
+//! "Alternatively, the libOS could use framing available in an existing
+//! protocol (e.g., HTTPS, REST), but this approach trades off libOS
+//! generality." This module implements the minimal HTTP-shaped framing
+//! (headers terminated by CRLFCRLF, Content-Length body) so experiment E9
+//! can compare parse cost and byte overhead against the 8-byte
+//! length-prefix framing in [`net_stack::framing`].
+
+/// Encodes one message as an HTTP-like request.
+pub fn encode_http(payload: &[u8]) -> Vec<u8> {
+    let header = format!(
+        "POST /queue HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        payload.len()
+    );
+    let mut out = header.into_bytes();
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental HTTP-like decoder.
+#[derive(Default)]
+pub struct HttpDecoder {
+    buffer: Vec<u8>,
+    /// Parse statistics: bytes scanned looking for header terminators.
+    pub bytes_scanned: u64,
+    /// Messages produced.
+    pub messages: u64,
+}
+
+impl HttpDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds received bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buffer.extend_from_slice(data);
+    }
+
+    /// Attempts to extract the next message body.
+    pub fn next_message(&mut self) -> Option<Vec<u8>> {
+        // Scan for the header terminator (the cost length-prefixing avoids).
+        let mut header_end = None;
+        for i in 0..self.buffer.len().saturating_sub(3) {
+            self.bytes_scanned += 1;
+            if &self.buffer[i..i + 4] == b"\r\n\r\n" {
+                header_end = Some(i + 4);
+                break;
+            }
+        }
+        let header_end = header_end?;
+        let header = &self.buffer[..header_end];
+        let text = std::str::from_utf8(header).ok()?;
+        let len: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.trim().parse().ok())?;
+        if self.buffer.len() < header_end + len {
+            return None;
+        }
+        let body = self.buffer[header_end..header_end + len].to_vec();
+        self.buffer.drain(..header_end + len);
+        self.messages += 1;
+        Some(body)
+    }
+
+    /// Wire overhead of one message of `payload_len` bytes.
+    pub fn overhead(payload_len: usize) -> usize {
+        encode_http(&vec![0u8; payload_len]).len() - payload_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_messages() {
+        let mut dec = HttpDecoder::new();
+        dec.push(&encode_http(b"first body"));
+        dec.push(&encode_http(b"second"));
+        assert_eq!(dec.next_message().unwrap(), b"first body");
+        assert_eq!(dec.next_message().unwrap(), b"second");
+        assert!(dec.next_message().is_none());
+    }
+
+    #[test]
+    fn partial_messages_wait() {
+        let wire = encode_http(b"split payload");
+        let mut dec = HttpDecoder::new();
+        dec.push(&wire[..10]);
+        assert!(dec.next_message().is_none());
+        dec.push(&wire[10..]);
+        assert_eq!(dec.next_message().unwrap(), b"split payload");
+    }
+
+    #[test]
+    fn overhead_dwarfs_length_prefix() {
+        assert!(HttpDecoder::overhead(64) > net_stack::framing::FRAME_HEADER_LEN * 4);
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness for the paper reproduction.
+//!
+//! Each bench under `benches/` regenerates one experiment from
+//! `DESIGN.md` §5 (one per figure, table, or quantitative claim in the
+//! paper). The benches print the paper-shaped result tables once, then
+//! hand representative kernels to Criterion for wall-clock measurement.
+//! `EXPERIMENTS.md` records the expected shapes and the measured outputs.
+
+pub mod cachesim;
+pub mod echo;
+pub mod httpframe;
+pub mod table;
+pub mod workload;
+
+pub use cachesim::{CoreCaches, SteeringPolicy};
+pub use echo::{
+    catnap_udp_echo, catnap_udp_echo_with_cost, catnip_udp_echo, mtcp_echo_world, EchoStats,
+};
+pub use table::Table;
+pub use workload::ZipfKeys;

@@ -1,0 +1,69 @@
+//! Workload generators.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A Zipf-distributed key stream (the classic skewed KV workload).
+pub struct ZipfKeys {
+    rng: StdRng,
+    cdf: Vec<f64>,
+}
+
+impl ZipfKeys {
+    /// `n` keys with skew `theta` (0 = uniform, ~0.99 = YCSB-hot).
+    pub fn new(seed: u64, n: usize, theta: f64) -> Self {
+        let mut weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        ZipfKeys {
+            rng: StdRng::seed_from_u64(seed),
+            cdf: weights,
+        }
+    }
+
+    /// Draws the next key (0-based rank; rank 0 is hottest).
+    pub fn next_key(&mut self) -> u64 {
+        let u: f64 = rand::distributions::Uniform::new(0.0, 1.0).sample(&mut self.rng);
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) | Err(i) => i as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let mut a = ZipfKeys::new(1, 1000, 0.99);
+        let mut b = ZipfKeys::new(1, 1000, 0.99);
+        let mut hot = 0;
+        for _ in 0..10_000 {
+            let k = a.next_key();
+            assert_eq!(k, b.next_key(), "same seed, same stream");
+            if k < 100 {
+                hot += 1;
+            }
+        }
+        assert!(hot > 5_000, "top 10% of keys got {hot}/10000 accesses");
+    }
+
+    #[test]
+    fn uniform_theta_zero_is_flat() {
+        let mut z = ZipfKeys::new(2, 10, 0.0);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.next_key() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "{counts:?}");
+    }
+}

@@ -1,0 +1,128 @@
+//! catnap tests: identical application code, kernel in the way.
+
+use super::*;
+
+fn ip(last: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, last)
+}
+
+fn world() -> (Runtime, Catnap, Catnap) {
+    let fabric = Fabric::new(7);
+    let rt = Runtime::with_fabric(fabric.clone());
+    let a = Catnap::new(&rt, &fabric, MacAddress::from_last_octet(1), ip(1));
+    let b = Catnap::new(&rt, &fabric, MacAddress::from_last_octet(2), ip(2));
+    (rt, a, b)
+}
+
+#[test]
+fn udp_echo_round_trip_with_kernel_costs() {
+    let (_rt, client, server) = world();
+    let sqd = server.socket(SocketKind::Udp).unwrap();
+    server.bind(sqd, SocketAddr::new(ip(2), 7)).unwrap();
+    let cqd = client.socket(SocketKind::Udp).unwrap();
+    client.bind(cqd, SocketAddr::new(ip(1), 9000)).unwrap();
+
+    client
+        .pushto(cqd, &Sga::from_slice(b"ping"), SocketAddr::new(ip(2), 7))
+        .unwrap();
+    let (from, sga) = server.blocking_pop(sqd).unwrap().expect_pop();
+    assert_eq!(sga.to_vec(), b"ping");
+    server.pushto(sqd, &sga, from.unwrap()).unwrap();
+    let (_, reply) = client.blocking_pop(cqd).unwrap().expect_pop();
+    assert_eq!(reply.to_vec(), b"ping");
+
+    // The kernel was involved: crossings and copies are nonzero — the
+    // contrast with catnip's zeros is experiment E1.
+    let ks = client.kernel_stats().expect("catnap meters the kernel");
+    assert!(ks.syscalls > 0, "POSIX path must cross the kernel");
+    assert!(ks.copies > 0, "POSIX path must copy payloads");
+    assert!(ks.bytes_copied >= 8);
+}
+
+#[test]
+fn tcp_messages_survive_the_posix_stream() {
+    let (_rt, client, server) = world();
+    let lqd = server.socket(SocketKind::Tcp).unwrap();
+    server.bind(lqd, SocketAddr::new(ip(2), 80)).unwrap();
+    server.listen(lqd, 8).unwrap();
+    let aqt = server.accept(lqd).unwrap();
+    let cqd = client.socket(SocketKind::Tcp).unwrap();
+    let cqt = client.connect(cqd, SocketAddr::new(ip(2), 80)).unwrap();
+    let sqd = server.wait(aqt, None).unwrap().expect_accept();
+    assert!(matches!(
+        client.wait(cqt, None).unwrap(),
+        OperationResult::Connect
+    ));
+
+    client
+        .blocking_push(cqd, &Sga::from_slice(b"request-1"))
+        .unwrap();
+    client
+        .blocking_push(cqd, &Sga::from_slice(b"request-2"))
+        .unwrap();
+    let (_, m1) = server.blocking_pop(sqd).unwrap().expect_pop();
+    let (_, m2) = server.blocking_pop(sqd).unwrap().expect_pop();
+    assert_eq!(m1.to_vec(), b"request-1");
+    assert_eq!(m2.to_vec(), b"request-2");
+}
+
+#[test]
+fn connect_refused_is_reported() {
+    let (_rt, client, _server) = world();
+    let cqd = client.socket(SocketKind::Tcp).unwrap();
+    let qt = client.connect(cqd, SocketAddr::new(ip(2), 4242)).unwrap();
+    let result = client.wait(qt, None).unwrap();
+    assert!(result.is_failed());
+}
+
+#[test]
+fn same_source_runs_on_catnip_and_catnap() {
+    // The portability claim: one echo function, two libOSes.
+    fn echo_once(client: &dyn LibOs, server: &dyn LibOs, cip: Ipv4Addr, sip: Ipv4Addr) -> Vec<u8> {
+        let sqd = server.socket(SocketKind::Udp).unwrap();
+        server.bind(sqd, SocketAddr::new(sip, 7)).unwrap();
+        let cqd = client.socket(SocketKind::Udp).unwrap();
+        client.bind(cqd, SocketAddr::new(cip, 9000)).unwrap();
+        client
+            .pushto(cqd, &Sga::from_slice(b"portable"), SocketAddr::new(sip, 7))
+            .unwrap();
+        let (from, sga) = server.blocking_pop(sqd).unwrap().expect_pop();
+        server.pushto(sqd, &sga, from.unwrap()).unwrap();
+        let (_, reply) = client.blocking_pop(cqd).unwrap().expect_pop();
+        reply.to_vec()
+    }
+
+    let (_rt, c1, s1) = world();
+    assert_eq!(echo_once(&c1, &s1, ip(1), ip(2)), b"portable");
+
+    let fabric = Fabric::new(8);
+    let rt = Runtime::with_fabric(fabric.clone());
+    let c2 = crate::libos::catnip::Catnip::new(&rt, &fabric, MacAddress::from_last_octet(1), ip(1));
+    let s2 = crate::libos::catnip::Catnip::new(&rt, &fabric, MacAddress::from_last_octet(2), ip(2));
+    assert_eq!(echo_once(&c2, &s2, ip(1), ip(2)), b"portable");
+}
+
+#[test]
+fn kernel_charges_virtual_time() {
+    let (rt, client, server) = world();
+    let sqd = server.socket(SocketKind::Udp).unwrap();
+    server.bind(sqd, SocketAddr::new(ip(2), 7)).unwrap();
+    let cqd = client.socket(SocketKind::Udp).unwrap();
+    client.bind(cqd, SocketAddr::new(ip(1), 9000)).unwrap();
+    let t0 = rt.now();
+    client
+        .pushto(
+            cqd,
+            &Sga::from_slice(&[0u8; 1400]),
+            SocketAddr::new(ip(2), 7),
+        )
+        .unwrap();
+    let _ = server.blocking_pop(sqd).unwrap();
+    let elapsed = rt.now().saturating_since(t0);
+    // At minimum: the 1400-byte copies (~2×340ns) plus syscalls plus the
+    // 1µs link latency.
+    assert!(
+        elapsed.as_nanos() > 2_000,
+        "kernel path too cheap: {elapsed:?}"
+    );
+}

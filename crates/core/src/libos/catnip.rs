@@ -1,0 +1,479 @@
+//! `catnip`: the DPDK-class library OS.
+//!
+//! The device gives this libOS nothing but raw frames (paper Table 1,
+//! left column), so catnip supplies everything the kernel used to: the
+//! full [`net_stack`] (ARP/IPv4/UDP/TCP), buffer management from
+//! device-registered pools, and framing that preserves atomic data units
+//! over TCP's byte stream (§5.2). UDP queues map 1:1 onto datagrams; TCP
+//! queues carry length-prefixed messages so a pushed Sga pops as one
+//! element on the other side.
+//!
+//! Zero-copy: received payloads are [`demi_memory::DemiBuffer`] views into
+//! the device's mbufs; pushed buffers are handle-cloned into the stack
+//! (free-protection keeps them alive until the device is done).
+//!
+//! Offload: on a SmartNIC-configured port,
+//! [`LibOs::try_offload_filter`] compiles an Sga predicate into a
+//! device-side frame filter for the queue's UDP port (experiment E6).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use demi_memory::{DemiBuffer, MemoryManager};
+use demi_sched::yield_once;
+use dpdk_sim::{DpdkPort, NicProgram, PortConfig};
+use net_stack::framing::{encode_header, FrameDecoder};
+use net_stack::tcp::{ConnId, ListenerId, State};
+use net_stack::types::{NetError, SocketAddr};
+use net_stack::{NetworkStack, StackConfig};
+use sim_fabric::{DeviceCaps, Fabric, MacAddress};
+
+use crate::libos::{LibOs, LibOsKind, SocketKind};
+use crate::runtime::Runtime;
+use crate::types::{DemiError, OperationResult, QDesc, QToken, Sga};
+
+enum CatnipQueue {
+    UdpUnbound,
+    Udp {
+        port: u16,
+        remote: Option<SocketAddr>,
+    },
+    TcpUnbound {
+        bound: Option<SocketAddr>,
+    },
+    TcpListener {
+        listener: ListenerId,
+    },
+    TcpConn {
+        conn: ConnId,
+        decoder: Rc<RefCell<FrameDecoder>>,
+    },
+}
+
+struct Inner {
+    queues: HashMap<QDesc, CatnipQueue>,
+    next_qd: u32,
+}
+
+/// The DPDK-class libOS.
+#[derive(Clone)]
+pub struct Catnip {
+    runtime: Runtime,
+    stack: Rc<NetworkStack>,
+    port: DpdkPort,
+    memory: MemoryManager,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Catnip {
+    /// Creates a catnip instance on a plain (non-programmable) port.
+    pub fn new(runtime: &Runtime, fabric: &Fabric, mac: MacAddress, ip: Ipv4Addr) -> Self {
+        Self::with_port_config(runtime, fabric, PortConfig::basic(mac), ip)
+    }
+
+    /// Creates a catnip instance with an explicit port configuration
+    /// (e.g., SmartNIC program slots for offload experiments).
+    pub fn with_port_config(
+        runtime: &Runtime,
+        fabric: &Fabric,
+        port_config: PortConfig,
+        ip: Ipv4Addr,
+    ) -> Self {
+        let port = DpdkPort::new(fabric, port_config);
+        let stack = Rc::new(NetworkStack::new(
+            port.clone(),
+            fabric.clock(),
+            StackConfig::new(ip),
+        ));
+        // The libOS polls its device on every scheduler pass, and exposes
+        // its protocol timers for clock advancement.
+        let poll_stack = stack.clone();
+        runtime.register_poller(move || poll_stack.poll());
+        let deadline_stack = stack.clone();
+        runtime.register_deadline_source(move || deadline_stack.next_deadline());
+        Catnip {
+            runtime: runtime.clone(),
+            stack,
+            port,
+            memory: MemoryManager::warmed(),
+            inner: Rc::new(RefCell::new(Inner {
+                queues: HashMap::new(),
+                next_qd: 1,
+            })),
+        }
+    }
+
+    /// This host's IP address.
+    pub fn local_ip(&self) -> Ipv4Addr {
+        self.stack.local_ip()
+    }
+
+    /// The underlying stack (experiment instrumentation).
+    pub fn stack(&self) -> &NetworkStack {
+        &self.stack
+    }
+
+    /// The underlying device port (experiment instrumentation).
+    pub fn port(&self) -> &DpdkPort {
+        &self.port
+    }
+
+    /// The libOS memory manager (registration accounting, E5).
+    pub fn memory(&self) -> &MemoryManager {
+        &self.memory
+    }
+
+    fn alloc_qd(&self, q: CatnipQueue) -> QDesc {
+        let mut inner = self.inner.borrow_mut();
+        let qd = QDesc(inner.next_qd);
+        inner.next_qd += 1;
+        inner.queues.insert(qd, q);
+        qd
+    }
+
+    /// Flattens an Sga into one contiguous datagram payload. Single-seg
+    /// arrays pass through zero-copy; multi-seg arrays gather (counted).
+    fn gather(&self, sga: &Sga) -> DemiBuffer {
+        if sga.seg_count() == 1 {
+            return sga.segments()[0].clone();
+        }
+        self.runtime.metrics().count_copy(sga.len());
+        let mut buf = DemiBuffer::zeroed(sga.len());
+        let dst = buf.try_mut().expect("fresh buffer");
+        let mut off = 0;
+        for seg in sga.segments() {
+            dst[off..off + seg.len()].copy_from_slice(seg.as_slice());
+            off += seg.len();
+        }
+        buf
+    }
+}
+
+impl LibOs for Catnip {
+    fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    fn kind(&self) -> LibOsKind {
+        LibOsKind::Catnip
+    }
+
+    fn device_caps(&self) -> Option<DeviceCaps> {
+        Some(self.port.capabilities())
+    }
+
+    fn socket(&self, kind: SocketKind) -> Result<QDesc, DemiError> {
+        self.runtime.metrics().count_control_path_syscall();
+        Ok(match kind {
+            SocketKind::Udp => self.alloc_qd(CatnipQueue::UdpUnbound),
+            SocketKind::Tcp => self.alloc_qd(CatnipQueue::TcpUnbound { bound: None }),
+        })
+    }
+
+    fn bind(&self, qd: QDesc, addr: SocketAddr) -> Result<(), DemiError> {
+        self.runtime.metrics().count_control_path_syscall();
+        let mut inner = self.inner.borrow_mut();
+        match inner.queues.get_mut(&qd) {
+            Some(q @ CatnipQueue::UdpUnbound) => {
+                self.stack.udp_bind(addr.port)?;
+                *q = CatnipQueue::Udp {
+                    port: addr.port,
+                    remote: None,
+                };
+                Ok(())
+            }
+            Some(CatnipQueue::TcpUnbound { bound }) => {
+                *bound = Some(addr);
+                Ok(())
+            }
+            Some(_) => Err(DemiError::InvalidState),
+            None => Err(DemiError::BadQDesc),
+        }
+    }
+
+    fn listen(&self, qd: QDesc, backlog: usize) -> Result<(), DemiError> {
+        self.runtime.metrics().count_control_path_syscall();
+        let mut inner = self.inner.borrow_mut();
+        match inner.queues.get_mut(&qd) {
+            Some(q @ CatnipQueue::TcpUnbound { .. }) => {
+                let CatnipQueue::TcpUnbound { bound } = q else {
+                    unreachable!("matched above");
+                };
+                let addr = bound.ok_or(DemiError::InvalidState)?;
+                let listener = self.stack.tcp_listen(addr.port, backlog)?;
+                *q = CatnipQueue::TcpListener { listener };
+                Ok(())
+            }
+            Some(_) => Err(DemiError::InvalidState),
+            None => Err(DemiError::BadQDesc),
+        }
+    }
+
+    fn accept(&self, qd: QDesc) -> Result<QToken, DemiError> {
+        let listener = {
+            let inner = self.inner.borrow();
+            match inner.queues.get(&qd) {
+                Some(CatnipQueue::TcpListener { listener }) => *listener,
+                Some(_) => return Err(DemiError::InvalidState),
+                None => return Err(DemiError::BadQDesc),
+            }
+        };
+        let this = self.clone();
+        Ok(self.runtime.spawn_op("catnip::accept", async move {
+            loop {
+                match this.stack.tcp_accept(listener) {
+                    Ok(Some(conn)) => {
+                        let qd = this.alloc_qd(CatnipQueue::TcpConn {
+                            conn,
+                            decoder: Rc::new(RefCell::new(FrameDecoder::new())),
+                        });
+                        return OperationResult::Accept { qd };
+                    }
+                    Ok(None) => yield_once().await,
+                    Err(e) => return OperationResult::Failed(e.into()),
+                }
+            }
+        }))
+    }
+
+    fn connect(&self, qd: QDesc, remote: SocketAddr) -> Result<QToken, DemiError> {
+        let mut inner = self.inner.borrow_mut();
+        match inner.queues.get_mut(&qd) {
+            // UDP connect: record the default destination.
+            Some(q @ CatnipQueue::UdpUnbound) => {
+                let port = self.stack.udp_bind_ephemeral()?;
+                *q = CatnipQueue::Udp {
+                    port,
+                    remote: Some(remote),
+                };
+                drop(inner);
+                Ok(self
+                    .runtime
+                    .spawn_op("catnip::udp_connect", async { OperationResult::Connect }))
+            }
+            Some(CatnipQueue::Udp { remote: r, .. }) => {
+                *r = Some(remote);
+                drop(inner);
+                Ok(self
+                    .runtime
+                    .spawn_op("catnip::udp_connect", async { OperationResult::Connect }))
+            }
+            // TCP connect: initiate and watch the handshake.
+            Some(CatnipQueue::TcpUnbound { .. }) => {
+                let conn = self.stack.tcp_connect(remote)?;
+                inner.queues.insert(
+                    qd,
+                    CatnipQueue::TcpConn {
+                        conn,
+                        decoder: Rc::new(RefCell::new(FrameDecoder::new())),
+                    },
+                );
+                drop(inner);
+                let stack = self.stack.clone();
+                Ok(self.runtime.spawn_op("catnip::tcp_connect", async move {
+                    loop {
+                        match stack.tcp_state(conn) {
+                            Ok(State::Established) => return OperationResult::Connect,
+                            Ok(State::Closed) => {
+                                let err = stack
+                                    .tcp_error(conn)
+                                    .map(DemiError::Net)
+                                    .unwrap_or(DemiError::Closed);
+                                return OperationResult::Failed(err);
+                            }
+                            Ok(_) => yield_once().await,
+                            Err(e) => return OperationResult::Failed(e.into()),
+                        }
+                    }
+                }))
+            }
+            Some(_) => Err(DemiError::InvalidState),
+            None => Err(DemiError::BadQDesc),
+        }
+    }
+
+    fn close(&self, qd: QDesc) -> Result<(), DemiError> {
+        self.runtime.metrics().count_control_path_syscall();
+        let mut inner = self.inner.borrow_mut();
+        match inner.queues.remove(&qd) {
+            Some(CatnipQueue::Udp { port, .. }) => {
+                self.stack.udp_close(port);
+                Ok(())
+            }
+            Some(CatnipQueue::TcpConn { conn, .. }) => {
+                self.stack.tcp_close(conn)?;
+                Ok(())
+            }
+            Some(CatnipQueue::TcpListener { listener }) => {
+                self.stack.tcp_close_listener(listener);
+                Ok(())
+            }
+            Some(_) => Ok(()),
+            None => Err(DemiError::BadQDesc),
+        }
+    }
+
+    fn push(&self, qd: QDesc, sga: &Sga) -> Result<QToken, DemiError> {
+        self.runtime.metrics().count_push();
+        let inner = self.inner.borrow();
+        match inner.queues.get(&qd) {
+            Some(CatnipQueue::Udp { port, remote }) => {
+                let remote = remote.ok_or(DemiError::InvalidState)?;
+                let (port, payload) = (*port, self.gather(sga));
+                drop(inner);
+                self.stack.udp_sendto(port, remote, payload.as_slice())?;
+                Ok(self
+                    .runtime
+                    .spawn_op("catnip::udp_push", async { OperationResult::Push }))
+            }
+            Some(CatnipQueue::TcpConn { conn, .. }) => {
+                let conn = *conn;
+                drop(inner);
+                // Framing header, then each segment zero-copy (the stack
+                // holds buffer clones: free-protection in action).
+                let header = DemiBuffer::from_slice(&encode_header(sga.len()));
+                self.stack.tcp_send(conn, header)?;
+                for seg in sga.segments() {
+                    self.stack.tcp_send(conn, seg.clone())?;
+                }
+                Ok(self
+                    .runtime
+                    .spawn_op("catnip::tcp_push", async { OperationResult::Push }))
+            }
+            Some(_) => Err(DemiError::InvalidState),
+            None => Err(DemiError::BadQDesc),
+        }
+    }
+
+    fn pushto(&self, qd: QDesc, sga: &Sga, to: SocketAddr) -> Result<QToken, DemiError> {
+        self.runtime.metrics().count_push();
+        let inner = self.inner.borrow();
+        match inner.queues.get(&qd) {
+            Some(CatnipQueue::Udp { port, .. }) => {
+                let (port, payload) = (*port, self.gather(sga));
+                drop(inner);
+                self.stack.udp_sendto(port, to, payload.as_slice())?;
+                Ok(self
+                    .runtime
+                    .spawn_op("catnip::udp_pushto", async { OperationResult::Push }))
+            }
+            Some(_) => Err(DemiError::InvalidState),
+            None => Err(DemiError::BadQDesc),
+        }
+    }
+
+    fn pop(&self, qd: QDesc) -> Result<QToken, DemiError> {
+        self.runtime.metrics().count_pop();
+        let inner = self.inner.borrow();
+        match inner.queues.get(&qd) {
+            Some(CatnipQueue::Udp { port, .. }) => {
+                let port = *port;
+                let stack = self.stack.clone();
+                drop(inner);
+                Ok(self.runtime.spawn_op("catnip::udp_pop", async move {
+                    loop {
+                        if let Some((from, payload)) = stack.udp_recv_from(port) {
+                            return OperationResult::Pop {
+                                from: Some(from),
+                                sga: Sga::from_bufs(vec![payload]),
+                            };
+                        }
+                        yield_once().await;
+                    }
+                }))
+            }
+            Some(CatnipQueue::TcpConn { conn, decoder }) => {
+                let conn = *conn;
+                let decoder = decoder.clone();
+                let stack = self.stack.clone();
+                drop(inner);
+                Ok(self.runtime.spawn_op("catnip::tcp_pop", async move {
+                    loop {
+                        // Drain arrived stream chunks into the framer.
+                        loop {
+                            match stack.tcp_recv(conn) {
+                                Ok(Some(chunk)) => decoder.borrow_mut().push_chunk(chunk),
+                                Ok(None) => break,
+                                Err(e) => return OperationResult::Failed(e.into()),
+                            }
+                        }
+                        // Pop a complete atomic unit only (paper §4.2).
+                        match decoder.borrow_mut().next_message() {
+                            Ok(Some(msg)) => {
+                                return OperationResult::Pop {
+                                    from: None,
+                                    sga: Sga::from_bufs(vec![msg]),
+                                };
+                            }
+                            Ok(None) => {}
+                            Err(e) => return OperationResult::Failed(e.into()),
+                        }
+                        if stack.tcp_eof(conn) && decoder.borrow().buffered_bytes() == 0 {
+                            return OperationResult::Failed(DemiError::Closed);
+                        }
+                        yield_once().await;
+                    }
+                }))
+            }
+            Some(_) => Err(DemiError::InvalidState),
+            None => Err(DemiError::BadQDesc),
+        }
+    }
+
+    fn sgaalloc(&self, len: usize) -> Sga {
+        Sga::from_bufs(vec![self.memory.alloc(len)])
+    }
+
+    fn try_offload_filter(&self, qd: QDesc, pred: Rc<dyn Fn(&Sga) -> bool>) -> bool {
+        let inner = self.inner.borrow();
+        let Some(CatnipQueue::Udp { port, .. }) = inner.queues.get(&qd) else {
+            return false;
+        };
+        let udp_port = *port;
+        drop(inner);
+        // Compile the Sga predicate into a raw-frame program: non-UDP
+        // traffic and other ports pass untouched; matching datagrams are
+        // kept only if the predicate holds on their payload.
+        let program = NicProgram::Filter {
+            predicate: Rc::new(
+                move |frame: &[u8]| match udp_payload_for_port(frame, udp_port) {
+                    Some(payload) => pred(&Sga::from_slice(payload)),
+                    None => true,
+                },
+            ),
+            cycles_per_frame: 50,
+        };
+        self.port.install_program(program).is_ok()
+    }
+}
+
+/// Extracts the UDP payload if `frame` is an IPv4/UDP frame addressed to
+/// `port`; `None` lets unrelated traffic pass the filter.
+fn udp_payload_for_port(frame: &[u8], port: u16) -> Option<&[u8]> {
+    if frame.len() < 42 || frame[12] != 0x08 || frame[13] != 0x00 {
+        return None; // Not IPv4.
+    }
+    let ip = &frame[14..];
+    if ip[0] != 0x45 || ip[9] != 17 {
+        return None; // Options or not UDP.
+    }
+    let udp = &ip[20..];
+    let dst_port = u16::from_be_bytes([udp[2], udp[3]]);
+    if dst_port != port {
+        return None;
+    }
+    let udp_len = u16::from_be_bytes([udp[4], udp[5]]) as usize;
+    udp.get(8..udp_len)
+}
+
+/// Maps stack errors into Demikernel errors (convenience for coroutines).
+impl From<NetError> for OperationResult {
+    fn from(e: NetError) -> Self {
+        OperationResult::Failed(DemiError::Net(e))
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,139 @@
+//! Exact data-path accounting for the experiments.
+//!
+//! The paper's claims are about *counted* costs: kernel crossings per I/O
+//! (Fig. 1 / E1), copies (E2), and wakeups (E4). Every libOS carries a
+//! [`Metrics`] handle and the experiment harness reads it. A kernel-bypass
+//! libOS never increments `data_path_syscalls`; the catnap baseline
+//! delegates to the simulated kernel's own counters.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared counter block (cheap to clone; one per libOS instance).
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Rc<RefCell<MetricsInner>>,
+}
+
+/// Counter snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Kernel crossings on the data path (push/pop/wait). Zero for every
+    /// kernel-bypass libOS — the point of Fig. 1.
+    pub data_path_syscalls: u64,
+    /// Control-path kernel interactions (device setup, listen, connect
+    /// bookkeeping): allowed by the architecture (Fig. 2).
+    pub control_path_syscalls: u64,
+    /// Payload copies performed by the libOS.
+    pub copies: u64,
+    /// Bytes moved by those copies.
+    pub bytes_copied: u64,
+    /// `wait`/`wait_any` returns that delivered a completion.
+    pub wakeups: u64,
+    /// Completions delivered along with their data (always equal to
+    /// `wakeups` for Demikernel; the epoll baseline needs extra syscalls).
+    pub wakeups_with_data: u64,
+    /// Push operations started.
+    pub pushes: u64,
+    /// Pop operations started.
+    pub pops: u64,
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    snap: MetricsSnapshot,
+}
+
+impl Metrics {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a data-path kernel crossing (never called by bypass
+    /// libOSes; exists so the baseline adapter can be honest).
+    pub fn count_data_path_syscall(&self) {
+        self.inner.borrow_mut().snap.data_path_syscalls += 1;
+    }
+
+    /// Records a control-path kernel interaction.
+    pub fn count_control_path_syscall(&self) {
+        self.inner.borrow_mut().snap.control_path_syscalls += 1;
+    }
+
+    /// Records a libOS payload copy.
+    pub fn count_copy(&self, bytes: usize) {
+        let mut inner = self.inner.borrow_mut();
+        inner.snap.copies += 1;
+        inner.snap.bytes_copied += bytes as u64;
+    }
+
+    /// Records a completed wait that handed data to the application.
+    pub fn count_wakeup(&self, with_data: bool) {
+        let mut inner = self.inner.borrow_mut();
+        inner.snap.wakeups += 1;
+        if with_data {
+            inner.snap.wakeups_with_data += 1;
+        }
+    }
+
+    /// Records a push submission.
+    pub fn count_push(&self) {
+        self.inner.borrow_mut().snap.pushes += 1;
+    }
+
+    /// Records a pop submission.
+    pub fn count_pop(&self) {
+        self.inner.borrow_mut().snap.pops += 1;
+    }
+
+    /// Snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.borrow().snap
+    }
+
+    /// Zeroes the counters (between experiment phases).
+    pub fn reset(&self) {
+        self.inner.borrow_mut().snap = MetricsSnapshot::default();
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Metrics({:?})", self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = Metrics::new();
+        m.count_push();
+        m.count_pop();
+        m.count_copy(4096);
+        m.count_wakeup(true);
+        m.count_wakeup(false);
+        m.count_control_path_syscall();
+        let s = m.snapshot();
+        assert_eq!(s.pushes, 1);
+        assert_eq!(s.pops, 1);
+        assert_eq!(s.copies, 1);
+        assert_eq!(s.bytes_copied, 4096);
+        assert_eq!(s.wakeups, 2);
+        assert_eq!(s.wakeups_with_data, 1);
+        assert_eq!(s.data_path_syscalls, 0, "bypass path never crosses");
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m.count_push();
+        assert_eq!(m2.snapshot().pushes, 1);
+    }
+}

@@ -1,0 +1,516 @@
+//! The shared coroutine runtime behind qtokens and `wait_*`.
+//!
+//! Every queue operation a libOS starts becomes a coroutine in this
+//! runtime; the returned [`QToken`] names the task, and
+//! [`Runtime::wait`] / [`Runtime::wait_any`] / [`Runtime::wait_all`]
+//! drive the world until the named operations complete (paper §4.4).
+//!
+//! One `Runtime` is shared by every libOS instance in a simulation:
+//! client and server co-run as coroutines on one virtual CPU, and when
+//! every task is blocked the runtime advances virtual time to the next
+//! event — a fabric delivery, a protocol timer, or a device completion
+//! (registered as *deadline sources*).
+//!
+//! `wait` gives the paper's two improvements over epoll by construction:
+//! it returns the completed operation's data directly (no second syscall),
+//! and exactly one waiter resolves per completion (each qtoken names one
+//! operation).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::future::Future;
+use std::rc::Rc;
+
+use demi_sched::{Scheduler, TaskHandle, TimerService};
+use sim_fabric::{Fabric, SimClock, SimTime};
+
+use crate::metrics::Metrics;
+use crate::types::{DemiError, OperationResult, QToken};
+
+/// Iterations without any completion or clock movement before `wait`
+/// declares the simulation deadlocked.
+const SPIN_LIMIT: u32 = 100_000;
+
+/// A device-poll hook run on every scheduler pass.
+type Poller = Box<dyn Fn()>;
+/// A source of timer deadlines consulted when all tasks block.
+type DeadlineSource = Box<dyn Fn() -> Option<SimTime>>;
+
+struct Inner {
+    scheduler: Scheduler,
+    clock: SimClock,
+    timers: TimerService,
+    fabric: Option<Fabric>,
+    pollers: RefCell<Vec<Poller>>,
+    deadline_sources: RefCell<Vec<DeadlineSource>>,
+    qts: RefCell<HashMap<QToken, TaskHandle<OperationResult>>>,
+    next_qt: Cell<u64>,
+    metrics: Metrics,
+}
+
+/// The shared runtime (cheaply cloneable handle).
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Rc<Inner>,
+}
+
+impl Runtime {
+    /// A runtime with its own fresh clock (catmem/catfs worlds).
+    pub fn new() -> Self {
+        Self::build(SimClock::new(), None)
+    }
+
+    /// A runtime sharing a fabric's clock; blocked waits advance the
+    /// fabric's event queue.
+    pub fn with_fabric(fabric: Fabric) -> Self {
+        Self::build(fabric.clock(), Some(fabric))
+    }
+
+    /// A runtime on an existing clock (e.g., rebuilding a libOS over a
+    /// device that outlives its first runtime).
+    pub fn with_clock(clock: SimClock) -> Self {
+        Self::build(clock, None)
+    }
+
+    fn build(clock: SimClock, fabric: Option<Fabric>) -> Self {
+        Runtime {
+            inner: Rc::new(Inner {
+                scheduler: Scheduler::new(),
+                timers: TimerService::new(clock.clone()),
+                clock,
+                fabric,
+                pollers: RefCell::new(Vec::new()),
+                deadline_sources: RefCell::new(Vec::new()),
+                qts: RefCell::new(HashMap::new()),
+                next_qt: Cell::new(1),
+                metrics: Metrics::new(),
+            }),
+        }
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.clock.now()
+    }
+
+    /// Virtual-time timers for libOS coroutines.
+    pub fn timers(&self) -> &TimerService {
+        &self.inner.timers
+    }
+
+    /// The coroutine scheduler (for spawning background service loops).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.inner.scheduler
+    }
+
+    /// Data-path metrics shared by every libOS on this runtime.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Registers a function run on every scheduler pass (device RX pumps,
+    /// stack `poll()`s).
+    pub fn register_poller(&self, poller: impl Fn() + 'static) {
+        self.inner.pollers.borrow_mut().push(Box::new(poller));
+    }
+
+    /// Registers a source of timer deadlines consulted when all tasks are
+    /// blocked (TCP RTO, device completion times, ...).
+    pub fn register_deadline_source(&self, source: impl Fn() -> Option<SimTime> + 'static) {
+        self.inner
+            .deadline_sources
+            .borrow_mut()
+            .push(Box::new(source));
+    }
+
+    /// Spawns a queue-operation coroutine and returns its qtoken.
+    pub fn spawn_op<F>(&self, name: &'static str, op: F) -> QToken
+    where
+        F: Future<Output = OperationResult> + 'static,
+    {
+        let qt = QToken(self.inner.next_qt.get());
+        self.inner.next_qt.set(qt.0 + 1);
+        let handle = self.inner.scheduler.spawn(name, op);
+        self.inner.qts.borrow_mut().insert(qt, handle);
+        qt
+    }
+
+    /// Spawns a detached background coroutine (service loops, `qconnect`).
+    pub fn spawn_background<F>(&self, name: &'static str, task: F)
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        let _ = self.inner.scheduler.spawn(name, task);
+    }
+
+    /// One cooperative pass: deliver due frames, run device pollers, then
+    /// every live coroutine. Returns the number of tasks that completed.
+    ///
+    /// Frame delivery must happen here and not only in the internal advance
+    /// because virtual time also moves through *cost charges* (the
+    /// simulated kernel charging syscall/copy time); frames whose delivery
+    /// instant has been passed that way must still arrive promptly.
+    pub fn pump(&self) -> usize {
+        if let Some(fabric) = &self.inner.fabric {
+            fabric.deliver_due();
+        }
+        for poller in self.inner.pollers.borrow().iter() {
+            poller();
+        }
+        self.inner.scheduler.poll_once()
+    }
+
+    /// Advances virtual time to the earliest pending event, bounded by
+    /// `limit`. Returns `false` when nothing can advance.
+    fn advance(&self, limit: Option<SimTime>) -> bool {
+        let now = self.inner.clock.now();
+        // Frames already due (their delivery instant was passed by a cost
+        // charge) are pending work, not a reason to jump the clock: deliver
+        // them and report progress so the next pump processes them.
+        if let Some(fabric) = &self.inner.fabric {
+            if fabric.next_event_time().is_some_and(|t| t <= now) {
+                fabric.deliver_due();
+                return true;
+            }
+        }
+        let mut earliest: Option<SimTime> = None;
+        let mut consider = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                if t > now {
+                    earliest = Some(match earliest {
+                        Some(e) => e.min(t),
+                        None => t,
+                    });
+                }
+            }
+        };
+        if let Some(fabric) = &self.inner.fabric {
+            consider(fabric.next_event_time());
+        }
+        consider(self.inner.timers.earliest_deadline());
+        for source in self.inner.deadline_sources.borrow().iter() {
+            consider(source());
+        }
+        let mut target = match (earliest, limit) {
+            (Some(t), _) => t,
+            // Nothing else pending, but the caller has a wait deadline:
+            // advance straight to it so the timeout can fire.
+            (None, Some(limit)) if limit > now => limit,
+            _ => return false,
+        };
+        if let Some(limit) = limit {
+            if limit < target {
+                // The wait deadline comes first; advance exactly to it so
+                // the timeout fires without skipping events.
+                target = limit;
+            }
+        }
+        self.inner.clock.advance_to(target);
+        if let Some(fabric) = &self.inner.fabric {
+            fabric.deliver_due();
+        }
+        true
+    }
+
+    fn take_if_complete(&self, qt: QToken) -> Option<OperationResult> {
+        let mut qts = self.inner.qts.borrow_mut();
+        let handle = qts.get(&qt)?;
+        if !handle.is_complete() {
+            return None;
+        }
+        let handle = qts.remove(&qt).expect("checked present");
+        handle.take_result()
+    }
+
+    fn known(&self, qt: QToken) -> bool {
+        self.inner.qts.borrow().contains_key(&qt)
+    }
+
+    /// Blocks (cooperatively) until the operation named by `qt` completes.
+    ///
+    /// Returns the operation's result *with its data* — no follow-up call
+    /// is needed. `timeout` of `None` waits forever (bounded by deadlock
+    /// detection).
+    pub fn wait(&self, qt: QToken, timeout: Option<SimTime>) -> Result<OperationResult, DemiError> {
+        match self.wait_any(&[qt], timeout) {
+            Ok((0, result)) => Ok(result),
+            Ok(_) => unreachable!("single-token wait resolves index 0"),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Waits for the first of `qts` to complete; returns its index and
+    /// result (the paper's improved epoll, §4.4). Completed tokens are
+    /// consumed; the rest stay valid.
+    pub fn wait_any(
+        &self,
+        qts: &[QToken],
+        timeout: Option<SimTime>,
+    ) -> Result<(usize, OperationResult), DemiError> {
+        for &qt in qts {
+            if !self.known(qt) {
+                return Err(DemiError::BadQToken);
+            }
+        }
+        let deadline = timeout.map(|d| self.now().saturating_add(d));
+        let mut spins = 0u32;
+        loop {
+            let completed = self.pump();
+            for (i, &qt) in qts.iter().enumerate() {
+                if let Some(result) = self.take_if_complete(qt) {
+                    self.inner
+                        .metrics
+                        .count_wakeup(matches!(result, OperationResult::Pop { .. }));
+                    return Ok((i, result));
+                }
+            }
+            if let Some(deadline) = deadline {
+                if self.now() >= deadline {
+                    return Err(DemiError::Timeout);
+                }
+            }
+            let before = self.now();
+            let advanced = self.advance(deadline);
+            if completed == 0 && !advanced && self.now() == before {
+                spins += 1;
+                if spins > SPIN_LIMIT {
+                    return Err(DemiError::Deadlock);
+                }
+            } else {
+                spins = 0;
+            }
+        }
+    }
+
+    /// Waits until *all* of `qts` complete (or the timeout expires).
+    /// Results are returned in token order.
+    pub fn wait_all(
+        &self,
+        qts: &[QToken],
+        timeout: Option<SimTime>,
+    ) -> Result<Vec<OperationResult>, DemiError> {
+        let deadline = timeout.map(|d| self.now().saturating_add(d));
+        let mut results: Vec<Option<OperationResult>> = vec![None; qts.len()];
+        let mut remaining: Vec<(usize, QToken)> = qts.iter().copied().enumerate().collect();
+        while !remaining.is_empty() {
+            let tokens: Vec<QToken> = remaining.iter().map(|&(_, qt)| qt).collect();
+            let left = deadline.map(|d| d.saturating_since(self.now()));
+            if let Some(l) = left {
+                if l == SimTime::ZERO {
+                    return Err(DemiError::Timeout);
+                }
+            }
+            let (idx, result) = self.wait_any(&tokens, left)?;
+            let (orig, _) = remaining.remove(idx);
+            results[orig] = Some(result);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect())
+    }
+
+    /// Number of unresolved qtokens (diagnostics).
+    pub fn outstanding(&self) -> usize {
+        self.inner.qts.borrow().len()
+    }
+
+    /// A future resolving when the operation named by `qt` completes —
+    /// the coroutine-level counterpart of [`Runtime::wait`], used by queue
+    /// transformations to compose operations inside the scheduler.
+    ///
+    /// Resolves to `Failed(BadQToken)` for unknown/consumed tokens.
+    pub fn await_op(&self, qt: QToken) -> OpFuture {
+        OpFuture {
+            runtime: self.clone(),
+            qt,
+        }
+    }
+}
+
+/// Future returned by [`Runtime::await_op`].
+pub struct OpFuture {
+    runtime: Runtime,
+    qt: QToken,
+}
+
+impl Future for OpFuture {
+    type Output = OperationResult;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<OperationResult> {
+        if !self.runtime.known(self.qt) {
+            return std::task::Poll::Ready(OperationResult::Failed(DemiError::BadQToken));
+        }
+        match self.runtime.take_if_complete(self.qt) {
+            Some(result) => std::task::Poll::Ready(result),
+            None => std::task::Poll::Pending,
+        }
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Runtime(now={:?}, outstanding={})",
+            self.now(),
+            self.outstanding()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Sga;
+    use demi_sched::yield_once;
+
+    #[test]
+    fn wait_returns_result_directly() {
+        let rt = Runtime::new();
+        let qt = rt.spawn_op("instant", async { OperationResult::Push });
+        let result = rt.wait(qt, None).unwrap();
+        assert!(matches!(result, OperationResult::Push));
+        assert_eq!(rt.outstanding(), 0);
+    }
+
+    #[test]
+    fn waiting_twice_on_one_token_is_an_error() {
+        let rt = Runtime::new();
+        let qt = rt.spawn_op("instant", async { OperationResult::Push });
+        rt.wait(qt, None).unwrap();
+        assert_eq!(rt.wait(qt, None), Err(DemiError::BadQToken));
+    }
+
+    #[test]
+    fn wait_any_resolves_exactly_one() {
+        let rt = Runtime::new();
+        let slow = rt.spawn_op("slow", async {
+            for _ in 0..10 {
+                yield_once().await;
+            }
+            OperationResult::Push
+        });
+        let fast = rt.spawn_op("fast", async {
+            OperationResult::Pop {
+                from: None,
+                sga: Sga::from_slice(b"data"),
+            }
+        });
+        let (idx, result) = rt.wait_any(&[slow, fast], None).unwrap();
+        assert_eq!(idx, 1);
+        let (_, sga) = result.expect_pop();
+        assert_eq!(sga.to_vec(), b"data");
+        // The slow token is still valid and waitable.
+        assert!(matches!(
+            rt.wait(slow, None).unwrap(),
+            OperationResult::Push
+        ));
+    }
+
+    #[test]
+    fn wait_all_returns_in_token_order() {
+        let rt = Runtime::new();
+        let a = rt.spawn_op("a", async {
+            for _ in 0..5 {
+                yield_once().await;
+            }
+            OperationResult::Connect
+        });
+        let b = rt.spawn_op("b", async { OperationResult::Push });
+        let results = rt.wait_all(&[a, b], None).unwrap();
+        assert!(matches!(results[0], OperationResult::Connect));
+        assert!(matches!(results[1], OperationResult::Push));
+    }
+
+    #[test]
+    fn timeout_fires_in_virtual_time() {
+        let rt = Runtime::new();
+        let timers = rt.timers().clone();
+        let qt = rt.spawn_op("sleepy", async move {
+            timers.sleep(SimTime::from_millis(10)).await;
+            OperationResult::Push
+        });
+        // 1ms timeout on a 10ms sleep: times out, token stays valid.
+        assert_eq!(
+            rt.wait(qt, Some(SimTime::from_millis(1))),
+            Err(DemiError::Timeout)
+        );
+        // Waiting again without timeout completes at the 10ms mark.
+        let result = rt.wait(qt, None).unwrap();
+        assert!(matches!(result, OperationResult::Push));
+        assert_eq!(rt.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn blocked_wait_advances_virtual_time_through_timers() {
+        let rt = Runtime::new();
+        let timers = rt.timers().clone();
+        let qt = rt.spawn_op("timer", async move {
+            timers.sleep(SimTime::from_micros(500)).await;
+            OperationResult::Push
+        });
+        rt.wait(qt, None).unwrap();
+        assert_eq!(rt.now(), SimTime::from_micros(500));
+    }
+
+    #[test]
+    fn deadlock_is_detected_not_spun_forever() {
+        let rt = Runtime::new();
+        let qt = rt.spawn_op("stuck", std::future::pending());
+        assert_eq!(rt.wait(qt, None), Err(DemiError::Deadlock));
+    }
+
+    #[test]
+    fn unknown_token_is_rejected() {
+        let rt = Runtime::new();
+        assert_eq!(rt.wait(QToken(999), None), Err(DemiError::BadQToken));
+    }
+
+    #[test]
+    fn wakeups_are_counted_once_per_completion() {
+        let rt = Runtime::new();
+        let qt = rt.spawn_op("op", async {
+            OperationResult::Pop {
+                from: None,
+                sga: Sga::from_slice(b"x"),
+            }
+        });
+        rt.wait(qt, None).unwrap();
+        let m = rt.metrics().snapshot();
+        assert_eq!(m.wakeups, 1);
+        assert_eq!(m.wakeups_with_data, 1);
+    }
+
+    #[test]
+    fn deadline_sources_drive_advancement() {
+        let rt = Runtime::new();
+        let fire_at = SimTime::from_micros(42);
+        rt.register_deadline_source(move || Some(fire_at));
+        let clock = rt.clock().clone();
+        let qt = rt.spawn_op("ext", async move {
+            loop {
+                if clock.now() >= fire_at {
+                    return OperationResult::Push;
+                }
+                yield_once().await;
+            }
+        });
+        rt.wait(qt, None).unwrap();
+        assert_eq!(rt.now(), fire_at);
+    }
+}

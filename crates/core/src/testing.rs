@@ -1,0 +1,97 @@
+//! World builders shared by integration tests, examples, and benches.
+//!
+//! Every world follows one convention: hosts are numbered by last octet —
+//! host *n* is `10.0.0.n` at MAC `02:00:00:00:00:0n` — and client/server
+//! co-run as coroutines on one shared [`Runtime`].
+
+use std::net::Ipv4Addr;
+
+use sim_fabric::{Fabric, MacAddress};
+use spdk_sim::nvme::{NvmeConfig, NvmeDevice};
+
+use crate::libos::catcorn::Catcorn;
+use crate::libos::catfs::Catfs;
+use crate::libos::catmem::Catmem;
+use crate::libos::catnap::Catnap;
+use crate::libos::catnip::Catnip;
+use crate::runtime::Runtime;
+
+/// Host *n*'s IPv4 address.
+pub fn host_ip(n: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, n)
+}
+
+/// Host *n*'s MAC address.
+pub fn host_mac(n: u8) -> MacAddress {
+    MacAddress::from_last_octet(n)
+}
+
+/// Two catnip hosts (1 = client, 2 = server) on a fresh fabric.
+pub fn catnip_pair(seed: u64) -> (Runtime, Fabric, Catnip, Catnip) {
+    let fabric = Fabric::new(seed);
+    let rt = Runtime::with_fabric(fabric.clone());
+    let client = Catnip::new(&rt, &fabric, host_mac(1), host_ip(1));
+    let server = Catnip::new(&rt, &fabric, host_mac(2), host_ip(2));
+    (rt, fabric, client, server)
+}
+
+/// Two catnap (kernel-baseline) hosts on a fresh fabric.
+pub fn catnap_pair(seed: u64) -> (Runtime, Fabric, Catnap, Catnap) {
+    let fabric = Fabric::new(seed);
+    let rt = Runtime::with_fabric(fabric.clone());
+    let client = Catnap::new(&rt, &fabric, host_mac(1), host_ip(1));
+    let server = Catnap::new(&rt, &fabric, host_mac(2), host_ip(2));
+    (rt, fabric, client, server)
+}
+
+/// Two catcorn (RDMA) hosts on a fresh fabric.
+pub fn catcorn_pair(seed: u64) -> (Runtime, Fabric, Catcorn, Catcorn) {
+    let fabric = Fabric::new(seed);
+    let rt = Runtime::with_fabric(fabric.clone());
+    let client = Catcorn::new(&rt, &fabric, host_mac(1));
+    let server = Catcorn::new(&rt, &fabric, host_mac(2));
+    (rt, fabric, client, server)
+}
+
+/// A catmem instance on a standalone runtime.
+pub fn catmem_world() -> (Runtime, Catmem) {
+    let rt = Runtime::new();
+    let libos = Catmem::new(&rt);
+    (rt, libos)
+}
+
+/// A catfs instance on a fresh simulated NVMe device.
+pub fn catfs_world() -> (Runtime, Catfs, NvmeDevice) {
+    let rt = Runtime::new();
+    let device = NvmeDevice::new(rt.clock().clone(), NvmeConfig::default());
+    let catfs = Catfs::new(&rt, device.clone());
+    (rt, catfs, device)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::libos::{LibOs, SocketKind};
+    use crate::types::Sga;
+    use net_stack::types::SocketAddr;
+
+    #[test]
+    fn worlds_construct_and_exchange() {
+        let (_rt, _fabric, client, server) = catnip_pair(1);
+        let sqd = server.socket(SocketKind::Udp).unwrap();
+        server.bind(sqd, SocketAddr::new(host_ip(2), 7)).unwrap();
+        let cqd = client.socket(SocketKind::Udp).unwrap();
+        client.bind(cqd, SocketAddr::new(host_ip(1), 9000)).unwrap();
+        client
+            .pushto(cqd, &Sga::from_slice(b"hi"), SocketAddr::new(host_ip(2), 7))
+            .unwrap();
+        let (_, sga) = server.blocking_pop(sqd).unwrap().expect_pop();
+        assert_eq!(sga.to_vec(), b"hi");
+    }
+
+    #[test]
+    fn addressing_convention_is_consistent() {
+        assert_eq!(host_ip(7).octets()[3], 7);
+        assert_eq!(host_mac(7), MacAddress::from_last_octet(7));
+    }
+}

@@ -1,0 +1,358 @@
+//! The reference-counted zero-copy buffer.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::ops::Deref;
+use std::rc::{Rc, Weak};
+
+use crate::pool::PoolInner;
+
+/// Where a buffer's storage returns when its last handle drops.
+pub(crate) struct PoolHome {
+    pub(crate) pool: Weak<RefCell<PoolInner>>,
+    pub(crate) class: usize,
+}
+
+pub(crate) struct BufInner {
+    /// `None` only transiently during drop, when storage is being returned
+    /// to its pool.
+    storage: Option<Box<[u8]>>,
+    home: Option<PoolHome>,
+}
+
+impl Drop for BufInner {
+    fn drop(&mut self) {
+        if let (Some(storage), Some(home)) = (self.storage.take(), self.home.take()) {
+            if let Some(pool) = home.pool.upgrade() {
+                pool.borrow_mut().recycle(home.class, storage);
+            }
+            // Pool already gone: storage simply deallocates.
+        }
+    }
+}
+
+/// A reference-counted byte buffer with cheap sub-slicing.
+///
+/// `DemiBuffer` is the unit of zero-copy I/O: the same underlying storage is
+/// shared (by handle clone) between the application, protocol layers, and
+/// simulated devices, so data is never copied as it moves through the stack.
+///
+/// **Free-protection** (paper §4.5): "freeing" a buffer is dropping a
+/// handle. Storage is reclaimed — returned to its pool — only when the last
+/// handle (including any held by an in-flight device operation) drops.
+///
+/// **No write-protection** (paper §4.5): mutation requires exclusive
+/// ownership via [`DemiBuffer::try_mut`]; shared buffers are read-only
+/// through the safe API, so applications follow the allocate-new-buffer
+/// discipline the paper describes for Redis.
+pub struct DemiBuffer {
+    inner: Rc<BufInner>,
+    off: usize,
+    len: usize,
+}
+
+impl DemiBuffer {
+    /// Creates an unpooled buffer holding a copy of `data`.
+    pub fn from_slice(data: &[u8]) -> Self {
+        DemiBuffer {
+            inner: Rc::new(BufInner {
+                storage: Some(data.to_vec().into_boxed_slice()),
+                home: None,
+            }),
+            off: 0,
+            len: data.len(),
+        }
+    }
+
+    /// Creates an unpooled, zero-filled buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        DemiBuffer {
+            inner: Rc::new(BufInner {
+                storage: Some(vec![0u8; len].into_boxed_slice()),
+                home: None,
+            }),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Wraps pool-owned storage; the view initially covers `len` bytes.
+    pub(crate) fn from_pool(storage: Box<[u8]>, len: usize, home: PoolHome) -> Self {
+        debug_assert!(len <= storage.len());
+        DemiBuffer {
+            inner: Rc::new(BufInner {
+                storage: Some(storage),
+                home: Some(home),
+            }),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Bytes visible through this handle.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total capacity of the underlying storage (the size class for pooled
+    /// buffers).
+    pub fn capacity(&self) -> usize {
+        self.storage().len()
+    }
+
+    /// The bytes of this view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.storage()[self.off..self.off + self.len]
+    }
+
+    /// Copies the view into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Mutable access to the view, available only while this is the sole
+    /// handle to the storage (no device or other component holds a clone).
+    ///
+    /// Returns `None` when the buffer is shared — the caller should allocate
+    /// a fresh buffer instead, exactly the paper's recommended discipline.
+    pub fn try_mut(&mut self) -> Option<&mut [u8]> {
+        let off = self.off;
+        let len = self.len;
+        let inner = Rc::get_mut(&mut self.inner)?;
+        let storage = inner
+            .storage
+            .as_mut()
+            .expect("storage present outside drop");
+        Some(&mut storage[off..off + len])
+    }
+
+    /// Number of live handles to the underlying storage. A value above 1
+    /// means a device or another component still references the memory.
+    pub fn handle_count(&self) -> usize {
+        Rc::strong_count(&self.inner)
+    }
+
+    /// Whether two handles share storage.
+    pub fn same_storage(&self, other: &DemiBuffer) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// A new handle viewing `[start, end)` of this view (zero-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, start: usize, end: usize) -> DemiBuffer {
+        assert!(start <= end && end <= self.len, "slice out of bounds");
+        DemiBuffer {
+            inner: self.inner.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Shrinks the view to its first `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(len <= self.len, "truncate beyond view");
+        self.len = len;
+    }
+
+    /// Drops the first `n` bytes from the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len, "advance beyond view");
+        self.off += n;
+        self.len -= n;
+    }
+
+    /// Grows the view toward the storage capacity (used by devices that
+    /// fill a freshly allocated buffer and then publish its true length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting view would exceed capacity.
+    pub fn set_len(&mut self, len: usize) {
+        assert!(
+            self.off + len <= self.storage().len(),
+            "set_len beyond capacity"
+        );
+        self.len = len;
+    }
+
+    fn storage(&self) -> &[u8] {
+        self.inner
+            .storage
+            .as_ref()
+            .expect("storage present outside drop")
+    }
+}
+
+impl Clone for DemiBuffer {
+    /// Clones the *handle*; storage is shared, not copied.
+    fn clone(&self) -> Self {
+        DemiBuffer {
+            inner: self.inner.clone(),
+            off: self.off,
+            len: self.len,
+        }
+    }
+}
+
+impl Deref for DemiBuffer {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for DemiBuffer {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for DemiBuffer {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for DemiBuffer {}
+
+impl fmt::Debug for DemiBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DemiBuffer(len={}, handles={})",
+            self.len,
+            self.handle_count()
+        )
+    }
+}
+
+impl From<&[u8]> for DemiBuffer {
+    fn from(data: &[u8]) -> Self {
+        DemiBuffer::from_slice(data)
+    }
+}
+
+impl From<Vec<u8>> for DemiBuffer {
+    fn from(data: Vec<u8>) -> Self {
+        let len = data.len();
+        DemiBuffer {
+            inner: Rc::new(BufInner {
+                storage: Some(data.into_boxed_slice()),
+                home: None,
+            }),
+            off: 0,
+            len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slice_round_trips() {
+        let b = DemiBuffer::from_slice(b"hello");
+        assert_eq!(b.as_slice(), b"hello");
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        assert_eq!(b.to_vec(), b"hello".to_vec());
+    }
+
+    #[test]
+    fn clone_shares_storage_without_copying() {
+        let a = DemiBuffer::from_slice(b"shared");
+        let b = a.clone();
+        assert!(a.same_storage(&b));
+        assert_eq!(a.handle_count(), 2);
+        assert_eq!(b.as_slice(), b"shared");
+    }
+
+    #[test]
+    fn try_mut_requires_exclusivity() {
+        let mut a = DemiBuffer::from_slice(b"abc");
+        {
+            let s = a.try_mut().expect("sole handle");
+            s[0] = b'x';
+        }
+        assert_eq!(a.as_slice(), b"xbc");
+
+        let b = a.clone();
+        assert!(a.try_mut().is_none(), "shared buffer must not be mutable");
+        drop(b);
+        assert!(a.try_mut().is_some(), "exclusive again after device drop");
+    }
+
+    #[test]
+    fn slicing_is_zero_copy_and_nested() {
+        let a = DemiBuffer::from_slice(b"0123456789");
+        let mid = a.slice(2, 8);
+        assert_eq!(mid.as_slice(), b"234567");
+        let inner = mid.slice(1, 3);
+        assert_eq!(inner.as_slice(), b"34");
+        assert!(inner.same_storage(&a));
+    }
+
+    #[test]
+    fn advance_and_truncate_adjust_view() {
+        let mut a = DemiBuffer::from_slice(b"headerbody");
+        a.advance(6);
+        assert_eq!(a.as_slice(), b"body");
+        a.truncate(2);
+        assert_eq!(a.as_slice(), b"bo");
+    }
+
+    #[test]
+    fn set_len_grows_within_capacity() {
+        let mut a = DemiBuffer::zeroed(16);
+        a.truncate(0);
+        assert!(a.is_empty());
+        a.set_len(8);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let a = DemiBuffer::from_slice(b"abc");
+        let _ = a.slice(1, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_len beyond capacity")]
+    fn set_len_beyond_capacity_panics() {
+        let mut a = DemiBuffer::zeroed(4);
+        a.set_len(5);
+    }
+
+    #[test]
+    fn equality_compares_contents() {
+        let a = DemiBuffer::from_slice(b"same");
+        let b = DemiBuffer::from_slice(b"same");
+        assert_eq!(a, b);
+        assert!(!a.same_storage(&b));
+    }
+
+    #[test]
+    fn deref_allows_slice_methods() {
+        let a = DemiBuffer::from_slice(b"abcdef");
+        assert!(a.starts_with(b"abc"));
+        assert_eq!(&a[2..4], b"cd");
+    }
+}

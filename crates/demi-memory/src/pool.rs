@@ -1,0 +1,292 @@
+//! Size-class buffer pools carved from registered regions.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::buffer::{DemiBuffer, PoolHome};
+use crate::registration::{RegionId, Registrar};
+
+/// The pool's size classes, in bytes. Allocations round up to the smallest
+/// class that fits; requests above the largest class get a dedicated,
+/// individually registered buffer.
+pub const SIZE_CLASSES: [usize; 6] = [64, 256, 1024, 4096, 16384, 65536];
+
+/// How many buffers a class adds each time it grows.
+const GROWTH_BATCH: usize = 64;
+
+/// Aggregate pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations served from a warm free list (no registration activity).
+    pub warm_allocs: u64,
+    /// Allocations that required growing a class (registration on the
+    /// control path).
+    pub cold_allocs: u64,
+    /// Oversized allocations served outside the size classes.
+    pub oversized_allocs: u64,
+    /// Buffers returned to a free list.
+    pub recycled: u64,
+    /// Total buffer capacity currently owned by the pool, in bytes.
+    pub owned_bytes: u64,
+}
+
+pub(crate) struct ClassPool {
+    size: usize,
+    free: Vec<Box<[u8]>>,
+    regions: Vec<RegionId>,
+}
+
+pub(crate) struct PoolInner {
+    classes: Vec<ClassPool>,
+    registrar: Option<Rc<dyn Registrar>>,
+    stats: PoolStats,
+}
+
+impl PoolInner {
+    pub(crate) fn recycle(&mut self, class: usize, storage: Box<[u8]>) {
+        self.stats.recycled += 1;
+        self.classes[class].free.push(storage);
+    }
+}
+
+/// A size-class allocator whose backing memory is registered with a device
+/// as it grows.
+///
+/// Growth (and therefore registration) is a control-path event; warm
+/// allocations and frees never touch the registrar — this is the mechanism
+/// behind the paper's "transparent memory registration".
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl BufferPool {
+    /// Creates a pool that registers growth with `registrar`.
+    pub fn with_registrar(registrar: Rc<dyn Registrar>) -> Self {
+        Self::build(Some(registrar))
+    }
+
+    /// Creates a pool with no device attached (pure allocator).
+    pub fn unregistered() -> Self {
+        Self::build(None)
+    }
+
+    fn build(registrar: Option<Rc<dyn Registrar>>) -> Self {
+        BufferPool {
+            inner: Rc::new(RefCell::new(PoolInner {
+                classes: SIZE_CLASSES
+                    .iter()
+                    .map(|&size| ClassPool {
+                        size,
+                        free: Vec::new(),
+                        regions: Vec::new(),
+                    })
+                    .collect(),
+                registrar,
+                stats: PoolStats::default(),
+            })),
+        }
+    }
+
+    /// Allocates a buffer whose view covers `len` bytes.
+    ///
+    /// The underlying capacity is the smallest size class ≥ `len`; requests
+    /// larger than every class are served as dedicated registered buffers.
+    pub fn alloc(&self, len: usize) -> DemiBuffer {
+        let mut inner = self.inner.borrow_mut();
+        let Some(class) = SIZE_CLASSES.iter().position(|&s| s >= len) else {
+            // Oversized: dedicated allocation, registered on its own.
+            inner.stats.oversized_allocs += 1;
+            inner.stats.owned_bytes += len as u64;
+            if let Some(reg) = &inner.registrar {
+                let _ = reg.register(len);
+            }
+            drop(inner);
+            return DemiBuffer::zeroed(len);
+        };
+
+        if inner.classes[class].free.is_empty() {
+            Self::grow(&mut inner, class);
+            inner.stats.cold_allocs += 1;
+        } else {
+            inner.stats.warm_allocs += 1;
+        }
+        let storage = inner.classes[class]
+            .free
+            .pop()
+            .expect("grow populated the free list");
+        let home = PoolHome {
+            pool: Rc::downgrade(&self.inner),
+            class,
+        };
+        drop(inner);
+        DemiBuffer::from_pool(storage, len, home)
+    }
+
+    fn grow(inner: &mut PoolInner, class: usize) {
+        let size = inner.classes[class].size;
+        let batch_bytes = size * GROWTH_BATCH;
+        if let Some(reg) = &inner.registrar {
+            let id = reg.register(batch_bytes);
+            inner.classes[class].regions.push(id);
+        }
+        inner.stats.owned_bytes += batch_bytes as u64;
+        for _ in 0..GROWTH_BATCH {
+            inner.classes[class]
+                .free
+                .push(vec![0u8; size].into_boxed_slice());
+        }
+    }
+
+    /// Pre-populates every class with at least one growth batch, moving all
+    /// registration cost ahead of the data path (typical libOS start-up).
+    pub fn warm_up(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for class in 0..SIZE_CLASSES.len() {
+            if inner.classes[class].free.is_empty() {
+                Self::grow(&mut inner, class);
+            }
+        }
+    }
+
+    /// Snapshot of pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.borrow().stats
+    }
+
+    /// Free buffers currently cached for the class serving `len`-byte
+    /// allocations (`None` for oversized requests).
+    pub fn free_count_for(&self, len: usize) -> Option<usize> {
+        let inner = self.inner.borrow();
+        SIZE_CLASSES
+            .iter()
+            .position(|&s| s >= len)
+            .map(|c| inner.classes[c].free.len())
+    }
+}
+
+impl fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BufferPool({:?})", self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registration::CountingRegistrar;
+
+    #[test]
+    fn alloc_rounds_up_to_size_class() {
+        let pool = BufferPool::unregistered();
+        let b = pool.alloc(100);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.capacity(), 256);
+    }
+
+    #[test]
+    fn first_alloc_is_cold_then_warm() {
+        let pool = BufferPool::unregistered();
+        let a = pool.alloc(64);
+        let b = pool.alloc(64);
+        let s = pool.stats();
+        assert_eq!(s.cold_allocs, 1);
+        assert_eq!(s.warm_allocs, 1);
+        drop((a, b));
+    }
+
+    #[test]
+    fn drop_recycles_into_free_list() {
+        let pool = BufferPool::unregistered();
+        let before = {
+            let _b = pool.alloc(1024);
+            pool.free_count_for(1024).unwrap()
+        };
+        // After drop the buffer returned.
+        assert_eq!(pool.free_count_for(1024).unwrap(), before + 1);
+        assert_eq!(pool.stats().recycled, 1);
+    }
+
+    #[test]
+    fn free_protection_delays_recycling_until_all_handles_drop() {
+        let pool = BufferPool::unregistered();
+        let app_handle = pool.alloc(4096);
+        let device_handle = app_handle.clone(); // Device holds the buffer.
+        let free_before = pool.free_count_for(4096).unwrap();
+
+        drop(app_handle); // Application "frees" while I/O is in flight.
+        assert_eq!(
+            pool.free_count_for(4096).unwrap(),
+            free_before,
+            "storage must not be recycled while the device holds a handle"
+        );
+
+        drop(device_handle); // Device completion releases the last handle.
+        assert_eq!(pool.free_count_for(4096).unwrap(), free_before + 1);
+    }
+
+    #[test]
+    fn growth_registers_with_device_and_warm_allocs_do_not() {
+        let reg = Rc::new(CountingRegistrar::new());
+        let pool = BufferPool::with_registrar(reg.clone());
+        let _a = pool.alloc(64);
+        let first = reg.stats().registrations;
+        assert_eq!(first, 1, "cold alloc registers one region");
+        let _b = pool.alloc(64);
+        let _c = pool.alloc(64);
+        assert_eq!(
+            reg.stats().registrations,
+            first,
+            "warm allocs must not register"
+        );
+        assert_eq!(reg.stats().pinned_bytes, 64 * 64);
+    }
+
+    #[test]
+    fn warm_up_preregisters_every_class() {
+        let reg = Rc::new(CountingRegistrar::new());
+        let pool = BufferPool::with_registrar(reg.clone());
+        pool.warm_up();
+        assert_eq!(reg.stats().registrations as usize, SIZE_CLASSES.len());
+        // Subsequent small allocs are all warm.
+        for _ in 0..10 {
+            let _ = pool.alloc(4096);
+        }
+        assert_eq!(pool.stats().cold_allocs, 0);
+    }
+
+    #[test]
+    fn oversized_allocations_bypass_classes() {
+        let reg = Rc::new(CountingRegistrar::new());
+        let pool = BufferPool::with_registrar(reg.clone());
+        let big = pool.alloc(1 << 20);
+        assert_eq!(big.len(), 1 << 20);
+        assert_eq!(pool.stats().oversized_allocs, 1);
+        assert_eq!(reg.stats().pinned_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn exhausting_a_batch_triggers_second_growth() {
+        let pool = BufferPool::unregistered();
+        let held: Vec<_> = (0..GROWTH_BATCH + 1).map(|_| pool.alloc(64)).collect();
+        assert_eq!(pool.stats().cold_allocs, 2);
+        drop(held);
+        assert_eq!(
+            pool.free_count_for(64).unwrap(),
+            2 * GROWTH_BATCH,
+            "all buffers recycled"
+        );
+    }
+
+    #[test]
+    fn buffer_outliving_pool_is_safe() {
+        let b = {
+            let pool = BufferPool::unregistered();
+            pool.alloc(64)
+        };
+        // Pool is gone; dropping the buffer must not crash.
+        assert_eq!(b.len(), 64);
+        drop(b);
+    }
+}

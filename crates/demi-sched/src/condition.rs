@@ -1,0 +1,136 @@
+//! A one-shot, multi-waiter condition flag.
+
+use std::cell::Cell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+/// A shared boolean that coroutines can await.
+///
+/// Once [`Condition::signal`] is called, every current and future waiter
+/// completes. Used for connection-established notifications, shutdown
+/// propagation, and test orchestration.
+///
+/// # Examples
+///
+/// ```
+/// use demi_sched::{Condition, Scheduler};
+///
+/// let sched = Scheduler::new();
+/// let cond = Condition::new();
+/// let waiter = sched.spawn("waiter", {
+///     let cond = cond.clone();
+///     async move {
+///         cond.wait().await;
+///         "signalled"
+///     }
+/// });
+/// sched.poll_once();
+/// assert!(!waiter.is_complete());
+/// cond.signal();
+/// sched.poll_once();
+/// assert_eq!(waiter.take_result(), Some("signalled"));
+/// ```
+#[derive(Clone, Default)]
+pub struct Condition {
+    set: Rc<Cell<bool>>,
+}
+
+impl Condition {
+    /// Creates an unsignalled condition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signals the condition; idempotent.
+    pub fn signal(&self) {
+        self.set.set(true);
+    }
+
+    /// Whether the condition has been signalled.
+    pub fn is_set(&self) -> bool {
+        self.set.get()
+    }
+
+    /// A future that completes once the condition is signalled.
+    pub fn wait(&self) -> ConditionFuture {
+        ConditionFuture {
+            set: self.set.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Condition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Condition(set={})", self.is_set())
+    }
+}
+
+/// Future returned by [`Condition::wait`].
+#[derive(Debug)]
+pub struct ConditionFuture {
+    set: Rc<Cell<bool>>,
+}
+
+impl Future for ConditionFuture {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.set.get() {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+
+    #[test]
+    fn all_waiters_complete_on_signal() {
+        let sched = Scheduler::new();
+        let cond = Condition::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cond = cond.clone();
+                sched.spawn("waiter", async move {
+                    cond.wait().await;
+                })
+            })
+            .collect();
+        sched.poll_once();
+        assert!(handles.iter().all(|h| !h.is_complete()));
+        cond.signal();
+        sched.poll_once();
+        assert!(handles.iter().all(|h| h.is_complete()));
+    }
+
+    #[test]
+    fn late_waiter_completes_immediately() {
+        let sched = Scheduler::new();
+        let cond = Condition::new();
+        cond.signal();
+        assert!(cond.is_set());
+        let h = sched.spawn("late", {
+            let cond = cond.clone();
+            async move {
+                cond.wait().await;
+                true
+            }
+        });
+        sched.poll_once();
+        assert_eq!(h.take_result(), Some(true));
+    }
+
+    #[test]
+    fn signal_is_idempotent() {
+        let cond = Condition::new();
+        cond.signal();
+        cond.signal();
+        assert!(cond.is_set());
+    }
+}

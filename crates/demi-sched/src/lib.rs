@@ -1,0 +1,35 @@
+//! A single-threaded, poll-based coroutine scheduler.
+//!
+//! Demikernel library OSes run every I/O operation as a coroutine: `push`,
+//! `pop`, `accept`, and `connect` each spawn a task and return a *qtoken*
+//! naming it; `wait`/`wait_any`/`wait_all` drive the scheduler until the
+//! named tasks complete (paper §4.3–4.4). This crate provides that machinery
+//! in a deliberately simple form:
+//!
+//! * [`Scheduler`] — a slab of `Pin<Box<dyn Future>>` tasks polled
+//!   round-robin with a no-op waker. Polling (rather than waker-driven
+//!   wake-ups) matches the busy-poll discipline of real kernel-bypass
+//!   data paths, where the CPU spins on device queues anyway.
+//! * [`TaskHandle`] — typed access to a task's eventual result.
+//! * [`TimerService`] — virtual-time sleeps, with an
+//!   [`earliest_deadline`](TimerService::earliest_deadline) query the
+//!   runtime uses to decide how far to advance the clock when all tasks
+//!   are blocked.
+//! * [`yield_once`] / [`Condition`] / [`AsyncQueue`] — cooperation
+//!   primitives for writing protocol coroutines.
+//!
+//! Everything is single-threaded (`Rc`-based) by design: a Demikernel libOS
+//! owns one core and partitions state per core, so cross-thread
+//! synchronization never appears on the data path.
+
+pub mod condition;
+pub mod queue;
+pub mod scheduler;
+pub mod timer;
+pub mod yield_;
+
+pub use condition::Condition;
+pub use queue::AsyncQueue;
+pub use scheduler::{Scheduler, SchedulerStats, TaskHandle, TaskId};
+pub use timer::TimerService;
+pub use yield_::{yield_once, YieldFuture};

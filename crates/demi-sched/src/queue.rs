@@ -1,0 +1,155 @@
+//! An unbounded single-threaded channel with an async pop.
+//!
+//! `AsyncQueue` is the workhorse connecting protocol layers: a producer
+//! coroutine (e.g., the TCP receiver) pushes completed data units and a
+//! consumer coroutine (a `pop` task) awaits them. Because the scheduler is
+//! poll-based, no waker bookkeeping is needed — an awaiting pop simply
+//! re-checks the queue each pass.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+/// A shared FIFO with an awaitable pop.
+pub struct AsyncQueue<T> {
+    inner: Rc<RefCell<VecDeque<T>>>,
+}
+
+impl<T> Clone for AsyncQueue<T> {
+    fn clone(&self) -> Self {
+        AsyncQueue {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Default for AsyncQueue<T> {
+    fn default() -> Self {
+        AsyncQueue {
+            inner: Rc::new(RefCell::new(VecDeque::new())),
+        }
+    }
+}
+
+impl<T> AsyncQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an item.
+    pub fn push(&self, item: T) {
+        self.inner.borrow_mut().push_back(item);
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.borrow_mut().pop_front()
+    }
+
+    /// A future that completes with the next item.
+    pub fn pop(&self) -> PopFuture<T> {
+        PopFuture {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+}
+
+impl<T> std::fmt::Debug for AsyncQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AsyncQueue(len={})", self.len())
+    }
+}
+
+/// Future returned by [`AsyncQueue::pop`].
+pub struct PopFuture<T> {
+    inner: Rc<RefCell<VecDeque<T>>>,
+}
+
+impl<T> Future for PopFuture<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
+        match self.inner.borrow_mut().pop_front() {
+            Some(item) => Poll::Ready(item),
+            None => Poll::Pending,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{yield_once, Scheduler};
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q: AsyncQueue<u32> = AsyncQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), Some(3));
+        assert_eq!(q.try_pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn async_pop_waits_for_producer() {
+        let sched = Scheduler::new();
+        let q: AsyncQueue<&'static str> = AsyncQueue::new();
+        let consumer = sched.spawn("consumer", {
+            let q = q.clone();
+            async move { q.pop().await }
+        });
+        sched.spawn("producer", {
+            let q = q.clone();
+            async move {
+                yield_once().await;
+                yield_once().await;
+                q.push("payload");
+            }
+        });
+        for _ in 0..5 {
+            sched.poll_once();
+        }
+        assert_eq!(consumer.take_result(), Some("payload"));
+    }
+
+    #[test]
+    fn competing_consumers_each_get_one_item() {
+        let sched = Scheduler::new();
+        let q: AsyncQueue<u32> = AsyncQueue::new();
+        let a = sched.spawn("a", {
+            let q = q.clone();
+            async move { q.pop().await }
+        });
+        let b = sched.spawn("b", {
+            let q = q.clone();
+            async move { q.pop().await }
+        });
+        q.push(10);
+        q.push(20);
+        for _ in 0..3 {
+            sched.poll_once();
+        }
+        let mut got = vec![a.take_result().unwrap(), b.take_result().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20]);
+    }
+}

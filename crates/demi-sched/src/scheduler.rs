@@ -1,0 +1,385 @@
+//! The task slab and round-robin polling loop.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Identifies a spawned task. In the Demikernel layer, qtokens wrap task ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+/// Counters describing scheduler activity, used by the experiments to count
+/// wake-ups and polls precisely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Total tasks ever spawned.
+    pub spawned: u64,
+    /// Total tasks that ran to completion.
+    pub completed: u64,
+    /// Total individual `Future::poll` invocations.
+    pub polls: u64,
+    /// Total `poll_once` scheduler passes.
+    pub passes: u64,
+}
+
+struct TaskSlot {
+    id: TaskId,
+    name: &'static str,
+    future: Pin<Box<dyn Future<Output = ()>>>,
+}
+
+#[derive(Default)]
+struct Inner {
+    tasks: Vec<Option<TaskSlot>>,
+    free: Vec<usize>,
+    next_id: u64,
+    stats: SchedulerStats,
+}
+
+/// A single-threaded cooperative scheduler.
+///
+/// Tasks are `'static` futures with no output; typed results travel through
+/// the [`TaskHandle`] returned by [`Scheduler::spawn`]. All handles are
+/// cheap clones of one shared scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use demi_sched::Scheduler;
+///
+/// let sched = Scheduler::new();
+/// let handle = sched.spawn("answer", async { 21 * 2 });
+/// while !handle.is_complete() {
+///     sched.poll_once();
+/// }
+/// assert_eq!(handle.take_result(), Some(42));
+/// ```
+#[derive(Clone, Default)]
+pub struct Scheduler {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawns a coroutine and returns a typed handle to its result.
+    ///
+    /// The task starts in the runnable set and is first polled on the next
+    /// [`Scheduler::poll_once`] pass. Dropping the handle detaches the task;
+    /// it keeps running to completion.
+    pub fn spawn<T, F>(&self, name: &'static str, future: F) -> TaskHandle<T>
+    where
+        T: 'static,
+        F: Future<Output = T> + 'static,
+    {
+        let result: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+        let done = Rc::new(Cell::new(false));
+        let wrapped = {
+            let result = result.clone();
+            let done = done.clone();
+            async move {
+                let value = future.await;
+                *result.borrow_mut() = Some(value);
+                done.set(true);
+            }
+        };
+
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.spawned += 1;
+        let id = TaskId(inner.next_id);
+        inner.next_id += 1;
+        let slot = TaskSlot {
+            id,
+            name,
+            future: Box::pin(wrapped),
+        };
+        match inner.free.pop() {
+            Some(index) => inner.tasks[index] = Some(slot),
+            None => inner.tasks.push(Some(slot)),
+        }
+        TaskHandle {
+            scheduler: self.clone(),
+            id,
+            name,
+            result,
+            done,
+        }
+    }
+
+    /// Polls every live task exactly once; returns how many completed during
+    /// this pass.
+    ///
+    /// Tasks spawned *during* the pass (by other tasks) are not polled until
+    /// the next pass, which keeps each pass bounded.
+    pub fn poll_once(&self) -> usize {
+        let upper = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.passes += 1;
+            inner.tasks.len()
+        };
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let mut completed = 0;
+
+        for index in 0..upper {
+            // Move the task out of the slab while polling so the task body
+            // may re-borrow the scheduler (e.g., to spawn).
+            let Some(mut slot) = self.inner.borrow_mut().tasks[index].take() else {
+                continue;
+            };
+            self.inner.borrow_mut().stats.polls += 1;
+            match slot.future.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.stats.completed += 1;
+                    inner.free.push(index);
+                    completed += 1;
+                }
+                Poll::Pending => {
+                    self.inner.borrow_mut().tasks[index] = Some(slot);
+                }
+            }
+        }
+        completed
+    }
+
+    /// Number of live (incomplete) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.inner
+            .borrow()
+            .tasks
+            .iter()
+            .filter(|t| t.is_some())
+            .count()
+    }
+
+    /// Names of live tasks, for deadlock diagnostics.
+    pub fn live_task_names(&self) -> Vec<&'static str> {
+        self.inner
+            .borrow()
+            .tasks
+            .iter()
+            .flatten()
+            .map(|t| t.name)
+            .collect()
+    }
+
+    /// Whether a task with the given id is still live.
+    pub fn is_live(&self, id: TaskId) -> bool {
+        self.inner
+            .borrow()
+            .tasks
+            .iter()
+            .flatten()
+            .any(|t| t.id == id)
+    }
+
+    /// Snapshot of activity counters.
+    pub fn stats(&self) -> SchedulerStats {
+        self.inner.borrow().stats
+    }
+}
+
+impl fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scheduler(live={})", self.live_tasks())
+    }
+}
+
+/// Typed handle to a spawned task's eventual result.
+pub struct TaskHandle<T> {
+    scheduler: Scheduler,
+    id: TaskId,
+    name: &'static str,
+    result: Rc<RefCell<Option<T>>>,
+    done: Rc<Cell<bool>>,
+}
+
+impl<T> TaskHandle<T> {
+    /// The task's scheduler-wide id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The diagnostic name given at spawn.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether the task has run to completion (its result may already have
+    /// been taken).
+    pub fn is_complete(&self) -> bool {
+        self.done.get()
+    }
+
+    /// Takes the result if the task has completed; `None` otherwise or if
+    /// already taken.
+    pub fn take_result(&self) -> Option<T> {
+        self.result.borrow_mut().take()
+    }
+
+    /// The scheduler this task runs on.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+}
+
+impl<T> Clone for TaskHandle<T> {
+    fn clone(&self) -> Self {
+        TaskHandle {
+            scheduler: self.scheduler.clone(),
+            id: self.id,
+            name: self.name,
+            result: self.result.clone(),
+            done: self.done.clone(),
+        }
+    }
+}
+
+impl<T> fmt::Debug for TaskHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TaskHandle({:?}, {}, complete={})",
+            self.id,
+            self.name,
+            self.is_complete()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yield_once;
+    use std::cell::Cell;
+
+    #[test]
+    fn spawn_and_complete_immediately_ready_task() {
+        let sched = Scheduler::new();
+        let h = sched.spawn("ready", async { 7 });
+        assert!(!h.is_complete());
+        assert_eq!(sched.poll_once(), 1);
+        assert!(h.is_complete());
+        assert_eq!(h.take_result(), Some(7));
+        assert_eq!(h.take_result(), None);
+        assert_eq!(sched.live_tasks(), 0);
+    }
+
+    #[test]
+    fn yielding_task_needs_multiple_passes() {
+        let sched = Scheduler::new();
+        let h = sched.spawn("yielder", async {
+            yield_once().await;
+            yield_once().await;
+            "done"
+        });
+        assert_eq!(sched.poll_once(), 0);
+        assert_eq!(sched.poll_once(), 0);
+        assert_eq!(sched.poll_once(), 1);
+        assert_eq!(h.take_result(), Some("done"));
+    }
+
+    #[test]
+    fn tasks_interleave_round_robin() {
+        let sched = Scheduler::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for task in 0..3u32 {
+            let log = log.clone();
+            sched.spawn("interleaver", async move {
+                for step in 0..2u32 {
+                    log.borrow_mut().push(task * 10 + step);
+                    yield_once().await;
+                }
+            });
+        }
+        while sched.live_tasks() > 0 {
+            sched.poll_once();
+        }
+        assert_eq!(&*log.borrow(), &[0, 10, 20, 1, 11, 21]);
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        let sched = Scheduler::new();
+        let inner_done = Rc::new(Cell::new(false));
+        let h = sched.spawn("outer", {
+            let sched = sched.clone();
+            let inner_done = inner_done.clone();
+            async move {
+                let inner = sched.spawn("inner", async move {
+                    inner_done.set(true);
+                });
+                while !inner.is_complete() {
+                    yield_once().await;
+                }
+                true
+            }
+        });
+        for _ in 0..10 {
+            sched.poll_once();
+        }
+        assert!(inner_done.get());
+        assert_eq!(h.take_result(), Some(true));
+    }
+
+    #[test]
+    fn dropping_handle_detaches_but_task_still_runs() {
+        let sched = Scheduler::new();
+        let ran = Rc::new(Cell::new(false));
+        {
+            let ran = ran.clone();
+            let _ = sched.spawn("detached", async move {
+                yield_once().await;
+                ran.set(true);
+            });
+        }
+        sched.poll_once();
+        sched.poll_once();
+        assert!(ran.get());
+    }
+
+    #[test]
+    fn slot_reuse_does_not_confuse_ids() {
+        let sched = Scheduler::new();
+        let a = sched.spawn("a", async { 1u32 });
+        sched.poll_once();
+        assert!(a.is_complete());
+        let b = sched.spawn("b", async { 2u32 });
+        assert_ne!(a.id(), b.id());
+        assert!(!sched.is_live(a.id()));
+        assert!(sched.is_live(b.id()));
+        sched.poll_once();
+        assert_eq!(b.take_result(), Some(2));
+    }
+
+    #[test]
+    fn stats_count_polls_and_completions() {
+        let sched = Scheduler::new();
+        sched.spawn("one", async {
+            yield_once().await;
+        });
+        sched.spawn("two", async {});
+        sched.poll_once();
+        sched.poll_once();
+        let stats = sched.stats();
+        assert_eq!(stats.spawned, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.passes, 2);
+        assert_eq!(stats.polls, 3);
+    }
+
+    #[test]
+    fn live_task_names_reports_pending_tasks() {
+        let sched = Scheduler::new();
+        sched.spawn("stuck", std::future::pending::<()>());
+        sched.poll_once();
+        assert_eq!(sched.live_task_names(), vec!["stuck"]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Virtual-time sleeps.
+//!
+//! Protocol stacks need timers (TCP retransmission, ARP request timeouts,
+//! device service delays). A [`TimerService`] tracks the set of outstanding
+//! deadlines against the simulation clock; when every coroutine is blocked,
+//! the runtime asks for [`TimerService::earliest_deadline`] and advances the
+//! clock to the sooner of that and the fabric's next frame delivery.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use sim_fabric::{SimClock, SimTime};
+
+/// Shared registry of sleep deadlines on one simulation clock.
+#[derive(Clone)]
+pub struct TimerService {
+    clock: SimClock,
+    deadlines: Rc<RefCell<BinaryHeap<Reverse<SimTime>>>>,
+}
+
+impl TimerService {
+    /// Creates a timer service driven by `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        TimerService {
+            clock,
+            deadlines: Rc::new(RefCell::new(BinaryHeap::new())),
+        }
+    }
+
+    /// The clock this service reads.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Current virtual time (convenience passthrough).
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// A future that completes once virtual time reaches `deadline`.
+    pub fn sleep_until(&self, deadline: SimTime) -> SleepFuture {
+        self.deadlines.borrow_mut().push(Reverse(deadline));
+        SleepFuture {
+            clock: self.clock.clone(),
+            deadline,
+        }
+    }
+
+    /// A future that completes after `duration` of virtual time.
+    pub fn sleep(&self, duration: SimTime) -> SleepFuture {
+        self.sleep_until(self.clock.now().saturating_add(duration))
+    }
+
+    /// The earliest unexpired deadline, if any.
+    ///
+    /// Deadlines already in the past are discarded: their sleepers become
+    /// ready on the next poll and no longer constrain clock advancement.
+    pub fn earliest_deadline(&self) -> Option<SimTime> {
+        let now = self.clock.now();
+        let mut heap = self.deadlines.borrow_mut();
+        while let Some(Reverse(t)) = heap.peek().copied() {
+            if t > now {
+                return Some(t);
+            }
+            heap.pop();
+        }
+        None
+    }
+
+    /// Number of registered (possibly expired) deadlines.
+    pub fn pending(&self) -> usize {
+        self.deadlines.borrow().len()
+    }
+}
+
+/// Future returned by [`TimerService::sleep_until`].
+///
+/// Cancellation-safe: dropping the future before its deadline leaves a stale
+/// heap entry, which [`TimerService::earliest_deadline`] discards once
+/// expired — at worst the runtime advances the clock to a moment nobody is
+/// waiting for, which is harmless.
+#[derive(Debug)]
+pub struct SleepFuture {
+    clock: SimClock,
+    deadline: SimTime,
+}
+
+impl SleepFuture {
+    /// The instant this sleep completes.
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+}
+
+impl Future for SleepFuture {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.clock.now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+
+    #[test]
+    fn sleep_completes_only_after_clock_advances() {
+        let clock = SimClock::new();
+        let timers = TimerService::new(clock.clone());
+        let sched = Scheduler::new();
+        let h = sched.spawn("sleeper", {
+            let timers = timers.clone();
+            async move {
+                timers.sleep(SimTime::from_micros(10)).await;
+                timers.now()
+            }
+        });
+        sched.poll_once();
+        assert!(!h.is_complete());
+        assert_eq!(timers.earliest_deadline(), Some(SimTime::from_micros(10)));
+        clock.advance_to(SimTime::from_micros(10));
+        sched.poll_once();
+        assert_eq!(h.take_result(), Some(SimTime::from_micros(10)));
+        assert_eq!(timers.earliest_deadline(), None);
+    }
+
+    #[test]
+    fn earliest_deadline_orders_and_discards_expired() {
+        let clock = SimClock::new();
+        let timers = TimerService::new(clock.clone());
+        let _a = timers.sleep_until(SimTime::from_micros(30));
+        let _b = timers.sleep_until(SimTime::from_micros(10));
+        let _c = timers.sleep_until(SimTime::from_micros(20));
+        assert_eq!(timers.earliest_deadline(), Some(SimTime::from_micros(10)));
+        clock.advance_to(SimTime::from_micros(15));
+        assert_eq!(timers.earliest_deadline(), Some(SimTime::from_micros(20)));
+        clock.advance_to(SimTime::from_micros(100));
+        assert_eq!(timers.earliest_deadline(), None);
+        assert_eq!(timers.pending(), 0);
+    }
+
+    #[test]
+    fn zero_duration_sleep_is_immediately_ready() {
+        let clock = SimClock::new();
+        let timers = TimerService::new(clock);
+        let sched = Scheduler::new();
+        let h = sched.spawn("instant", {
+            let timers = timers.clone();
+            async move {
+                timers.sleep(SimTime::ZERO).await;
+                1u8
+            }
+        });
+        sched.poll_once();
+        assert_eq!(h.take_result(), Some(1));
+    }
+
+    #[test]
+    fn dropped_sleep_entry_is_garbage_collected() {
+        let clock = SimClock::new();
+        let timers = TimerService::new(clock.clone());
+        drop(timers.sleep_until(SimTime::from_micros(5)));
+        assert_eq!(timers.earliest_deadline(), Some(SimTime::from_micros(5)));
+        clock.advance_to(SimTime::from_micros(5));
+        assert_eq!(timers.earliest_deadline(), None);
+    }
+}

@@ -1,0 +1,47 @@
+//! Cooperative yield point.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Future returned by [`yield_once`].
+#[derive(Debug, Default)]
+pub struct YieldFuture {
+    yielded: bool,
+}
+
+impl Future for YieldFuture {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            Poll::Pending
+        }
+    }
+}
+
+/// Suspends the current coroutine until the next scheduler pass.
+///
+/// Protocol coroutines call this inside busy loops ("poll the device, then
+/// yield") so that every task gets a share of each scheduler pass.
+pub fn yield_once() -> YieldFuture {
+    YieldFuture::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::task::Waker;
+
+    #[test]
+    fn pending_once_then_ready() {
+        let mut fut = yield_once();
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_pending());
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_ready());
+    }
+}

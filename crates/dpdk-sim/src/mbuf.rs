@@ -1,0 +1,72 @@
+//! Message buffers exchanged with the device.
+
+use demi_memory::DemiBuffer;
+use sim_fabric::SimTime;
+
+/// A packet buffer, the rte_mbuf analogue.
+///
+/// Wraps a zero-copy [`DemiBuffer`] (so the same storage flows from device
+/// to protocol stack to application without copies) plus the per-packet
+/// metadata a driver exposes.
+#[derive(Debug, Clone)]
+pub struct Mbuf {
+    /// Frame contents.
+    pub data: DemiBuffer,
+    /// RX: virtual instant the frame was delivered by the fabric.
+    pub rx_timestamp: SimTime,
+    /// RX: RSS-style hash the device computed over the frame, used for
+    /// multi-queue distribution.
+    pub rss_hash: u32,
+    /// RX queue this packet was steered to.
+    pub queue: u16,
+}
+
+impl Mbuf {
+    /// Wraps outgoing frame data (TX metadata fields are zeroed).
+    pub fn from_data(data: DemiBuffer) -> Self {
+        Mbuf {
+            data,
+            rx_timestamp: SimTime::ZERO,
+            rss_hash: 0,
+            queue: 0,
+        }
+    }
+
+    /// Frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the frame is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Frame bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        self.data.as_slice()
+    }
+}
+
+impl From<DemiBuffer> for Mbuf {
+    fn from(data: DemiBuffer) -> Self {
+        Mbuf::from_data(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_data_wraps_without_copying() {
+        let buf = DemiBuffer::from_slice(b"frame");
+        let handles_before = buf.handle_count();
+        let mbuf = Mbuf::from_data(buf.clone());
+        assert_eq!(mbuf.as_slice(), b"frame");
+        assert_eq!(mbuf.len(), 5);
+        assert!(!mbuf.is_empty());
+        assert_eq!(buf.handle_count(), handles_before + 1);
+        assert!(mbuf.data.same_storage(&buf));
+    }
+}

@@ -1,0 +1,435 @@
+//! The burst-oriented port: descriptor rings over a fabric endpoint.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use sim_fabric::{DeviceCaps, Endpoint, Fabric, MacAddress};
+
+use crate::mbuf::Mbuf;
+use crate::mempool::Mempool;
+use crate::smartnic::{
+    NicProgram, ProgramSlot, RxDecision, SmartNic, SmartNicError, SmartNicStats,
+};
+
+/// Port construction parameters.
+#[derive(Debug, Clone)]
+pub struct PortConfig {
+    /// Hardware address on the fabric.
+    pub mac: MacAddress,
+    /// Number of RX queues (RSS spreads across them).
+    pub num_rx_queues: u16,
+    /// Descriptor-ring depth per RX queue; arrivals beyond this are
+    /// tail-dropped, like a real NIC whose ring the host failed to drain.
+    pub rx_ring_size: usize,
+    /// SmartNIC program slots; 0 makes this a plain DPDK device.
+    pub smartnic_slots: usize,
+}
+
+impl PortConfig {
+    /// A single-queue plain port — the common test configuration.
+    pub fn basic(mac: MacAddress) -> Self {
+        PortConfig {
+            mac,
+            num_rx_queues: 1,
+            rx_ring_size: 1024,
+            smartnic_slots: 0,
+        }
+    }
+
+    /// A programmable port with `slots` program slots.
+    pub fn smartnic(mac: MacAddress, slots: usize) -> Self {
+        PortConfig {
+            smartnic_slots: slots,
+            ..Self::basic(mac)
+        }
+    }
+}
+
+/// Port counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortStats {
+    /// Frames handed to the fabric.
+    pub tx_frames: u64,
+    /// Payload bytes transmitted.
+    pub tx_bytes: u64,
+    /// Frames accepted into an RX ring.
+    pub rx_frames: u64,
+    /// Payload bytes received.
+    pub rx_bytes: u64,
+    /// Frames dropped because the target RX ring was full.
+    pub rx_ring_drops: u64,
+}
+
+struct PortInner {
+    endpoint: Endpoint,
+    config: PortConfig,
+    mempool: Mempool,
+    rx_rings: Vec<VecDeque<Mbuf>>,
+    smartnic: SmartNic,
+    stats: PortStats,
+}
+
+/// A simulated DPDK port.
+///
+/// The API is deliberately burst-shaped, mirroring `rte_eth_rx_burst` /
+/// `rte_eth_tx_burst`: the host *polls*; the device never interrupts.
+/// Frames carry standard Ethernet headers — the port itself does not parse
+/// beyond the destination MAC (needed to address the fabric), underlining
+/// that everything above L2 is the library OS's problem.
+#[derive(Clone)]
+pub struct DpdkPort {
+    inner: Rc<RefCell<PortInner>>,
+}
+
+impl DpdkPort {
+    /// Creates a port attached to `fabric`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_rx_queues` is 0 or the MAC is already registered.
+    pub fn new(fabric: &Fabric, config: PortConfig) -> Self {
+        assert!(
+            config.num_rx_queues > 0,
+            "a port needs at least one RX queue"
+        );
+        let endpoint = fabric.register_endpoint(config.mac);
+        let mempool = Mempool::new();
+        mempool.warm_up();
+        DpdkPort {
+            inner: Rc::new(RefCell::new(PortInner {
+                endpoint,
+                rx_rings: (0..config.num_rx_queues).map(|_| VecDeque::new()).collect(),
+                smartnic: SmartNic::new(config.smartnic_slots),
+                config,
+                mempool,
+                stats: PortStats::default(),
+            })),
+        }
+    }
+
+    /// The port's hardware address.
+    pub fn mac(&self) -> MacAddress {
+        self.inner.borrow().config.mac
+    }
+
+    /// The port's packet-buffer pool.
+    pub fn mempool(&self) -> Mempool {
+        self.inner.borrow().mempool.clone()
+    }
+
+    /// Number of RX queues.
+    pub fn num_rx_queues(&self) -> u16 {
+        self.inner.borrow().config.num_rx_queues
+    }
+
+    /// This port's capability descriptor (Table 1 / experiment E7).
+    pub fn capabilities(&self) -> DeviceCaps {
+        if self.inner.borrow().config.smartnic_slots > 0 {
+            crate::smartnic_capabilities()
+        } else {
+            crate::capabilities()
+        }
+    }
+
+    /// Transmits up to all of `frames`; returns how many were accepted.
+    ///
+    /// Each frame must start with a 14-byte Ethernet header; the destination
+    /// MAC (first 6 bytes) addresses the fabric. Short frames are rejected
+    /// (not transmitted), mirroring hardware minimum-frame rules.
+    pub fn tx_burst(&self, frames: &[Mbuf]) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let mut sent = 0;
+        for mbuf in frames {
+            let bytes = mbuf.as_slice();
+            if bytes.len() < 14 {
+                continue;
+            }
+            let dst = MacAddress::new([bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]]);
+            inner.endpoint.transmit(dst, bytes.to_vec());
+            inner.stats.tx_frames += 1;
+            inner.stats.tx_bytes += bytes.len() as u64;
+            sent += 1;
+        }
+        sent
+    }
+
+    /// Receives up to `max` frames from RX queue `queue`.
+    ///
+    /// Polling-style: drains newly delivered fabric frames through the
+    /// SmartNIC programs and RSS into the descriptor rings, then pops from
+    /// the requested ring. Never blocks; an empty return means "nothing
+    /// delivered yet" and the caller (a libOS poll coroutine) yields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    pub fn rx_burst(&self, queue: u16, max: usize) -> Vec<Mbuf> {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            queue < inner.config.num_rx_queues,
+            "rx queue {queue} out of range"
+        );
+        inner.pump();
+        let ring = &mut inner.rx_rings[queue as usize];
+        let take = ring.len().min(max);
+        ring.drain(..take).collect()
+    }
+
+    /// Frames waiting in RX queue `queue` (after pumping arrivals).
+    pub fn rx_pending(&self, queue: u16) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        inner.pump();
+        inner.rx_rings[queue as usize].len()
+    }
+
+    /// Installs a SmartNIC program.
+    pub fn install_program(&self, program: NicProgram) -> Result<ProgramSlot, SmartNicError> {
+        self.inner.borrow_mut().smartnic.install(program)
+    }
+
+    /// Removes a SmartNIC program.
+    pub fn uninstall_program(&self, slot: ProgramSlot) {
+        self.inner.borrow_mut().smartnic.uninstall(slot);
+    }
+
+    /// Port counters.
+    pub fn stats(&self) -> PortStats {
+        self.inner.borrow().stats
+    }
+
+    /// Device-side program-execution counters.
+    pub fn smartnic_stats(&self) -> SmartNicStats {
+        self.inner.borrow().smartnic.stats()
+    }
+}
+
+impl PortInner {
+    /// Moves delivered fabric frames into the RX rings.
+    fn pump(&mut self) {
+        while let Some(frame) = self.endpoint.receive() {
+            let decision = self.smartnic.process_rx(&frame.payload);
+            let (steered, rewritten) = match decision {
+                RxDecision::Drop => continue,
+                RxDecision::Accept { queue, frame } => (queue, frame),
+            };
+            let bytes: &[u8] = rewritten.as_deref().unwrap_or(&frame.payload);
+            let queue = steered.unwrap_or_else(|| rss_queue(bytes, self.config.num_rx_queues));
+            let queue = queue % self.config.num_rx_queues;
+            let ring = &mut self.rx_rings[queue as usize];
+            if ring.len() >= self.config.rx_ring_size {
+                self.stats.rx_ring_drops += 1;
+                continue;
+            }
+            let mut mbuf = self.mempool.alloc_from(bytes);
+            mbuf.rx_timestamp = frame.delivered_at;
+            mbuf.rss_hash = fnv1a(bytes);
+            mbuf.queue = queue;
+            self.stats.rx_frames += 1;
+            self.stats.rx_bytes += bytes.len() as u64;
+            ring.push_back(mbuf);
+        }
+    }
+}
+
+/// FNV-1a over the first bytes of the frame (headers), the RSS stand-in.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811C_9DC5;
+    for &b in bytes.iter().take(42) {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+fn rss_queue(bytes: &[u8], queues: u16) -> u16 {
+    (fnv1a(bytes) % queues as u32) as u16
+}
+
+impl fmt::Debug for DpdkPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DpdkPort({})", self.mac())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_fabric::LinkConfig;
+    use std::rc::Rc as StdRc;
+
+    /// Builds an Ethernet-framed payload: dst(6) src(6) ethertype(2) body.
+    fn eth_frame(dst: MacAddress, src: MacAddress, body: &[u8]) -> Vec<u8> {
+        let mut f = Vec::with_capacity(14 + body.len());
+        f.extend_from_slice(&dst.octets());
+        f.extend_from_slice(&src.octets());
+        f.extend_from_slice(&[0x08, 0x00]);
+        f.extend_from_slice(body);
+        f
+    }
+
+    fn pair(fabric: &Fabric) -> (DpdkPort, DpdkPort) {
+        fabric.set_default_link(LinkConfig::ideal());
+        let a = DpdkPort::new(fabric, PortConfig::basic(MacAddress::from_last_octet(1)));
+        let b = DpdkPort::new(fabric, PortConfig::basic(MacAddress::from_last_octet(2)));
+        (a, b)
+    }
+
+    #[test]
+    fn tx_rx_burst_round_trip() {
+        let fabric = Fabric::new(1);
+        let (a, b) = pair(&fabric);
+        let frame = eth_frame(b.mac(), a.mac(), b"payload");
+        let mbuf = a.mempool().alloc_from(&frame);
+        assert_eq!(a.tx_burst(&[mbuf]), 1);
+        fabric.deliver_due();
+        let got = b.rx_burst(0, 32);
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].as_slice()[14..], b"payload");
+        assert_eq!(b.stats().rx_frames, 1);
+        assert_eq!(a.stats().tx_frames, 1);
+    }
+
+    #[test]
+    fn runt_frames_are_rejected_at_tx() {
+        let fabric = Fabric::new(1);
+        let (a, _b) = pair(&fabric);
+        let runt = a.mempool().alloc_from(&[0u8; 13]);
+        assert_eq!(a.tx_burst(&[runt]), 0);
+        assert_eq!(a.stats().tx_frames, 0);
+    }
+
+    #[test]
+    fn rx_burst_respects_max() {
+        let fabric = Fabric::new(1);
+        let (a, b) = pair(&fabric);
+        for i in 0..5u8 {
+            let f = eth_frame(b.mac(), a.mac(), &[i]);
+            a.tx_burst(&[a.mempool().alloc_from(&f)]);
+        }
+        fabric.deliver_due();
+        assert_eq!(b.rx_burst(0, 3).len(), 3);
+        assert_eq!(b.rx_burst(0, 3).len(), 2);
+    }
+
+    #[test]
+    fn ring_overflow_tail_drops() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig::ideal());
+        let a = DpdkPort::new(&fabric, PortConfig::basic(MacAddress::from_last_octet(1)));
+        let b = DpdkPort::new(
+            &fabric,
+            PortConfig {
+                mac: MacAddress::from_last_octet(2),
+                num_rx_queues: 1,
+                rx_ring_size: 2,
+                smartnic_slots: 0,
+            },
+        );
+        for i in 0..4u8 {
+            let f = eth_frame(b.mac(), a.mac(), &[i]);
+            a.tx_burst(&[a.mempool().alloc_from(&f)]);
+        }
+        fabric.deliver_due();
+        assert_eq!(b.rx_pending(0), 2);
+        assert_eq!(b.stats().rx_ring_drops, 2);
+    }
+
+    #[test]
+    fn rss_spreads_flows_across_queues() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig::ideal());
+        let a = DpdkPort::new(&fabric, PortConfig::basic(MacAddress::from_last_octet(1)));
+        let b = DpdkPort::new(
+            &fabric,
+            PortConfig {
+                mac: MacAddress::from_last_octet(2),
+                num_rx_queues: 4,
+                rx_ring_size: 1024,
+                smartnic_slots: 0,
+            },
+        );
+        // Many distinct "flows" (varying bodies vary the hashed header area).
+        for i in 0..64u8 {
+            let f = eth_frame(b.mac(), a.mac(), &[i, i ^ 0x5A, 3, 4]);
+            a.tx_burst(&[a.mempool().alloc_from(&f)]);
+        }
+        fabric.deliver_due();
+        let counts: Vec<usize> = (0..4).map(|q| b.rx_pending(q)).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 64);
+        let nonempty = counts.iter().filter(|&&c| c > 0).count();
+        assert!(nonempty >= 2, "RSS should spread flows: {counts:?}");
+    }
+
+    #[test]
+    fn steering_program_overrides_rss() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig::ideal());
+        let a = DpdkPort::new(&fabric, PortConfig::basic(MacAddress::from_last_octet(1)));
+        let b = DpdkPort::new(
+            &fabric,
+            PortConfig {
+                mac: MacAddress::from_last_octet(2),
+                num_rx_queues: 4,
+                rx_ring_size: 1024,
+                smartnic_slots: 2,
+            },
+        );
+        b.install_program(NicProgram::Steer {
+            selector: StdRc::new(|_f: &[u8]| Some(3)),
+            cycles_per_frame: 1,
+        })
+        .unwrap();
+        for i in 0..8u8 {
+            let f = eth_frame(b.mac(), a.mac(), &[i]);
+            a.tx_burst(&[a.mempool().alloc_from(&f)]);
+        }
+        fabric.deliver_due();
+        assert_eq!(b.rx_pending(3), 8);
+        assert_eq!(b.rx_pending(0) + b.rx_pending(1) + b.rx_pending(2), 0);
+        assert_eq!(b.smartnic_stats().frames_processed, 8);
+    }
+
+    #[test]
+    fn filter_program_drops_on_device() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig::ideal());
+        let a = DpdkPort::new(&fabric, PortConfig::basic(MacAddress::from_last_octet(1)));
+        let b = DpdkPort::new(
+            &fabric,
+            PortConfig::smartnic(MacAddress::from_last_octet(2), 2),
+        );
+        // Keep only frames whose first body byte is even.
+        b.install_program(NicProgram::Filter {
+            predicate: StdRc::new(|f: &[u8]| f.get(14).is_some_and(|b| b % 2 == 0)),
+            cycles_per_frame: 7,
+        })
+        .unwrap();
+        for i in 0..10u8 {
+            let f = eth_frame(b.mac(), a.mac(), &[i]);
+            a.tx_burst(&[a.mempool().alloc_from(&f)]);
+        }
+        fabric.deliver_due();
+        assert_eq!(b.rx_pending(0), 5);
+        let s = b.smartnic_stats();
+        assert_eq!(s.frames_filtered, 5);
+        assert_eq!(s.device_cycles, 70);
+        assert_eq!(b.stats().rx_frames, 5, "filtered frames never hit the ring");
+    }
+
+    #[test]
+    fn plain_port_reports_bypass_only_caps() {
+        let fabric = Fabric::new(1);
+        let (a, _b) = pair(&fabric);
+        assert!(!a.capabilities().program_offload);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rx_burst_on_bad_queue_panics() {
+        let fabric = Fabric::new(1);
+        let (a, _b) = pair(&fabric);
+        let _ = a.rx_burst(5, 1);
+    }
+}

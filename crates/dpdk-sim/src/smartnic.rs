@@ -1,0 +1,284 @@
+//! On-device program slots (the Table-1 "+other features" column).
+//!
+//! Programmable NICs (FPGA or SoC based) can run application-supplied
+//! functions on the I/O path. The paper's queue abstraction exposes these
+//! as `filter`/`map` queue transformations that a libOS *may* offload
+//! (§4.2–4.3). The simulation models offload cost honestly: every program
+//! execution spends *device* cycles, tracked separately from host cycles,
+//! so experiment E6 can show the host-CPU reduction without pretending the
+//! work is free.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A frame predicate: `false` drops the frame.
+pub type FramePredicate = Rc<dyn Fn(&[u8]) -> bool>;
+/// A steering function: `Some(q)` selects RX queue `q`.
+pub type FrameSelector = Rc<dyn Fn(&[u8]) -> Option<u16>>;
+/// A frame rewriter.
+pub type FrameTransform = Rc<dyn Fn(&[u8]) -> Vec<u8>>;
+
+/// Handle to an installed program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramSlot(pub usize);
+
+/// An application function offloaded to the NIC.
+#[derive(Clone)]
+pub enum NicProgram {
+    /// Drops frames for which the predicate returns `false`.
+    Filter {
+        /// The predicate, applied to the raw frame.
+        predicate: FramePredicate,
+        /// Device cycles consumed per frame examined.
+        cycles_per_frame: u64,
+    },
+    /// Chooses the RX queue for a frame (`None` falls through to RSS).
+    Steer {
+        /// The steering function, applied to the raw frame.
+        selector: FrameSelector,
+        /// Device cycles consumed per frame examined.
+        cycles_per_frame: u64,
+    },
+    /// Rewrites the frame in place on the device.
+    Map {
+        /// The transformation, applied to the raw frame.
+        transform: FrameTransform,
+        /// Device cycles consumed per frame examined.
+        cycles_per_frame: u64,
+    },
+}
+
+impl fmt::Debug for NicProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NicProgram::Filter { .. } => write!(f, "NicProgram::Filter"),
+            NicProgram::Steer { .. } => write!(f, "NicProgram::Steer"),
+            NicProgram::Map { .. } => write!(f, "NicProgram::Map"),
+        }
+    }
+}
+
+/// Counters for on-device execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmartNicStats {
+    /// Cycles spent executing programs on the device.
+    pub device_cycles: u64,
+    /// Frames examined by at least one program.
+    pub frames_processed: u64,
+    /// Frames dropped by filter programs.
+    pub frames_filtered: u64,
+}
+
+/// Error installing a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmartNicError {
+    /// Every program slot is occupied (hardware resources are finite).
+    OutOfSlots,
+    /// The device has no program slots at all (plain DPDK NIC).
+    NotProgrammable,
+}
+
+impl fmt::Display for SmartNicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmartNicError::OutOfSlots => write!(f, "all NIC program slots are in use"),
+            SmartNicError::NotProgrammable => write!(f, "device has no program slots"),
+        }
+    }
+}
+
+impl std::error::Error for SmartNicError {}
+
+/// What the device decided about an incoming frame.
+#[derive(Debug)]
+pub enum RxDecision {
+    /// Frame dropped by a filter program.
+    Drop,
+    /// Frame accepted; `queue` is `Some` if a steering program chose one,
+    /// `frame` is `Some` if a map program rewrote the bytes.
+    Accept {
+        /// Steering decision, if any.
+        queue: Option<u16>,
+        /// Rewritten frame, if a map program ran.
+        frame: Option<Vec<u8>>,
+    },
+}
+
+/// The device-side program engine.
+#[derive(Debug)]
+pub struct SmartNic {
+    slots: Vec<Option<NicProgram>>,
+    stats: SmartNicStats,
+}
+
+impl SmartNic {
+    /// Creates an engine with `num_slots` program slots (0 = plain NIC).
+    pub fn new(num_slots: usize) -> Self {
+        SmartNic {
+            slots: vec![None; num_slots],
+            stats: SmartNicStats::default(),
+        }
+    }
+
+    /// Installs a program in the first free slot.
+    pub fn install(&mut self, program: NicProgram) -> Result<ProgramSlot, SmartNicError> {
+        if self.slots.is_empty() {
+            return Err(SmartNicError::NotProgrammable);
+        }
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(program);
+                return Ok(ProgramSlot(i));
+            }
+        }
+        Err(SmartNicError::OutOfSlots)
+    }
+
+    /// Removes the program in `slot`; idempotent.
+    pub fn uninstall(&mut self, slot: ProgramSlot) {
+        if let Some(s) = self.slots.get_mut(slot.0) {
+            *s = None;
+        }
+    }
+
+    /// Number of installed programs.
+    pub fn installed(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Runs every installed program over an incoming frame, in slot order.
+    pub fn process_rx(&mut self, frame: &[u8]) -> RxDecision {
+        if self.installed() == 0 {
+            return RxDecision::Accept {
+                queue: None,
+                frame: None,
+            };
+        }
+        self.stats.frames_processed += 1;
+        let mut queue = None;
+        let mut rewritten: Option<Vec<u8>> = None;
+        // Hold the working bytes locally so map programs compose.
+        for slot in self.slots.iter().flatten() {
+            let bytes: &[u8] = rewritten.as_deref().unwrap_or(frame);
+            match slot {
+                NicProgram::Filter {
+                    predicate,
+                    cycles_per_frame,
+                } => {
+                    self.stats.device_cycles += cycles_per_frame;
+                    if !predicate(bytes) {
+                        self.stats.frames_filtered += 1;
+                        return RxDecision::Drop;
+                    }
+                }
+                NicProgram::Steer {
+                    selector,
+                    cycles_per_frame,
+                } => {
+                    self.stats.device_cycles += cycles_per_frame;
+                    if let Some(q) = selector(bytes) {
+                        queue = Some(q);
+                    }
+                }
+                NicProgram::Map {
+                    transform,
+                    cycles_per_frame,
+                } => {
+                    self.stats.device_cycles += cycles_per_frame;
+                    rewritten = Some(transform(bytes));
+                }
+            }
+        }
+        RxDecision::Accept {
+            queue,
+            frame: rewritten,
+        }
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> SmartNicStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter(keep_byte: u8) -> NicProgram {
+        NicProgram::Filter {
+            predicate: Rc::new(move |f: &[u8]| f.first() == Some(&keep_byte)),
+            cycles_per_frame: 10,
+        }
+    }
+
+    #[test]
+    fn plain_nic_rejects_programs() {
+        let mut nic = SmartNic::new(0);
+        assert_eq!(nic.install(filter(1)), Err(SmartNicError::NotProgrammable));
+    }
+
+    #[test]
+    fn slots_are_finite() {
+        let mut nic = SmartNic::new(2);
+        nic.install(filter(1)).unwrap();
+        nic.install(filter(2)).unwrap();
+        assert_eq!(nic.install(filter(3)), Err(SmartNicError::OutOfSlots));
+        assert_eq!(nic.installed(), 2);
+    }
+
+    #[test]
+    fn filter_drops_and_counts_device_cycles() {
+        let mut nic = SmartNic::new(1);
+        nic.install(filter(0xAA)).unwrap();
+        assert!(matches!(
+            nic.process_rx(&[0xAA, 1]),
+            RxDecision::Accept { .. }
+        ));
+        assert!(matches!(nic.process_rx(&[0xBB, 1]), RxDecision::Drop));
+        let s = nic.stats();
+        assert_eq!(s.frames_processed, 2);
+        assert_eq!(s.frames_filtered, 1);
+        assert_eq!(s.device_cycles, 20);
+    }
+
+    #[test]
+    fn steer_selects_queue() {
+        let mut nic = SmartNic::new(1);
+        nic.install(NicProgram::Steer {
+            selector: Rc::new(|f: &[u8]| f.first().map(|b| (*b % 4) as u16)),
+            cycles_per_frame: 5,
+        })
+        .unwrap();
+        match nic.process_rx(&[7]) {
+            RxDecision::Accept { queue, .. } => assert_eq!(queue, Some(3)),
+            other => panic!("unexpected decision {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_rewrites_frame_and_composes_with_filter() {
+        let mut nic = SmartNic::new(2);
+        nic.install(NicProgram::Map {
+            transform: Rc::new(|f: &[u8]| f.iter().map(|b| b ^ 0xFF).collect()),
+            cycles_per_frame: 3,
+        })
+        .unwrap();
+        // Filter sees the *mapped* bytes because it is installed after.
+        nic.install(filter(0x00)).unwrap();
+        match nic.process_rx(&[0xFF, 0x01]) {
+            RxDecision::Accept { frame, .. } => assert_eq!(frame, Some(vec![0x00, 0xFE])),
+            other => panic!("unexpected decision {other:?}"),
+        }
+        assert!(matches!(nic.process_rx(&[0x00]), RxDecision::Drop));
+    }
+
+    #[test]
+    fn uninstall_frees_the_slot() {
+        let mut nic = SmartNic::new(1);
+        let slot = nic.install(filter(1)).unwrap();
+        nic.uninstall(slot);
+        assert_eq!(nic.installed(), 0);
+        assert!(nic.install(filter(2)).is_ok());
+    }
+}

@@ -1,0 +1,116 @@
+//! ICMP echo (ping), for reachability checks and stack smoke tests.
+
+use crate::checksum::{internet_checksum, verify};
+use crate::types::NetError;
+
+/// ICMP header length for echo messages.
+pub const ICMP_HEADER_LEN: usize = 8;
+
+/// An ICMP echo request or reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpEcho {
+    /// `true` for request (type 8), `false` for reply (type 0).
+    pub is_request: bool,
+    /// Identifier (matches requests to repliers).
+    pub ident: u16,
+    /// Sequence number.
+    pub seq: u16,
+    /// Echo payload.
+    pub payload: Vec<u8>,
+}
+
+impl IcmpEcho {
+    /// Serializes with checksum.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ICMP_HEADER_LEN + self.payload.len());
+        out.push(if self.is_request { 8 } else { 0 });
+        out.push(0); // Code.
+        out.extend_from_slice(&[0, 0]); // Checksum placeholder.
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let ck = internet_checksum(&out);
+        out[2..4].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Parses and validates an echo message.
+    pub fn parse(data: &[u8]) -> Result<IcmpEcho, NetError> {
+        if data.len() < ICMP_HEADER_LEN {
+            return Err(NetError::Malformed("icmp header"));
+        }
+        if !verify(data) {
+            return Err(NetError::Malformed("icmp checksum"));
+        }
+        let is_request = match data[0] {
+            8 => true,
+            0 => false,
+            _ => return Err(NetError::Malformed("icmp type")),
+        };
+        Ok(IcmpEcho {
+            is_request,
+            ident: u16::from_be_bytes([data[4], data[5]]),
+            seq: u16::from_be_bytes([data[6], data[7]]),
+            payload: data[ICMP_HEADER_LEN..].to_vec(),
+        })
+    }
+
+    /// Builds the reply to this request (same ident/seq/payload).
+    pub fn reply(&self) -> IcmpEcho {
+        IcmpEcho {
+            is_request: false,
+            ident: self.ident,
+            seq: self.seq,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_request() {
+        let req = IcmpEcho {
+            is_request: true,
+            ident: 0x1234,
+            seq: 7,
+            payload: b"ping".to_vec(),
+        };
+        let parsed = IcmpEcho::parse(&req.serialize()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn reply_mirrors_request() {
+        let req = IcmpEcho {
+            is_request: true,
+            ident: 1,
+            seq: 2,
+            payload: b"x".to_vec(),
+        };
+        let rep = req.reply();
+        assert!(!rep.is_request);
+        assert_eq!(rep.ident, 1);
+        assert_eq!(rep.seq, 2);
+        assert_eq!(rep.payload, b"x");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let req = IcmpEcho {
+            is_request: true,
+            ident: 1,
+            seq: 2,
+            payload: b"data".to_vec(),
+        };
+        let mut bytes = req.serialize();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert_eq!(
+            IcmpEcho::parse(&bytes),
+            Err(NetError::Malformed("icmp checksum"))
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! A user-level network stack for DPDK-class kernel-bypass devices.
+//!
+//! The paper observes (§2, §5.1) that a device like DPDK provides *no* OS
+//! features beyond bypass: "applications must supply their own I/O stack
+//! (e.g., a complete user-level TCP stack)". This crate is that stack — the
+//! largest piece of OS functionality the `catnip` library OS must implement
+//! on the CPU because the device does not:
+//!
+//! * [`eth`] — Ethernet II framing;
+//! * [`arp`] — address resolution with a cache, request retry, and pending
+//!   packet queues;
+//! * [`ipv4`] — IPv4 headers with internet checksums (no fragmentation:
+//!   upper layers respect the MTU, as datacenter stacks do);
+//! * [`icmp`] — echo request/reply, for reachability tests;
+//! * [`udp`] — datagram sockets (message boundaries preserved — the natural
+//!   fit for Demikernel queues);
+//! * [`tcp`] — a full TCP: three-way handshake, cumulative and duplicate
+//!   ACKs, fast retransmit, Jacobson/Karn RTO estimation, NewReno
+//!   congestion control, receiver flow control with out-of-order
+//!   reassembly, and the complete close/TIME_WAIT state machine;
+//! * [`framing`] — length-prefixed message framing layered over TCP's byte
+//!   stream, so Demikernel queues can preserve *atomic data units* across a
+//!   stream transport (paper §5.2);
+//! * [`stack`] — [`stack::NetworkStack`], which ties the layers to a
+//!   [`dpdk_sim::DpdkPort`] behind handle-based, poll-driven socket APIs.
+//!
+//! The stack is single-threaded and non-blocking throughout: a Demikernel
+//! coroutine calls `poll()`, checks for completions, and yields.
+
+pub mod arp;
+pub mod checksum;
+pub mod eth;
+pub mod framing;
+pub mod icmp;
+pub mod ipv4;
+pub mod stack;
+pub mod tcp;
+pub mod types;
+pub mod udp;
+
+pub use stack::{NetworkStack, StackConfig, StackStats};
+pub use types::{NetError, SocketAddr};

@@ -1,0 +1,521 @@
+//! The assembled stack: Ethernet/ARP/IPv4/ICMP/UDP/TCP over a DPDK port.
+//!
+//! [`NetworkStack`] is what the `catnip` library OS instantiates per device.
+//! It is poll-driven and non-blocking end to end: a scheduler coroutine
+//! calls [`NetworkStack::poll`] each pass, then checks handle-based socket
+//! APIs for completions. Received payloads are delivered as zero-copy
+//! [`DemiBuffer`] views into the device's mbufs.
+
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+
+use demi_memory::DemiBuffer;
+use dpdk_sim::{DpdkPort, Mbuf};
+use sim_fabric::{MacAddress, SimClock, SimTime};
+
+use crate::arp::{ArpAction, ArpCache, ArpOp, ArpPacket, ARP_LEN};
+use crate::eth::{build_frame, EthHeader, EtherType, ETH_HEADER_LEN};
+use crate::icmp::IcmpEcho;
+use crate::ipv4::{build_packet, IpProtocol, Ipv4Header, IPV4_HEADER_LEN};
+use crate::tcp::{ConnId, ListenerId, State, TcpConfig, TcpPeer, TcpStats};
+use crate::types::{NetError, SocketAddr};
+use crate::udp::{UdpHeader, UdpPeer, UdpStats, UDP_HEADER_LEN};
+
+/// Frames pulled from the device per poll pass.
+const RX_BURST: usize = 64;
+
+/// Stack construction parameters.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// This host's IPv4 address.
+    pub ip: Ipv4Addr,
+    /// Link MTU in bytes (IP packet budget).
+    pub mtu: usize,
+    /// ARP cache TTL.
+    pub arp_ttl: SimTime,
+    /// ARP request retry interval.
+    pub arp_retry: SimTime,
+    /// ARP request attempts before declaring unreachable.
+    pub arp_tries: u32,
+    /// Per-UDP-socket receive queue depth.
+    pub udp_queue_depth: usize,
+    /// TCP tunables.
+    pub tcp: TcpConfig,
+}
+
+impl StackConfig {
+    /// Sensible defaults for a host at `ip`.
+    pub fn new(ip: Ipv4Addr) -> Self {
+        StackConfig {
+            ip,
+            mtu: 1500,
+            arp_ttl: SimTime::from_secs(60),
+            arp_retry: SimTime::from_millis(1),
+            arp_tries: 3,
+            udp_queue_depth: 1024,
+            tcp: TcpConfig::default(),
+        }
+    }
+}
+
+/// Stack-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackStats {
+    /// Frames processed from the device.
+    pub rx_frames: u64,
+    /// Frames handed to the device.
+    pub tx_frames: u64,
+    /// Frames dropped as malformed (bad checksum, short headers, ...).
+    pub malformed: u64,
+    /// Frames addressed to someone else (wrong IP) and dropped.
+    pub not_for_us: u64,
+    /// ARP requests transmitted.
+    pub arp_requests: u64,
+    /// ARP replies transmitted.
+    pub arp_replies: u64,
+    /// ICMP echo replies transmitted.
+    pub icmp_replies: u64,
+    /// Outbound packets dropped because ARP resolution failed.
+    pub unreachable_drops: u64,
+}
+
+struct Inner {
+    port: DpdkPort,
+    clock: SimClock,
+    config: StackConfig,
+    arp: ArpCache,
+    udp: UdpPeer,
+    tcp: TcpPeer,
+    pongs: Vec<(Ipv4Addr, u16, u16)>,
+    stats: StackStats,
+}
+
+/// One host's user-level network stack bound to one device port.
+pub struct NetworkStack {
+    inner: RefCell<Inner>,
+}
+
+impl NetworkStack {
+    /// Builds a stack on `port`, sharing the simulation `clock`.
+    pub fn new(port: DpdkPort, clock: SimClock, config: StackConfig) -> Self {
+        NetworkStack {
+            inner: RefCell::new(Inner {
+                arp: ArpCache::new(config.arp_ttl, config.arp_retry, config.arp_tries),
+                udp: UdpPeer::new(config.udp_queue_depth),
+                tcp: TcpPeer::new(config.ip, config.tcp),
+                pongs: Vec::new(),
+                port,
+                clock,
+                config,
+                stats: StackStats::default(),
+            }),
+        }
+    }
+
+    /// This host's IPv4 address.
+    pub fn local_ip(&self) -> Ipv4Addr {
+        self.inner.borrow().config.ip
+    }
+
+    /// This host's hardware address.
+    pub fn mac(&self) -> MacAddress {
+        self.inner.borrow().port.mac()
+    }
+
+    /// Largest UDP payload the MTU allows.
+    pub fn max_udp_payload(&self) -> usize {
+        self.inner.borrow().config.mtu - IPV4_HEADER_LEN - UDP_HEADER_LEN
+    }
+
+    /// One poll pass: drain device RX, advance protocol timers, flush TX.
+    pub fn poll(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.rx_pass();
+        inner.timer_pass();
+        inner.flush_tcp();
+    }
+
+    /// Earliest protocol timer deadline (ARP retry, TCP RTO/persist/
+    /// TIME_WAIT), for runtime clock advancement.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let inner = self.inner.borrow();
+        [inner.arp.next_deadline(), inner.tcp.next_deadline()]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Stack counters.
+    pub fn stats(&self) -> StackStats {
+        self.inner.borrow().stats
+    }
+
+    /// UDP layer counters.
+    pub fn udp_stats(&self) -> UdpStats {
+        self.inner.borrow().udp.stats()
+    }
+
+    /// TCP layer counters.
+    pub fn tcp_stats(&self) -> TcpStats {
+        self.inner.borrow().tcp.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // ICMP.
+    // ------------------------------------------------------------------
+
+    /// Sends an ICMP echo request.
+    pub fn ping(&self, dst: Ipv4Addr, ident: u16, seq: u16) {
+        let mut inner = self.inner.borrow_mut();
+        let echo = IcmpEcho {
+            is_request: true,
+            ident,
+            seq,
+            payload: Vec::new(),
+        };
+        let bytes = echo.serialize();
+        inner.send_ip(dst, IpProtocol::Icmp, &bytes);
+    }
+
+    /// Pops a received echo reply `(from, ident, seq)`.
+    pub fn recv_pong(&self) -> Option<(Ipv4Addr, u16, u16)> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.pongs.is_empty() {
+            None
+        } else {
+            Some(inner.pongs.remove(0))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // UDP.
+    // ------------------------------------------------------------------
+
+    /// Binds a UDP port.
+    pub fn udp_bind(&self, port: u16) -> Result<(), NetError> {
+        self.inner.borrow_mut().udp.bind(port)
+    }
+
+    /// Binds an ephemeral UDP port and returns it.
+    pub fn udp_bind_ephemeral(&self) -> Result<u16, NetError> {
+        self.inner.borrow_mut().udp.bind_ephemeral()
+    }
+
+    /// Closes a UDP port.
+    pub fn udp_close(&self, port: u16) {
+        self.inner.borrow_mut().udp.close(port);
+    }
+
+    /// Sends one datagram from `src_port` to `dst`.
+    pub fn udp_sendto(
+        &self,
+        src_port: u16,
+        dst: SocketAddr,
+        payload: &[u8],
+    ) -> Result<(), NetError> {
+        let mut inner = self.inner.borrow_mut();
+        let max = inner.config.mtu - IPV4_HEADER_LEN - UDP_HEADER_LEN;
+        if payload.len() > max {
+            return Err(NetError::MessageTooLong {
+                len: payload.len(),
+                max,
+            });
+        }
+        if !inner.udp.is_bound(src_port) {
+            return Err(NetError::BadHandle);
+        }
+        let header = UdpHeader {
+            src_port,
+            dst_port: dst.port,
+        };
+        let datagram = header.build_datagram(inner.config.ip, dst.ip, payload);
+        inner.send_ip(dst.ip, IpProtocol::Udp, &datagram);
+        Ok(())
+    }
+
+    /// Pops a received datagram on `port` (zero-copy payload).
+    pub fn udp_recv_from(&self, port: u16) -> Option<(SocketAddr, DemiBuffer)> {
+        self.inner.borrow_mut().udp.recv_from(port)
+    }
+
+    /// Datagrams queued on `port`.
+    pub fn udp_pending(&self, port: u16) -> usize {
+        self.inner.borrow().udp.pending(port)
+    }
+
+    // ------------------------------------------------------------------
+    // TCP.
+    // ------------------------------------------------------------------
+
+    /// Starts listening on a TCP port.
+    pub fn tcp_listen(&self, port: u16, backlog: usize) -> Result<ListenerId, NetError> {
+        self.inner.borrow_mut().tcp.listen(port, backlog)
+    }
+
+    /// Pops an established connection from a listener backlog.
+    pub fn tcp_accept(&self, listener: ListenerId) -> Result<Option<ConnId>, NetError> {
+        self.inner.borrow_mut().tcp.accept(listener)
+    }
+
+    /// Stops listening; pending unaccepted connections are aborted.
+    pub fn tcp_close_listener(&self, listener: ListenerId) {
+        let mut inner = self.inner.borrow_mut();
+        inner.tcp.close_listener(listener);
+        inner.flush_tcp();
+    }
+
+    /// Starts an active open; poll [`NetworkStack::tcp_state`] until
+    /// `Established` (or an error).
+    pub fn tcp_connect(&self, remote: SocketAddr) -> Result<ConnId, NetError> {
+        let mut inner = self.inner.borrow_mut();
+        let now = inner.clock.now();
+        let conn = inner.tcp.connect(remote, now)?;
+        inner.flush_tcp();
+        Ok(conn)
+    }
+
+    /// Connection state.
+    pub fn tcp_state(&self, conn: ConnId) -> Result<State, NetError> {
+        self.inner.borrow().tcp.state(conn)
+    }
+
+    /// Connection failure, if any.
+    pub fn tcp_error(&self, conn: ConnId) -> Option<NetError> {
+        self.inner.borrow().tcp.error(conn)
+    }
+
+    /// Queues stream data (zero-copy) for transmission.
+    pub fn tcp_send(&self, conn: ConnId, data: DemiBuffer) -> Result<(), NetError> {
+        let mut inner = self.inner.borrow_mut();
+        let now = inner.clock.now();
+        inner.tcp.send(conn, data, now)?;
+        inner.flush_tcp();
+        Ok(())
+    }
+
+    /// Pops received stream data (ordered chunks).
+    pub fn tcp_recv(&self, conn: ConnId) -> Result<Option<DemiBuffer>, NetError> {
+        let mut inner = self.inner.borrow_mut();
+        let r = inner.tcp.recv(conn)?;
+        // recv may emit a window update.
+        inner.flush_tcp();
+        Ok(r)
+    }
+
+    /// Whether the connection has data or EOF to read.
+    pub fn tcp_readable(&self, conn: ConnId) -> bool {
+        self.inner.borrow().tcp.is_readable(conn)
+    }
+
+    /// Whether the peer closed and all data was drained.
+    pub fn tcp_eof(&self, conn: ConnId) -> bool {
+        self.inner.borrow().tcp.at_eof(conn)
+    }
+
+    /// Graceful close.
+    pub fn tcp_close(&self, conn: ConnId) -> Result<(), NetError> {
+        let mut inner = self.inner.borrow_mut();
+        let now = inner.clock.now();
+        inner.tcp.close(conn, now)?;
+        inner.flush_tcp();
+        Ok(())
+    }
+
+    /// Abortive close.
+    pub fn tcp_abort(&self, conn: ConnId) -> Result<(), NetError> {
+        let mut inner = self.inner.borrow_mut();
+        inner.tcp.abort(conn)?;
+        inner.flush_tcp();
+        Ok(())
+    }
+
+    /// Per-connection protocol counters.
+    pub fn tcp_conn_stats(&self, conn: ConnId) -> Result<crate::tcp::cb::CbStats, NetError> {
+        self.inner.borrow().tcp.conn_stats(conn)
+    }
+}
+
+impl Inner {
+    fn rx_pass(&mut self) {
+        loop {
+            let burst = self.port.rx_burst(0, RX_BURST);
+            if burst.is_empty() {
+                return;
+            }
+            for mbuf in burst {
+                self.stats.rx_frames += 1;
+                self.handle_frame(mbuf);
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, mbuf: Mbuf) {
+        let frame = mbuf.as_slice();
+        let Ok((eth, _)) = EthHeader::parse(frame) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        match eth.ethertype {
+            EtherType::Arp => self.handle_arp(&frame[ETH_HEADER_LEN..]),
+            EtherType::Ipv4 => self.handle_ipv4(&mbuf),
+            EtherType::Other(_) => self.stats.not_for_us += 1,
+        }
+    }
+
+    fn handle_arp(&mut self, payload: &[u8]) {
+        let Ok(pkt) = ArpPacket::parse(payload) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        let now = self.clock.now();
+        // Opportunistically learn the sender's binding either way.
+        let actions = self.arp.insert(pkt.sender_ip, pkt.sender_mac, now);
+        self.run_arp_actions(actions);
+        if pkt.op == ArpOp::Request && pkt.target_ip == self.config.ip {
+            let reply = ArpPacket {
+                op: ArpOp::Reply,
+                sender_mac: self.port.mac(),
+                sender_ip: self.config.ip,
+                target_mac: pkt.sender_mac,
+                target_ip: pkt.sender_ip,
+            };
+            self.stats.arp_replies += 1;
+            self.tx_frame(pkt.sender_mac, EtherType::Arp, &reply.serialize());
+        }
+    }
+
+    fn handle_ipv4(&mut self, mbuf: &Mbuf) {
+        let frame = mbuf.as_slice();
+        let ip_bytes = &frame[ETH_HEADER_LEN..];
+        let Ok((ip, payload)) = Ipv4Header::parse(ip_bytes) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        if ip.dst != self.config.ip {
+            self.stats.not_for_us += 1;
+            return;
+        }
+        let ihl = ((ip_bytes[0] & 0x0F) as usize) * 4;
+        let ip_payload_off = ETH_HEADER_LEN + ihl;
+        match ip.protocol {
+            IpProtocol::Icmp => self.handle_icmp(ip.src, payload),
+            IpProtocol::Udp => {
+                let Ok((udp, payload_len)) = UdpHeader::parse(ip.src, ip.dst, payload) else {
+                    self.stats.malformed += 1;
+                    return;
+                };
+                let start = ip_payload_off + UDP_HEADER_LEN;
+                let view = mbuf.data.slice(start, start + payload_len);
+                let from = SocketAddr::new(ip.src, udp.src_port);
+                self.udp.deliver(from, udp.dst_port, view);
+            }
+            IpProtocol::Tcp => {
+                let Ok((tcp, data_off)) = crate::tcp::TcpHeader::parse(ip.src, ip.dst, payload)
+                else {
+                    self.stats.malformed += 1;
+                    return;
+                };
+                let start = ip_payload_off + data_off;
+                let end = ip_payload_off + payload.len();
+                let view = mbuf.data.slice(start, end);
+                let now = self.clock.now();
+                self.tcp.on_segment(ip.src, &tcp, view, now);
+            }
+            IpProtocol::Other(_) => self.stats.not_for_us += 1,
+        }
+    }
+
+    fn handle_icmp(&mut self, src: Ipv4Addr, payload: &[u8]) {
+        let Ok(echo) = IcmpEcho::parse(payload) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        if echo.is_request {
+            self.stats.icmp_replies += 1;
+            let bytes = echo.reply().serialize();
+            self.send_ip(src, IpProtocol::Icmp, &bytes);
+        } else {
+            self.pongs.push((src, echo.ident, echo.seq));
+        }
+    }
+
+    fn timer_pass(&mut self) {
+        let now = self.clock.now();
+        let actions = self.arp.poll(now);
+        self.run_arp_actions(actions);
+        self.tcp.on_tick(now);
+    }
+
+    fn flush_tcp(&mut self) {
+        for (dst_ip, seg) in self.tcp.take_segments() {
+            let segment = seg
+                .header
+                .build_segment(self.config.ip, dst_ip, seg.payload.as_slice());
+            self.send_ip(dst_ip, IpProtocol::Tcp, &segment);
+        }
+    }
+
+    /// Wraps `payload` in IP and resolves the next hop, queueing on ARP
+    /// misses.
+    fn send_ip(&mut self, dst: Ipv4Addr, protocol: IpProtocol, payload: &[u8]) {
+        debug_assert!(
+            IPV4_HEADER_LEN + payload.len() <= self.config.mtu,
+            "IP packet exceeds MTU"
+        );
+        let header = Ipv4Header {
+            src: self.config.ip,
+            dst,
+            protocol,
+            payload_len: payload.len(),
+        };
+        let packet = build_packet(&header, payload);
+        let now = self.clock.now();
+        match self.arp.lookup(dst, now) {
+            Some(mac) => self.tx_frame(mac, EtherType::Ipv4, &packet),
+            None => {
+                let actions = self.arp.enqueue_pending(dst, packet, now);
+                self.run_arp_actions(actions);
+            }
+        }
+    }
+
+    fn run_arp_actions(&mut self, actions: Vec<ArpAction>) {
+        for action in actions {
+            match action {
+                ArpAction::SendPending(mac, packet) => {
+                    self.tx_frame(mac, EtherType::Ipv4, &packet);
+                }
+                ArpAction::SendRequest(ip) => {
+                    self.stats.arp_requests += 1;
+                    let request = ArpPacket {
+                        op: ArpOp::Request,
+                        sender_mac: self.port.mac(),
+                        sender_ip: self.config.ip,
+                        target_mac: MacAddress::new([0; 6]),
+                        target_ip: ip,
+                    };
+                    debug_assert_eq!(request.serialize().len(), ARP_LEN);
+                    self.tx_frame(MacAddress::BROADCAST, EtherType::Arp, &request.serialize());
+                }
+                ArpAction::FailPending(_) => {
+                    self.stats.unreachable_drops += 1;
+                }
+            }
+        }
+    }
+
+    fn tx_frame(&mut self, dst: MacAddress, ethertype: EtherType, payload: &[u8]) {
+        let eth = EthHeader {
+            dst,
+            src: self.port.mac(),
+            ethertype,
+        };
+        let frame = build_frame(&eth, payload);
+        let mbuf = self.port.mempool().alloc_from(&frame);
+        self.stats.tx_frames += 1;
+        self.port.tx_burst(&[mbuf]);
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,913 @@
+//! The TCP control block: a pure protocol machine.
+//!
+//! A [`ControlBlock`] has no I/O of its own. Segments arrive via
+//! [`ControlBlock::on_segment`], timers fire via [`ControlBlock::on_tick`],
+//! and everything the machine wants transmitted accumulates in an outbox
+//! drained with [`ControlBlock::take_outbox`]. This keeps the whole state
+//! machine unit-testable by wiring two control blocks back to back (see the
+//! tests at the bottom), independent of devices and fabrics.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use demi_memory::DemiBuffer;
+use sim_fabric::SimTime;
+
+use crate::types::{NetError, SocketAddr};
+
+use super::congestion::NewReno;
+use super::header::{TcpFlags, TcpHeader};
+use super::rto::RttEstimator;
+use super::seq::SeqNum;
+use super::TcpConfig;
+
+/// Connection states (RFC 793 §3.2; LISTEN lives in the peer's listener).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Active open: SYN sent, awaiting SYN-ACK.
+    SynSent,
+    /// Passive open: SYN-ACK sent, awaiting ACK.
+    SynReceived,
+    /// Data may flow both ways.
+    Established,
+    /// We closed first; FIN sent, awaiting its ACK.
+    FinWait1,
+    /// Our FIN is acked; awaiting the peer's FIN.
+    FinWait2,
+    /// Both sides closed simultaneously; awaiting ACK of our FIN.
+    Closing,
+    /// Both FINs exchanged; draining old segments for 2·MSL.
+    TimeWait,
+    /// Peer closed first; we may still send.
+    CloseWait,
+    /// We closed after the peer; FIN sent, awaiting its ACK.
+    LastAck,
+    /// Fully closed (or reset).
+    Closed,
+}
+
+/// A segment the control block wants transmitted.
+#[derive(Debug, Clone)]
+pub struct TcpSegmentOut {
+    /// Transport header (ports filled from the connection's 4-tuple).
+    pub header: TcpHeader,
+    /// Zero-copy payload.
+    pub payload: DemiBuffer,
+}
+
+/// A sent-but-unacked segment kept for retransmission.
+#[derive(Debug, Clone)]
+struct TxSeg {
+    seq: SeqNum,
+    data: DemiBuffer,
+    syn: bool,
+    fin: bool,
+    tx_time: SimTime,
+    retransmitted: bool,
+}
+
+impl TxSeg {
+    /// Sequence-space length (payload bytes plus SYN/FIN flags).
+    fn seq_len(&self) -> u32 {
+        self.data.len() as u32 + self.syn as u32 + self.fin as u32
+    }
+}
+
+/// Per-connection counters, used by experiments and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CbStats {
+    /// Data segments transmitted (first transmissions).
+    pub segments_sent: u64,
+    /// Segments retransmitted (timeout or fast retransmit).
+    pub retransmissions: u64,
+    /// Fast retransmits triggered by three duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// Segments received with in-order payload.
+    pub in_order_segments: u64,
+    /// Segments buffered out of order.
+    pub out_of_order_segments: u64,
+    /// Pure ACKs sent.
+    pub acks_sent: u64,
+    /// Zero-window probes sent.
+    pub persist_probes: u64,
+}
+
+/// The TCP connection state machine.
+pub struct ControlBlock {
+    local: SocketAddr,
+    remote: SocketAddr,
+    state: State,
+    config: TcpConfig,
+    mss: usize,
+
+    // Sender.
+    snd_una: SeqNum,
+    snd_nxt: SeqNum,
+    snd_wnd: usize,
+    send_queue: VecDeque<DemiBuffer>,
+    send_queue_bytes: usize,
+    retx: VecDeque<TxSeg>,
+    cc: NewReno,
+    rtt: RttEstimator,
+    rto_deadline: Option<SimTime>,
+    persist_deadline: Option<SimTime>,
+    dup_acks: u32,
+    recover: SeqNum,
+    fin_pending: bool,
+    fin_seq: Option<SeqNum>,
+    fin_acked: bool,
+    handshake_retries_left: u32,
+
+    // Receiver.
+    irs: SeqNum,
+    rcv_nxt: SeqNum,
+    ooo: BTreeMap<u32, DemiBuffer>,
+    ooo_bytes: usize,
+    ready: VecDeque<DemiBuffer>,
+    ready_bytes: usize,
+    fin_received: bool,
+    last_advertised_window: usize,
+
+    // Lifecycle.
+    timewait_deadline: Option<SimTime>,
+    error: Option<NetError>,
+    outbox: Vec<TcpSegmentOut>,
+    stats: CbStats,
+}
+
+impl ControlBlock {
+    /// Starts an active open: emits a SYN and enters `SynSent`.
+    pub fn connect(
+        local: SocketAddr,
+        remote: SocketAddr,
+        iss: SeqNum,
+        now: SimTime,
+        config: TcpConfig,
+    ) -> Self {
+        let mut cb = Self::blank(local, remote, iss, config);
+        cb.state = State::SynSent;
+        cb.push_handshake_segment(true, false, now);
+        cb
+    }
+
+    /// Starts a passive open in response to a received SYN: emits a
+    /// SYN-ACK and enters `SynReceived`.
+    pub fn accept(
+        local: SocketAddr,
+        remote: SocketAddr,
+        iss: SeqNum,
+        syn: &TcpHeader,
+        now: SimTime,
+        config: TcpConfig,
+    ) -> Self {
+        let mut cb = Self::blank(local, remote, iss, config);
+        cb.state = State::SynReceived;
+        cb.irs = syn.seq;
+        cb.rcv_nxt = syn.seq + 1;
+        if let Some(peer_mss) = syn.mss {
+            cb.mss = cb.mss.min(peer_mss as usize);
+        }
+        cb.snd_wnd = syn.window as usize;
+        cb.push_handshake_segment(true, true, now);
+        cb
+    }
+
+    fn blank(local: SocketAddr, remote: SocketAddr, iss: SeqNum, config: TcpConfig) -> Self {
+        ControlBlock {
+            local,
+            remote,
+            state: State::Closed,
+            mss: config.mss,
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_wnd: config.mss, // Until the first window arrives.
+            send_queue: VecDeque::new(),
+            send_queue_bytes: 0,
+            retx: VecDeque::new(),
+            cc: NewReno::new(config.mss),
+            rtt: RttEstimator::new(config.rto_initial, config.rto_min, config.rto_max),
+            rto_deadline: None,
+            persist_deadline: None,
+            dup_acks: 0,
+            recover: iss,
+            fin_pending: false,
+            fin_seq: None,
+            fin_acked: false,
+            handshake_retries_left: config.syn_retries,
+            irs: SeqNum(0),
+            rcv_nxt: SeqNum(0),
+            ooo: BTreeMap::new(),
+            ooo_bytes: 0,
+            ready: VecDeque::new(),
+            ready_bytes: 0,
+            fin_received: false,
+            last_advertised_window: config.recv_capacity.min(65_535),
+            timewait_deadline: None,
+            error: None,
+            outbox: Vec::new(),
+            stats: CbStats::default(),
+            config,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// Current connection state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Terminal error (RST received, handshake timeout), if any.
+    pub fn error(&self) -> Option<&NetError> {
+        self.error.as_ref()
+    }
+
+    /// The local endpoint.
+    pub fn local(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// The remote endpoint.
+    pub fn remote(&self) -> SocketAddr {
+        self.remote
+    }
+
+    /// Negotiated maximum segment size.
+    pub fn mss(&self) -> usize {
+        self.mss
+    }
+
+    /// Connection counters.
+    pub fn stats(&self) -> CbStats {
+        self.stats
+    }
+
+    /// Drains segments queued for transmission.
+    pub fn take_outbox(&mut self) -> Vec<TcpSegmentOut> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Whether received data (or an EOF) is available to the application.
+    pub fn is_readable(&self) -> bool {
+        !self.ready.is_empty() || self.fin_received || self.error.is_some()
+    }
+
+    /// Bytes queued locally but not yet transmitted.
+    pub fn untransmitted_bytes(&self) -> usize {
+        self.send_queue_bytes
+    }
+
+    /// Bytes in flight (transmitted, unacked), in sequence space.
+    pub fn flight_size(&self) -> usize {
+        self.snd_nxt.since(self.snd_una) as usize
+    }
+
+    /// The receive window currently advertisable.
+    fn recv_window(&self) -> usize {
+        self.config
+            .recv_capacity
+            .saturating_sub(self.ready_bytes + self.ooo_bytes)
+            .min(65_535)
+    }
+
+    /// Earliest timer deadline, for runtime clock advancement.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        [
+            self.rto_deadline,
+            self.persist_deadline,
+            self.timewait_deadline,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    // ------------------------------------------------------------------
+    // Application interface.
+    // ------------------------------------------------------------------
+
+    /// Queues `data` for transmission.
+    pub fn send(&mut self, data: DemiBuffer, now: SimTime) -> Result<(), NetError> {
+        match self.state {
+            State::Established | State::CloseWait => {
+                if let Some(err) = &self.error {
+                    return Err(err.clone());
+                }
+                self.send_queue_bytes += data.len();
+                self.send_queue.push_back(data);
+                self.output(now);
+                Ok(())
+            }
+            State::SynSent | State::SynReceived => {
+                // Queue until established (allowed by RFC 793).
+                self.send_queue_bytes += data.len();
+                self.send_queue.push_back(data);
+                Ok(())
+            }
+            State::Closed => Err(self.error.clone().unwrap_or(NetError::NotConnected)),
+            _ => Err(NetError::Closed),
+        }
+    }
+
+    /// Pops received in-order data. `None` means nothing available (check
+    /// [`ControlBlock::is_readable`] / EOF separately).
+    pub fn recv(&mut self) -> Option<DemiBuffer> {
+        let buf = self.ready.pop_front()?;
+        self.ready_bytes -= buf.len();
+        // Window update: if the advertised window had collapsed below one
+        // MSS and draining reopened it, tell the sender (it may be
+        // persist-probing an apparently-zero window).
+        if self.last_advertised_window < self.mss && self.recv_window() >= self.mss {
+            self.send_ack();
+        }
+        Some(buf)
+    }
+
+    /// Whether the peer has closed and all its data has been consumed.
+    pub fn at_eof(&self) -> bool {
+        self.fin_received && self.ready.is_empty() && self.ooo.is_empty()
+    }
+
+    /// Initiates a local close. Queued data (and then a FIN) still drain.
+    pub fn close(&mut self, now: SimTime) {
+        match self.state {
+            State::SynSent => {
+                self.state = State::Closed;
+                self.clear_timers();
+            }
+            State::SynReceived | State::Established => {
+                self.state = State::FinWait1;
+                self.fin_pending = true;
+                self.output(now);
+            }
+            State::CloseWait => {
+                self.state = State::LastAck;
+                self.fin_pending = true;
+                self.output(now);
+            }
+            _ => {}
+        }
+    }
+
+    /// Hard reset: emits RST and closes immediately (abortive close).
+    pub fn abort(&mut self) {
+        if !matches!(self.state, State::Closed | State::TimeWait) {
+            self.emit(
+                TcpFlags::RST_ACK,
+                self.snd_nxt,
+                DemiBuffer::from_slice(b""),
+                None,
+            );
+        }
+        self.state = State::Closed;
+        self.error = Some(NetError::ConnectionReset);
+        self.clear_timers();
+    }
+
+    // ------------------------------------------------------------------
+    // Segment input.
+    // ------------------------------------------------------------------
+
+    /// Processes one received segment addressed to this connection.
+    pub fn on_segment(&mut self, hdr: &TcpHeader, payload: DemiBuffer, now: SimTime) {
+        if hdr.flags.rst {
+            self.on_rst();
+            return;
+        }
+        match self.state {
+            State::Closed => {}
+            State::SynSent => self.on_segment_syn_sent(hdr, now),
+            State::TimeWait => {
+                // Re-ACK a retransmitted FIN and restart the 2·MSL timer.
+                if hdr.flags.fin {
+                    self.send_ack();
+                    self.timewait_deadline =
+                        Some(now.saturating_add(self.config.msl.saturating_mul(2)));
+                }
+            }
+            _ => {
+                if self.state == State::SynReceived {
+                    if hdr.flags.ack && hdr.ack == self.snd_nxt {
+                        self.complete_passive_open(hdr, now);
+                    } else if hdr.flags.syn {
+                        // Retransmitted SYN: re-send the SYN-ACK.
+                        self.retransmit_front(now);
+                        return;
+                    } else {
+                        return;
+                    }
+                }
+                if hdr.flags.ack {
+                    self.process_ack(hdr, payload.len(), now);
+                }
+                self.process_data(hdr, payload, now);
+                self.output(now);
+            }
+        }
+    }
+
+    fn on_rst(&mut self) {
+        self.error = Some(if self.state == State::SynSent {
+            NetError::ConnectionRefused
+        } else {
+            NetError::ConnectionReset
+        });
+        self.state = State::Closed;
+        self.send_queue.clear();
+        self.send_queue_bytes = 0;
+        self.retx.clear();
+        self.clear_timers();
+    }
+
+    fn on_segment_syn_sent(&mut self, hdr: &TcpHeader, now: SimTime) {
+        if hdr.flags.syn && hdr.flags.ack && hdr.ack == self.snd_nxt {
+            self.irs = hdr.seq;
+            self.rcv_nxt = hdr.seq + 1;
+            self.snd_una = hdr.ack;
+            self.snd_wnd = hdr.window as usize;
+            if let Some(peer_mss) = hdr.mss {
+                self.mss = self.mss.min(peer_mss as usize);
+            }
+            // The SYN is acked; drop it from the retransmission queue.
+            if let Some(front) = self.retx.front() {
+                if front.syn && !front.retransmitted {
+                    self.rtt.sample(now.saturating_since(front.tx_time));
+                }
+            }
+            self.retx.pop_front();
+            self.rto_deadline = None;
+            self.state = State::Established;
+            self.send_ack();
+            self.output(now);
+        }
+        // A bare SYN (simultaneous open) is out of scope; ignore it and let
+        // retransmission sort the race out.
+    }
+
+    fn complete_passive_open(&mut self, hdr: &TcpHeader, now: SimTime) {
+        self.snd_una = hdr.ack;
+        self.snd_wnd = hdr.window as usize;
+        if let Some(front) = self.retx.front() {
+            if front.syn && !front.retransmitted {
+                self.rtt.sample(now.saturating_since(front.tx_time));
+            }
+        }
+        self.retx.pop_front();
+        self.rto_deadline = None;
+        self.state = State::Established;
+    }
+
+    fn process_ack(&mut self, hdr: &TcpHeader, payload_len: usize, now: SimTime) {
+        let ack = hdr.ack;
+        if ack.gt(self.snd_nxt) {
+            // Acks data we never sent; re-assert our state.
+            self.send_ack();
+            return;
+        }
+        let prev_wnd = self.snd_wnd;
+        if ack.ge(self.snd_una) {
+            self.snd_wnd = hdr.window as usize;
+            if self.snd_wnd > 0 {
+                self.persist_deadline = None;
+                if prev_wnd == 0 && !self.retx.is_empty() {
+                    // The window reopened while a probe (or other data) was
+                    // stranded in flight; resend it now rather than waiting
+                    // for the (backed-off) RTO.
+                    self.retransmit_front(now);
+                }
+            }
+        }
+
+        if ack.gt(self.snd_una) {
+            let newly_acked = ack.since(self.snd_una) as usize;
+            let flight_before = self.flight_size();
+            let mut sampled = false;
+            while let Some(front) = self.retx.front_mut() {
+                let end = front.seq + front.seq_len();
+                if end.le(ack) {
+                    if !front.retransmitted && !sampled {
+                        self.rtt.sample(now.saturating_since(front.tx_time));
+                        sampled = true;
+                    }
+                    if front.fin {
+                        self.fin_acked = true;
+                    }
+                    self.retx.pop_front();
+                } else if front.seq.lt(ack) {
+                    // Partial ack of a segment: trim the acked prefix.
+                    let consumed = ack.since(front.seq) as usize;
+                    front.data.advance(consumed.min(front.data.len()));
+                    front.seq = ack;
+                    break;
+                } else {
+                    break;
+                }
+            }
+            self.snd_una = ack;
+
+            if self.cc.in_recovery() {
+                if ack.ge(self.recover) {
+                    self.cc.on_recovery_complete();
+                    self.dup_acks = 0;
+                } else {
+                    // NewReno partial ACK: retransmit the next hole.
+                    self.retransmit_front(now);
+                }
+            } else {
+                self.dup_acks = 0;
+                self.cc.on_ack(newly_acked, flight_before);
+            }
+
+            self.rto_deadline = if self.retx.is_empty() {
+                None
+            } else {
+                Some(now.saturating_add(self.rtt.rto()))
+            };
+
+            self.maybe_finish_close(now);
+        } else if ack == self.snd_una
+            && payload_len == 0
+            && !hdr.flags.syn
+            && !hdr.flags.fin
+            && hdr.window as usize <= prev_wnd
+            && !self.retx.is_empty()
+        {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.dup_acks == 3 {
+                self.recover = self.snd_nxt;
+                self.stats.fast_retransmits += 1;
+                self.cc.on_fast_retransmit(self.flight_size());
+                self.retransmit_front(now);
+                self.rto_deadline = Some(now.saturating_add(self.rtt.rto()));
+            } else if self.dup_acks > 3 {
+                self.cc.on_dup_ack_in_recovery();
+            }
+        }
+    }
+
+    /// State transitions that depend on our FIN being acknowledged.
+    fn maybe_finish_close(&mut self, now: SimTime) {
+        if !self.fin_acked {
+            return;
+        }
+        match self.state {
+            State::FinWait1 => {
+                self.state = if self.fin_received {
+                    self.enter_timewait(now);
+                    State::TimeWait
+                } else {
+                    State::FinWait2
+                };
+            }
+            State::Closing => {
+                self.enter_timewait(now);
+                self.state = State::TimeWait;
+            }
+            State::LastAck => {
+                self.state = State::Closed;
+                self.clear_timers();
+            }
+            _ => {}
+        }
+    }
+
+    fn process_data(&mut self, hdr: &TcpHeader, mut payload: DemiBuffer, now: SimTime) {
+        let mut seg_seq = hdr.seq;
+        let original_len = payload.len() as u32;
+        let had_payload = !payload.is_empty();
+
+        if had_payload {
+            let seg_end = seg_seq + payload.len() as u32;
+            if seg_end.le(self.rcv_nxt) {
+                // Entirely old duplicate: re-ACK so the sender advances.
+                self.send_ack();
+            } else {
+                if seg_seq.lt(self.rcv_nxt) {
+                    // Trim the already-received prefix.
+                    let skip = self.rcv_nxt.since(seg_seq) as usize;
+                    payload.advance(skip);
+                    seg_seq = self.rcv_nxt;
+                }
+                let window = self.recv_window();
+                if seg_seq == self.rcv_nxt {
+                    if payload.len() <= window {
+                        self.stats.in_order_segments += 1;
+                        self.rcv_nxt += payload.len() as u32;
+                        self.ready_bytes += payload.len();
+                        self.ready.push_back(payload);
+                        self.drain_ooo();
+                    }
+                    // Else: no buffer space; drop and re-ACK rcv_nxt below.
+                } else if seg_seq.gt(self.rcv_nxt) && seg_seq.since(self.rcv_nxt) as usize <= window
+                {
+                    // Out of order, within the window: buffer for later.
+                    let key = seg_seq.since(self.irs);
+                    if !self.ooo.contains_key(&key) {
+                        self.stats.out_of_order_segments += 1;
+                        self.ooo_bytes += payload.len();
+                        self.ooo.insert(key, payload);
+                    }
+                }
+                self.send_ack();
+            }
+        }
+
+        if hdr.flags.fin {
+            // The FIN occupies the sequence position right after the
+            // segment's payload.
+            let fin_seq = hdr.seq + original_len;
+            if fin_seq == self.rcv_nxt && !self.fin_received {
+                self.rcv_nxt += 1;
+                self.fin_received = true;
+                self.send_ack();
+                match self.state {
+                    State::Established => self.state = State::CloseWait,
+                    State::FinWait1 => {
+                        if self.fin_acked {
+                            self.enter_timewait(now);
+                            self.state = State::TimeWait;
+                        } else {
+                            self.state = State::Closing;
+                        }
+                    }
+                    State::FinWait2 => {
+                        self.enter_timewait(now);
+                        self.state = State::TimeWait;
+                    }
+                    _ => {}
+                }
+            } else if self.fin_received {
+                // Retransmitted FIN: re-ACK.
+                self.send_ack();
+            }
+            // An out-of-order FIN (data still missing) is ignored; the peer
+            // retransmits it after the hole fills.
+        }
+    }
+
+    fn drain_ooo(&mut self) {
+        loop {
+            let key = self.rcv_nxt.since(self.irs);
+            let Some((&k, _)) = self.ooo.first_key_value() else {
+                break;
+            };
+            if k > key {
+                break; // A hole remains.
+            }
+            let mut buf = self.ooo.remove(&k).expect("first key exists");
+            self.ooo_bytes -= buf.len();
+            let end = k + buf.len() as u32;
+            if end <= key {
+                continue; // Entirely duplicate data.
+            }
+            if k < key {
+                buf.advance((key - k) as usize); // Trim the overlap.
+            }
+            self.rcv_nxt += buf.len() as u32;
+            self.ready_bytes += buf.len();
+            self.ready.push_back(buf);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Output engine.
+    // ------------------------------------------------------------------
+
+    /// Transmits as much queued data as the congestion and peer windows
+    /// allow, then the FIN if pending.
+    pub fn output(&mut self, now: SimTime) {
+        let can_send_data = matches!(
+            self.state,
+            State::Established | State::CloseWait | State::FinWait1 | State::LastAck
+        );
+        if !can_send_data {
+            return;
+        }
+
+        loop {
+            if self.send_queue.is_empty() {
+                break;
+            }
+            let flight = self.flight_size();
+            let effective = self.snd_wnd.min(self.cc.cwnd());
+            if flight >= effective {
+                // Window (flow or congestion) exhausted. Arm the persist
+                // timer if the *peer's* window is the limiter and nothing is
+                // in flight to trigger ACK clocking.
+                if self.snd_wnd == 0 && flight == 0 && self.persist_deadline.is_none() {
+                    self.persist_deadline = Some(now.saturating_add(self.config.persist_interval));
+                }
+                break;
+            }
+            let budget = (effective - flight).min(self.mss);
+            let front = self.send_queue.front_mut().expect("checked non-empty");
+            let take = front.len().min(budget);
+            let chunk = front.slice(0, take);
+            front.advance(take);
+            if front.is_empty() {
+                self.send_queue.pop_front();
+            }
+            self.send_queue_bytes -= take;
+            self.transmit_data(chunk, now);
+        }
+
+        if self.fin_pending && self.send_queue.is_empty() && self.fin_seq.is_none() {
+            let seq = self.snd_nxt;
+            self.fin_seq = Some(seq);
+            self.fin_pending = false;
+            self.retx.push_back(TxSeg {
+                seq,
+                data: DemiBuffer::from_slice(b""),
+                syn: false,
+                fin: true,
+                tx_time: now,
+                retransmitted: false,
+            });
+            self.snd_nxt += 1;
+            self.emit(TcpFlags::FIN_ACK, seq, DemiBuffer::from_slice(b""), None);
+            if self.rto_deadline.is_none() {
+                self.rto_deadline = Some(now.saturating_add(self.rtt.rto()));
+            }
+        }
+    }
+
+    fn transmit_data(&mut self, data: DemiBuffer, now: SimTime) {
+        let seq = self.snd_nxt;
+        self.snd_nxt += data.len() as u32;
+        self.retx.push_back(TxSeg {
+            seq,
+            data: data.clone(),
+            syn: false,
+            fin: false,
+            tx_time: now,
+            retransmitted: false,
+        });
+        self.stats.segments_sent += 1;
+        self.emit(TcpFlags::ACK, seq, data, None);
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now.saturating_add(self.rtt.rto()));
+        }
+    }
+
+    fn push_handshake_segment(&mut self, syn: bool, ack: bool, now: SimTime) {
+        let seq = self.snd_nxt;
+        self.retx.push_back(TxSeg {
+            seq,
+            data: DemiBuffer::from_slice(b""),
+            syn,
+            fin: false,
+            tx_time: now,
+            retransmitted: false,
+        });
+        self.snd_nxt += 1;
+        let flags = if ack {
+            TcpFlags::SYN_ACK
+        } else {
+            TcpFlags::SYN
+        };
+        self.emit(
+            flags,
+            seq,
+            DemiBuffer::from_slice(b""),
+            Some(self.config.mss as u16),
+        );
+        self.rto_deadline = Some(now.saturating_add(self.rtt.rto()));
+    }
+
+    /// Retransmits the oldest unacked segment.
+    fn retransmit_front(&mut self, now: SimTime) {
+        let Some(front) = self.retx.front_mut() else {
+            return;
+        };
+        front.retransmitted = true;
+        front.tx_time = now;
+        let (seq, data, syn, fin) = (front.seq, front.data.clone(), front.syn, front.fin);
+        self.stats.retransmissions += 1;
+        let (flags, mss) = if syn {
+            if self.state == State::SynReceived {
+                (TcpFlags::SYN_ACK, Some(self.config.mss as u16))
+            } else {
+                (TcpFlags::SYN, Some(self.config.mss as u16))
+            }
+        } else if fin {
+            (TcpFlags::FIN_ACK, None)
+        } else {
+            (TcpFlags::ACK, None)
+        };
+        self.emit(flags, seq, data, mss);
+    }
+
+    fn send_ack(&mut self) {
+        self.stats.acks_sent += 1;
+        self.emit(
+            TcpFlags::ACK,
+            self.snd_nxt,
+            DemiBuffer::from_slice(b""),
+            None,
+        );
+    }
+
+    fn emit(&mut self, flags: TcpFlags, seq: SeqNum, payload: DemiBuffer, mss: Option<u16>) {
+        let window = self.recv_window();
+        self.last_advertised_window = window;
+        let ack_valid = flags.ack;
+        self.outbox.push(TcpSegmentOut {
+            header: TcpHeader {
+                src_port: self.local.port,
+                dst_port: self.remote.port,
+                seq,
+                ack: if ack_valid { self.rcv_nxt } else { SeqNum(0) },
+                flags,
+                window: window as u16,
+                mss,
+            },
+            payload,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Timers.
+    // ------------------------------------------------------------------
+
+    /// Advances timers to `now` (RTO, persist probe, TIME_WAIT expiry).
+    pub fn on_tick(&mut self, now: SimTime) {
+        if let Some(deadline) = self.timewait_deadline {
+            if now >= deadline {
+                self.state = State::Closed;
+                self.clear_timers();
+                return;
+            }
+        }
+
+        if let Some(deadline) = self.rto_deadline {
+            if now >= deadline && !self.retx.is_empty() {
+                self.stats.timeouts += 1;
+                match self.state {
+                    State::SynSent | State::SynReceived => {
+                        if self.handshake_retries_left == 0 {
+                            self.error = Some(NetError::Timeout);
+                            self.state = State::Closed;
+                            self.clear_timers();
+                            return;
+                        }
+                        self.handshake_retries_left -= 1;
+                        self.retransmit_front(now);
+                        self.rtt.backoff();
+                    }
+                    _ => {
+                        self.cc.on_timeout(self.flight_size());
+                        self.dup_acks = 0;
+                        self.retransmit_front(now);
+                        self.rtt.backoff();
+                    }
+                }
+                self.rto_deadline = Some(now.saturating_add(self.rtt.rto()));
+            }
+        }
+
+        if let Some(deadline) = self.persist_deadline {
+            if now >= deadline {
+                self.persist_deadline = None;
+                self.persist_probe(now);
+            }
+        }
+    }
+
+    /// Zero-window probe: force out one byte so the peer's window update
+    /// has something to ride on.
+    fn persist_probe(&mut self, now: SimTime) {
+        if self.snd_wnd > 0 || self.flight_size() > 0 || self.send_queue.is_empty() {
+            return;
+        }
+        self.stats.persist_probes += 1;
+        let front = self.send_queue.front_mut().expect("checked non-empty");
+        let probe = front.slice(0, 1);
+        front.advance(1);
+        if front.is_empty() {
+            self.send_queue.pop_front();
+        }
+        self.send_queue_bytes -= 1;
+        self.transmit_data(probe, now);
+        // Re-arm: keep probing until the window opens.
+        self.persist_deadline = Some(now.saturating_add(self.config.persist_interval));
+    }
+
+    fn enter_timewait(&mut self, now: SimTime) {
+        self.timewait_deadline = Some(now.saturating_add(self.config.msl.saturating_mul(2)));
+        self.rto_deadline = None;
+        self.persist_deadline = None;
+    }
+
+    fn clear_timers(&mut self) {
+        self.rto_deadline = None;
+        self.persist_deadline = None;
+        self.timewait_deadline = None;
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,330 @@
+//! On-wire message format between simulated RDMA devices.
+//!
+//! Hand-rolled serialization (type tag + big-endian fields) keeps the crate
+//! dependency-free and the format auditable in fabric traces.
+
+/// A transport-level message exchanged between devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Connection request: `src_qp` wants to reach the listener on `port`.
+    ConnReq {
+        /// Requester's queue-pair number.
+        src_qp: u32,
+        /// Listener port.
+        port: u16,
+    },
+    /// Connection reply.
+    ConnResp {
+        /// The requester QP this responds to.
+        dst_qp: u32,
+        /// Responder's QP number (meaningful when accepted).
+        src_qp: u32,
+        /// Whether the connection was accepted.
+        accepted: bool,
+    },
+    /// Two-sided SEND carrying payload, sequenced by `psn`.
+    Send {
+        /// Destination QP number.
+        dst_qp: u32,
+        /// Packet sequence number.
+        psn: u32,
+        /// Message payload.
+        payload: Vec<u8>,
+    },
+    /// Cumulative acknowledgment: everything below `psn` received.
+    Ack {
+        /// Destination QP number.
+        dst_qp: u32,
+        /// Next expected PSN.
+        psn: u32,
+    },
+    /// Receiver-not-ready NACK for the given PSN.
+    Rnr {
+        /// Destination QP number.
+        dst_qp: u32,
+        /// PSN that could not be placed.
+        psn: u32,
+    },
+    /// Fatal NACK (length/access violation); the connection breaks.
+    FatalNack {
+        /// Destination QP number.
+        dst_qp: u32,
+        /// PSN that faulted.
+        psn: u32,
+    },
+    /// One-sided write, sequenced like a SEND.
+    Write {
+        /// Destination QP number.
+        dst_qp: u32,
+        /// Packet sequence number.
+        psn: u32,
+        /// Remote key of the target region.
+        rkey: u32,
+        /// Byte offset within the target region.
+        offset: u64,
+        /// Data to place.
+        payload: Vec<u8>,
+    },
+    /// One-sided read request, sequenced like a SEND.
+    ReadReq {
+        /// Destination QP number.
+        dst_qp: u32,
+        /// Packet sequence number.
+        psn: u32,
+        /// Remote key of the source region.
+        rkey: u32,
+        /// Byte offset within the source region.
+        offset: u64,
+        /// Bytes requested.
+        len: u32,
+    },
+    /// Read response carrying the data (doubles as the ACK for `psn`).
+    ReadResp {
+        /// Destination QP number.
+        dst_qp: u32,
+        /// PSN of the read request this answers.
+        psn: u32,
+        /// The data read.
+        payload: Vec<u8>,
+    },
+}
+
+impl WireMsg {
+    /// Serializes to bytes for the fabric.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            WireMsg::ConnReq { src_qp, port } => {
+                out.push(1);
+                out.extend_from_slice(&src_qp.to_be_bytes());
+                out.extend_from_slice(&port.to_be_bytes());
+            }
+            WireMsg::ConnResp {
+                dst_qp,
+                src_qp,
+                accepted,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&dst_qp.to_be_bytes());
+                out.extend_from_slice(&src_qp.to_be_bytes());
+                out.push(*accepted as u8);
+            }
+            WireMsg::Send {
+                dst_qp,
+                psn,
+                payload,
+            } => {
+                out.push(3);
+                out.extend_from_slice(&dst_qp.to_be_bytes());
+                out.extend_from_slice(&psn.to_be_bytes());
+                out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+                out.extend_from_slice(payload);
+            }
+            WireMsg::Ack { dst_qp, psn } => {
+                out.push(4);
+                out.extend_from_slice(&dst_qp.to_be_bytes());
+                out.extend_from_slice(&psn.to_be_bytes());
+            }
+            WireMsg::Rnr { dst_qp, psn } => {
+                out.push(5);
+                out.extend_from_slice(&dst_qp.to_be_bytes());
+                out.extend_from_slice(&psn.to_be_bytes());
+            }
+            WireMsg::FatalNack { dst_qp, psn } => {
+                out.push(6);
+                out.extend_from_slice(&dst_qp.to_be_bytes());
+                out.extend_from_slice(&psn.to_be_bytes());
+            }
+            WireMsg::Write {
+                dst_qp,
+                psn,
+                rkey,
+                offset,
+                payload,
+            } => {
+                out.push(7);
+                out.extend_from_slice(&dst_qp.to_be_bytes());
+                out.extend_from_slice(&psn.to_be_bytes());
+                out.extend_from_slice(&rkey.to_be_bytes());
+                out.extend_from_slice(&offset.to_be_bytes());
+                out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+                out.extend_from_slice(payload);
+            }
+            WireMsg::ReadReq {
+                dst_qp,
+                psn,
+                rkey,
+                offset,
+                len,
+            } => {
+                out.push(8);
+                out.extend_from_slice(&dst_qp.to_be_bytes());
+                out.extend_from_slice(&psn.to_be_bytes());
+                out.extend_from_slice(&rkey.to_be_bytes());
+                out.extend_from_slice(&offset.to_be_bytes());
+                out.extend_from_slice(&len.to_be_bytes());
+            }
+            WireMsg::ReadResp {
+                dst_qp,
+                psn,
+                payload,
+            } => {
+                out.push(9);
+                out.extend_from_slice(&dst_qp.to_be_bytes());
+                out.extend_from_slice(&psn.to_be_bytes());
+                out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+                out.extend_from_slice(payload);
+            }
+        }
+        out
+    }
+
+    /// Parses bytes from the fabric; `None` on malformed input.
+    pub fn parse(data: &[u8]) -> Option<WireMsg> {
+        let tag = *data.first()?;
+        let rest = &data[1..];
+        let u32_at = |b: &[u8], i: usize| -> Option<u32> {
+            Some(u32::from_be_bytes(b.get(i..i + 4)?.try_into().ok()?))
+        };
+        let u64_at = |b: &[u8], i: usize| -> Option<u64> {
+            Some(u64::from_be_bytes(b.get(i..i + 8)?.try_into().ok()?))
+        };
+        let u16_at = |b: &[u8], i: usize| -> Option<u16> {
+            Some(u16::from_be_bytes(b.get(i..i + 2)?.try_into().ok()?))
+        };
+        match tag {
+            1 => Some(WireMsg::ConnReq {
+                src_qp: u32_at(rest, 0)?,
+                port: u16_at(rest, 4)?,
+            }),
+            2 => Some(WireMsg::ConnResp {
+                dst_qp: u32_at(rest, 0)?,
+                src_qp: u32_at(rest, 4)?,
+                accepted: *rest.get(8)? != 0,
+            }),
+            3 => {
+                let len = u32_at(rest, 8)? as usize;
+                let payload = rest.get(12..12 + len)?.to_vec();
+                Some(WireMsg::Send {
+                    dst_qp: u32_at(rest, 0)?,
+                    psn: u32_at(rest, 4)?,
+                    payload,
+                })
+            }
+            4 => Some(WireMsg::Ack {
+                dst_qp: u32_at(rest, 0)?,
+                psn: u32_at(rest, 4)?,
+            }),
+            5 => Some(WireMsg::Rnr {
+                dst_qp: u32_at(rest, 0)?,
+                psn: u32_at(rest, 4)?,
+            }),
+            6 => Some(WireMsg::FatalNack {
+                dst_qp: u32_at(rest, 0)?,
+                psn: u32_at(rest, 4)?,
+            }),
+            7 => {
+                let len = u32_at(rest, 20)? as usize;
+                let payload = rest.get(24..24 + len)?.to_vec();
+                Some(WireMsg::Write {
+                    dst_qp: u32_at(rest, 0)?,
+                    psn: u32_at(rest, 4)?,
+                    rkey: u32_at(rest, 8)?,
+                    offset: u64_at(rest, 12)?,
+                    payload,
+                })
+            }
+            8 => Some(WireMsg::ReadReq {
+                dst_qp: u32_at(rest, 0)?,
+                psn: u32_at(rest, 4)?,
+                rkey: u32_at(rest, 8)?,
+                offset: u64_at(rest, 12)?,
+                len: u32_at(rest, 20)?,
+            }),
+            9 => {
+                let len = u32_at(rest, 8)? as usize;
+                let payload = rest.get(12..12 + len)?.to_vec();
+                Some(WireMsg::ReadResp {
+                    dst_qp: u32_at(rest, 0)?,
+                    psn: u32_at(rest, 4)?,
+                    payload,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_round_trip() {
+        let messages = vec![
+            WireMsg::ConnReq {
+                src_qp: 5,
+                port: 18515,
+            },
+            WireMsg::ConnResp {
+                dst_qp: 5,
+                src_qp: 9,
+                accepted: true,
+            },
+            WireMsg::ConnResp {
+                dst_qp: 5,
+                src_qp: 0,
+                accepted: false,
+            },
+            WireMsg::Send {
+                dst_qp: 9,
+                psn: 42,
+                payload: b"data".to_vec(),
+            },
+            WireMsg::Ack { dst_qp: 9, psn: 43 },
+            WireMsg::Rnr { dst_qp: 9, psn: 42 },
+            WireMsg::FatalNack { dst_qp: 9, psn: 42 },
+            WireMsg::Write {
+                dst_qp: 9,
+                psn: 44,
+                rkey: 0xDEAD,
+                offset: 1 << 33,
+                payload: b"remote".to_vec(),
+            },
+            WireMsg::ReadReq {
+                dst_qp: 9,
+                psn: 45,
+                rkey: 0xBEEF,
+                offset: 128,
+                len: 4096,
+            },
+            WireMsg::ReadResp {
+                dst_qp: 9,
+                psn: 45,
+                payload: vec![7; 16],
+            },
+        ];
+        for msg in messages {
+            let bytes = msg.serialize();
+            assert_eq!(WireMsg::parse(&bytes), Some(msg.clone()), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = WireMsg::Send {
+            dst_qp: 1,
+            psn: 2,
+            payload: b"abcdef".to_vec(),
+        }
+        .serialize();
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert_eq!(WireMsg::parse(&bytes[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert_eq!(WireMsg::parse(&[99, 0, 0, 0, 0]), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! Device capability descriptors (paper Table 1).
+//!
+//! The paper categorizes kernel-bypass accelerators by which OS features
+//! they implement in hardware: some provide only kernel bypass (DPDK/SPDK),
+//! some add a subset of OS features (RDMA's reliable transport), and some
+//! offer arbitrary program offload (FPGA/SoC SmartNICs). Each simulated
+//! device exports a [`DeviceCaps`] so experiment E7 can regenerate the
+//! table and assert which features a libOS must supply per device.
+
+/// What a kernel-bypass device implements in "hardware".
+///
+/// Every `false` here is OS functionality the library OS must provide on
+/// the CPU — the central observation of paper §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCaps {
+    /// Device name, e.g. `"dpdk-sim"`.
+    pub name: &'static str,
+    /// Table-1 column this device belongs to.
+    pub category: DeviceCategory,
+    /// Applications reach the device without kernel transitions.
+    pub kernel_bypass: bool,
+    /// Device multiplexes itself among applications (SR-IOV-style).
+    pub multiplexing: bool,
+    /// Device translates user-space addresses (IOMMU-style).
+    pub address_translation: bool,
+    /// Device delivers data reliably (retransmission in hardware).
+    pub reliable_transport: bool,
+    /// Device implements a full network protocol stack.
+    pub network_stack: bool,
+    /// Device manages receive buffers for the application.
+    pub buffer_management: bool,
+    /// Device provides end-to-end flow control.
+    pub flow_control: bool,
+    /// Memory must be explicitly registered before I/O may touch it.
+    pub explicit_registration_required: bool,
+    /// Application-defined programs (filter/map/steer) can run on-device.
+    pub program_offload: bool,
+    /// Device exposes block storage.
+    pub block_storage: bool,
+}
+
+/// The three columns of paper Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceCategory {
+    /// "Kernel-bypass" only: DPDK/SPDK, Arrakis/Ix-style virtualization.
+    BypassOnly,
+    /// "+OS features": RDMA's limited networking stack.
+    PlusOsFeatures,
+    /// "+other features": FPGA/ARM-SoC SmartNICs with offload.
+    PlusOtherFeatures,
+}
+
+impl DeviceCategory {
+    /// Table-1 column heading.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceCategory::BypassOnly => "Kernel-bypass",
+            DeviceCategory::PlusOsFeatures => "+OS features",
+            DeviceCategory::PlusOtherFeatures => "+other features",
+        }
+    }
+}
+
+impl DeviceCaps {
+    /// The OS features this device is missing — what a libOS must supply.
+    pub fn missing_os_features(&self) -> Vec<&'static str> {
+        let mut missing = Vec::new();
+        if !self.network_stack {
+            missing.push("network stack");
+        }
+        if !self.reliable_transport {
+            missing.push("reliable transport");
+        }
+        if !self.buffer_management {
+            missing.push("buffer management");
+        }
+        if !self.flow_control {
+            missing.push("flow control");
+        }
+        if self.explicit_registration_required {
+            missing.push("transparent memory registration");
+        }
+        missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dpdk_like() -> DeviceCaps {
+        DeviceCaps {
+            name: "test-dpdk",
+            category: DeviceCategory::BypassOnly,
+            kernel_bypass: true,
+            multiplexing: true,
+            address_translation: true,
+            reliable_transport: false,
+            network_stack: false,
+            buffer_management: false,
+            flow_control: false,
+            explicit_registration_required: true,
+            program_offload: false,
+            block_storage: false,
+        }
+    }
+
+    #[test]
+    fn missing_features_lists_everything_a_libos_supplies() {
+        let caps = dpdk_like();
+        let missing = caps.missing_os_features();
+        assert!(missing.contains(&"network stack"));
+        assert!(missing.contains(&"reliable transport"));
+        assert!(missing.contains(&"buffer management"));
+        assert!(missing.contains(&"flow control"));
+        assert!(missing.contains(&"transparent memory registration"));
+    }
+
+    #[test]
+    fn rdma_like_is_missing_less() {
+        let caps = DeviceCaps {
+            name: "test-rdma",
+            category: DeviceCategory::PlusOsFeatures,
+            reliable_transport: true,
+            ..dpdk_like()
+        };
+        let missing = caps.missing_os_features();
+        assert!(!missing.contains(&"reliable transport"));
+        assert!(missing.contains(&"buffer management"));
+    }
+
+    #[test]
+    fn category_labels_match_table_1() {
+        assert_eq!(DeviceCategory::BypassOnly.label(), "Kernel-bypass");
+        assert_eq!(DeviceCategory::PlusOsFeatures.label(), "+OS features");
+        assert_eq!(DeviceCategory::PlusOtherFeatures.label(), "+other features");
+    }
+}

@@ -1,0 +1,760 @@
+//! The event-driven fabric core: endpoints, links, and frame delivery.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::clock::{SimClock, SimTime};
+use crate::rng::SimRng;
+use crate::trace::{TraceEvent, Tracer};
+
+/// A 48-bit Ethernet-style hardware address identifying a fabric endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddress([u8; 6]);
+
+impl MacAddress {
+    /// The broadcast address (`ff:ff:ff:ff:ff:ff`).
+    pub const BROADCAST: MacAddress = MacAddress([0xFF; 6]);
+
+    /// Creates an address from raw octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddress(octets)
+    }
+
+    /// Raw octets.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Convenience constructor used throughout tests: a locally-administered
+    /// unicast address whose last octet is `n`.
+    pub const fn from_last_octet(n: u8) -> Self {
+        MacAddress([0x02, 0, 0, 0, 0, n])
+    }
+}
+
+impl fmt::Debug for MacAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Display for MacAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A raw frame carried by the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Transmitting endpoint.
+    pub src: MacAddress,
+    /// Destination endpoint as addressed by the sender (may be broadcast).
+    pub dst: MacAddress,
+    /// Opaque payload bytes (for NIC simulators, a full Ethernet frame).
+    pub payload: Vec<u8>,
+    /// Virtual instant at which the frame reached the receiver's mailbox.
+    pub delivered_at: SimTime,
+}
+
+/// Per-link characteristics.
+///
+/// Links are directional: `set_link(a, b, ..)` configures frames flowing from
+/// `a` to `b` only. Endpoints without an explicit entry use the fabric-wide
+/// default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// One-way propagation delay.
+    pub latency: SimTime,
+    /// Line rate in bits per second; `0` means infinite (no serialization
+    /// delay).
+    pub bandwidth_bps: u64,
+    /// Independent per-frame loss probability in `[0, 1]`.
+    pub loss_probability: f64,
+}
+
+impl Default for LinkConfig {
+    /// Defaults approximate an intra-rack datacenter hop: 1µs one-way,
+    /// 40 Gbps, lossless.
+    fn default() -> Self {
+        LinkConfig {
+            latency: SimTime::from_micros(1),
+            bandwidth_bps: 40_000_000_000,
+            loss_probability: 0.0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A zero-latency, infinite-bandwidth, lossless link (useful in unit
+    /// tests that only care about ordering).
+    pub fn ideal() -> Self {
+        LinkConfig {
+            latency: SimTime::ZERO,
+            bandwidth_bps: 0,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Serialization delay for a frame of `len` bytes on this link.
+    pub fn serialization_delay(&self, len: usize) -> SimTime {
+        if self.bandwidth_bps == 0 {
+            return SimTime::ZERO;
+        }
+        let bits = len as u128 * 8;
+        let ns = bits * 1_000_000_000 / self.bandwidth_bps as u128;
+        SimTime::from_nanos(ns as u64)
+    }
+}
+
+/// Aggregate fabric counters, available via [`Fabric::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Frames accepted for transmission (broadcast counts once per receiver).
+    pub frames_sent: u64,
+    /// Frames placed into a receiving mailbox.
+    pub frames_delivered: u64,
+    /// Frames dropped (loss model, unknown destination, or mailbox overflow).
+    pub frames_dropped: u64,
+    /// Payload bytes accepted for transmission.
+    pub bytes_sent: u64,
+}
+
+#[derive(Debug)]
+struct PendingFrame {
+    deliver_at: SimTime,
+    seq: u64,
+    dst: MacAddress,
+    frame: Frame,
+}
+
+impl PartialEq for PendingFrame {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for PendingFrame {}
+impl PartialOrd for PendingFrame {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingFrame {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+struct Mailbox {
+    queue: VecDeque<Frame>,
+    capacity: usize,
+}
+
+struct FabricInner {
+    clock: SimClock,
+    rng: SimRng,
+    tracer: Tracer,
+    endpoints: HashMap<MacAddress, Mailbox>,
+    default_link: LinkConfig,
+    links: HashMap<(MacAddress, MacAddress), LinkConfig>,
+    partitions: HashSet<(MacAddress, MacAddress)>,
+    pending: BinaryHeap<Reverse<PendingFrame>>,
+    line_busy_until: HashMap<MacAddress, SimTime>,
+    seq: u64,
+    stats: FabricStats,
+}
+
+impl FabricInner {
+    fn link_for(&self, src: MacAddress, dst: MacAddress) -> LinkConfig {
+        self.links
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    fn is_partitioned(&self, a: MacAddress, b: MacAddress) -> bool {
+        self.partitions.contains(&(a, b)) || self.partitions.contains(&(b, a))
+    }
+
+    fn enqueue_unicast(&mut self, src: MacAddress, dst: MacAddress, payload: &[u8]) {
+        let now = self.clock.now();
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        self.tracer.record(TraceEvent::Transmit {
+            at: now,
+            src,
+            dst,
+            len: payload.len(),
+        });
+
+        let link = self.link_for(src, dst);
+        if self.is_partitioned(src, dst)
+            || !self.endpoints.contains_key(&dst)
+            || self.rng.chance(link.loss_probability)
+        {
+            self.stats.frames_dropped += 1;
+            self.tracer.record(TraceEvent::Drop {
+                at: now,
+                src,
+                dst,
+                len: payload.len(),
+            });
+            return;
+        }
+
+        // Serialization: the sender's line transmits frames back-to-back.
+        let busy = self
+            .line_busy_until
+            .get(&src)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        let tx_start = busy.max(now);
+        let tx_end = tx_start.saturating_add(link.serialization_delay(payload.len()));
+        self.line_busy_until.insert(src, tx_end);
+        let deliver_at = tx_end.saturating_add(link.latency);
+
+        self.seq += 1;
+        self.pending.push(Reverse(PendingFrame {
+            deliver_at,
+            seq: self.seq,
+            dst,
+            frame: Frame {
+                src,
+                dst,
+                payload: payload.to_vec(),
+                delivered_at: deliver_at,
+            },
+        }));
+    }
+
+    fn deliver_due(&mut self) {
+        let now = self.clock.now();
+        while let Some(Reverse(head)) = self.pending.peek() {
+            if head.deliver_at > now {
+                break;
+            }
+            let Reverse(p) = self.pending.pop().expect("peeked entry exists");
+            let len = p.frame.payload.len();
+            match self.endpoints.get_mut(&p.dst) {
+                Some(mailbox) if mailbox.queue.len() < mailbox.capacity => {
+                    mailbox.queue.push_back(p.frame);
+                    self.stats.frames_delivered += 1;
+                    self.tracer.record(TraceEvent::Deliver {
+                        at: now,
+                        dst: p.dst,
+                        len,
+                    });
+                }
+                _ => {
+                    self.stats.frames_dropped += 1;
+                    self.tracer.record(TraceEvent::Drop {
+                        at: now,
+                        src: p.frame.src,
+                        dst: p.dst,
+                        len,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The shared fabric: a registry of endpoints plus an in-flight frame heap.
+///
+/// Cloning a `Fabric` yields another handle to the same fabric. All methods
+/// take `&self`; interior mutability keeps the single-threaded simulation
+/// ergonomic.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Rc<RefCell<FabricInner>>,
+}
+
+/// Default per-endpoint mailbox capacity, in frames.
+pub const DEFAULT_MAILBOX_CAPACITY: usize = 65_536;
+
+impl Fabric {
+    /// Creates a fabric with a fresh clock and the given loss-model seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_clock(SimClock::new(), seed)
+    }
+
+    /// Creates a fabric sharing an existing clock.
+    pub fn with_clock(clock: SimClock, seed: u64) -> Self {
+        Fabric {
+            inner: Rc::new(RefCell::new(FabricInner {
+                clock,
+                rng: SimRng::new(seed),
+                tracer: Tracer::new(4096),
+                endpoints: HashMap::new(),
+                default_link: LinkConfig::default(),
+                links: HashMap::new(),
+                partitions: HashSet::new(),
+                pending: BinaryHeap::new(),
+                line_busy_until: HashMap::new(),
+                seq: 0,
+                stats: FabricStats::default(),
+            })),
+        }
+    }
+
+    /// Handle to the fabric's clock.
+    pub fn clock(&self) -> SimClock {
+        self.inner.borrow().clock.clone()
+    }
+
+    /// Handle to the fabric's tracer.
+    pub fn tracer(&self) -> Tracer {
+        self.inner.borrow().tracer.clone()
+    }
+
+    /// Sets the link configuration used by endpoint pairs without an
+    /// explicit override.
+    pub fn set_default_link(&self, config: LinkConfig) {
+        self.inner.borrow_mut().default_link = config;
+    }
+
+    /// Configures the directional link `src → dst`.
+    pub fn set_link(&self, src: MacAddress, dst: MacAddress, config: LinkConfig) {
+        self.inner.borrow_mut().links.insert((src, dst), config);
+    }
+
+    /// Configures both directions between `a` and `b`.
+    pub fn set_link_bidir(&self, a: MacAddress, b: MacAddress, config: LinkConfig) {
+        self.set_link(a, b, config);
+        self.set_link(b, a, config);
+    }
+
+    /// Severs connectivity between `a` and `b` in both directions
+    /// (failure injection). In-flight frames still arrive.
+    pub fn partition(&self, a: MacAddress, b: MacAddress) {
+        self.inner.borrow_mut().partitions.insert((a, b));
+    }
+
+    /// Restores connectivity previously removed by [`Fabric::partition`].
+    pub fn heal(&self, a: MacAddress, b: MacAddress) {
+        let mut inner = self.inner.borrow_mut();
+        inner.partitions.remove(&(a, b));
+        inner.partitions.remove(&(b, a));
+    }
+
+    /// Registers an endpoint with the default mailbox capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` is already registered or is the broadcast address;
+    /// both indicate a test-harness configuration bug.
+    pub fn register_endpoint(&self, mac: MacAddress) -> Endpoint {
+        self.register_endpoint_with_capacity(mac, DEFAULT_MAILBOX_CAPACITY)
+    }
+
+    /// Registers an endpoint whose mailbox holds at most `capacity` frames;
+    /// frames arriving beyond that are dropped (tail drop), as on a real NIC
+    /// RX ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` is already registered or is the broadcast address.
+    pub fn register_endpoint_with_capacity(&self, mac: MacAddress, capacity: usize) -> Endpoint {
+        assert!(!mac.is_broadcast(), "cannot register the broadcast address");
+        let mut inner = self.inner.borrow_mut();
+        let prev = inner.endpoints.insert(
+            mac,
+            Mailbox {
+                queue: VecDeque::new(),
+                capacity,
+            },
+        );
+        assert!(prev.is_none(), "endpoint {mac} registered twice");
+        drop(inner);
+        Endpoint {
+            fabric: self.clone(),
+            mac,
+        }
+    }
+
+    /// Removes an endpoint; its queued and in-flight frames are dropped on
+    /// delivery.
+    pub fn deregister_endpoint(&self, mac: MacAddress) {
+        self.inner.borrow_mut().endpoints.remove(&mac);
+    }
+
+    /// Transmits `payload` from `src` to `dst` (which may be broadcast).
+    pub fn transmit(&self, src: MacAddress, dst: MacAddress, payload: &[u8]) {
+        let mut inner = self.inner.borrow_mut();
+        if dst.is_broadcast() {
+            let receivers: Vec<MacAddress> = inner
+                .endpoints
+                .keys()
+                .copied()
+                .filter(|&m| m != src)
+                .collect();
+            for r in receivers {
+                inner.enqueue_unicast(src, r, payload);
+            }
+        } else {
+            inner.enqueue_unicast(src, dst, payload);
+        }
+    }
+
+    /// Earliest in-flight delivery instant, if any frame is in flight.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.inner
+            .borrow()
+            .pending
+            .peek()
+            .map(|Reverse(p)| p.deliver_at)
+    }
+
+    /// Delivers every frame whose delivery instant is `<= now`.
+    pub fn deliver_due(&self) {
+        self.inner.borrow_mut().deliver_due();
+    }
+
+    /// Advances the clock to the next delivery instant and delivers.
+    /// Returns `false` when nothing is in flight.
+    pub fn advance_to_next_event(&self) -> bool {
+        let Some(t) = self.next_event_time() else {
+            return false;
+        };
+        let clock = self.clock();
+        clock.advance_to(t);
+        self.deliver_due();
+        true
+    }
+
+    /// Advances the clock to `t`, delivering every frame due on the way.
+    pub fn advance_to(&self, t: SimTime) {
+        loop {
+            match self.next_event_time() {
+                Some(next) if next <= t => {
+                    self.clock().advance_to(next);
+                    self.deliver_due();
+                }
+                _ => break,
+            }
+        }
+        self.clock().advance_to(t);
+    }
+
+    /// Snapshot of aggregate counters.
+    pub fn stats(&self) -> FabricStats {
+        self.inner.borrow().stats
+    }
+
+    /// Number of frames currently in flight (transmitted, not yet delivered).
+    pub fn in_flight(&self) -> usize {
+        self.inner.borrow().pending.len()
+    }
+}
+
+/// A registered attachment point on the fabric; owned by a simulated NIC.
+#[derive(Clone)]
+pub struct Endpoint {
+    fabric: Fabric,
+    mac: MacAddress,
+}
+
+impl Endpoint {
+    /// This endpoint's hardware address.
+    pub fn mac(&self) -> MacAddress {
+        self.mac
+    }
+
+    /// Handle to the owning fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Transmits a frame to `dst`.
+    pub fn transmit(&self, dst: MacAddress, payload: Vec<u8>) {
+        self.fabric.transmit(self.mac, dst, &payload);
+    }
+
+    /// Transmits a broadcast frame.
+    pub fn broadcast(&self, payload: Vec<u8>) {
+        self.fabric
+            .transmit(self.mac, MacAddress::BROADCAST, &payload);
+    }
+
+    /// Dequeues the next delivered frame, if any. Does not advance time.
+    pub fn receive(&self) -> Option<Frame> {
+        let mut inner = self.fabric.inner.borrow_mut();
+        inner
+            .endpoints
+            .get_mut(&self.mac)
+            .and_then(|m| m.queue.pop_front())
+    }
+
+    /// Number of frames waiting in this endpoint's mailbox.
+    pub fn pending_rx(&self) -> usize {
+        self.fabric
+            .inner
+            .borrow()
+            .endpoints
+            .get(&self.mac)
+            .map_or(0, |m| m.queue.len())
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Endpoint({})", self.mac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_endpoints(fabric: &Fabric) -> (Endpoint, Endpoint) {
+        (
+            fabric.register_endpoint(MacAddress::from_last_octet(1)),
+            fabric.register_endpoint(MacAddress::from_last_octet(2)),
+        )
+    }
+
+    #[test]
+    fn unicast_delivery_after_latency() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig {
+            latency: SimTime::from_micros(3),
+            bandwidth_bps: 0,
+            loss_probability: 0.0,
+        });
+        let (a, b) = two_endpoints(&fabric);
+        a.transmit(b.mac(), vec![1, 2, 3]);
+        assert_eq!(b.pending_rx(), 0);
+        assert_eq!(fabric.next_event_time(), Some(SimTime::from_micros(3)));
+        assert!(fabric.advance_to_next_event());
+        let f = b.receive().expect("frame delivered");
+        assert_eq!(f.payload, vec![1, 2, 3]);
+        assert_eq!(f.src, a.mac());
+        assert_eq!(f.delivered_at, SimTime::from_micros(3));
+        assert!(b.receive().is_none());
+    }
+
+    #[test]
+    fn serialization_delay_accumulates_back_to_back() {
+        let fabric = Fabric::new(1);
+        // 1 Gbps: an 1250-byte frame serializes in exactly 10µs.
+        fabric.set_default_link(LinkConfig {
+            latency: SimTime::ZERO,
+            bandwidth_bps: 1_000_000_000,
+            loss_probability: 0.0,
+        });
+        let (a, b) = two_endpoints(&fabric);
+        a.transmit(b.mac(), vec![0; 1250]);
+        a.transmit(b.mac(), vec![0; 1250]);
+        assert_eq!(fabric.next_event_time(), Some(SimTime::from_micros(10)));
+        fabric.advance_to(SimTime::from_micros(10));
+        assert_eq!(b.pending_rx(), 1);
+        fabric.advance_to(SimTime::from_micros(20));
+        assert_eq!(b.pending_rx(), 2);
+    }
+
+    #[test]
+    fn ordered_delivery_at_equal_instants() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig::ideal());
+        let (a, b) = two_endpoints(&fabric);
+        for i in 0..10u8 {
+            a.transmit(b.mac(), vec![i]);
+        }
+        fabric.deliver_due();
+        for i in 0..10u8 {
+            assert_eq!(b.receive().unwrap().payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig::ideal());
+        let a = fabric.register_endpoint(MacAddress::from_last_octet(1));
+        let b = fabric.register_endpoint(MacAddress::from_last_octet(2));
+        let c = fabric.register_endpoint(MacAddress::from_last_octet(3));
+        a.broadcast(vec![9]);
+        fabric.deliver_due();
+        assert_eq!(a.pending_rx(), 0);
+        assert_eq!(b.receive().unwrap().payload, vec![9]);
+        assert_eq!(c.receive().unwrap().payload, vec![9]);
+    }
+
+    #[test]
+    fn loss_model_drops_expected_fraction() {
+        let fabric = Fabric::new(42);
+        fabric.set_default_link(LinkConfig {
+            latency: SimTime::ZERO,
+            bandwidth_bps: 0,
+            loss_probability: 0.25,
+        });
+        let (a, b) = two_endpoints(&fabric);
+        for _ in 0..10_000 {
+            a.transmit(b.mac(), vec![0; 8]);
+        }
+        fabric.deliver_due();
+        let stats = fabric.stats();
+        assert_eq!(stats.frames_sent, 10_000);
+        assert_eq!(stats.frames_delivered + stats.frames_dropped, 10_000);
+        assert!(
+            (2_000..3_000).contains(&(stats.frames_dropped as usize)),
+            "dropped {}",
+            stats.frames_dropped
+        );
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let run = |seed| {
+            let fabric = Fabric::new(seed);
+            fabric.set_default_link(LinkConfig {
+                latency: SimTime::ZERO,
+                bandwidth_bps: 0,
+                loss_probability: 0.5,
+            });
+            let (a, b) = two_endpoints(&fabric);
+            for _ in 0..100 {
+                a.transmit(b.mac(), vec![0]);
+            }
+            fabric.deliver_due();
+            fabric.stats().frames_dropped
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn partition_drops_both_directions_and_heals() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig::ideal());
+        let (a, b) = two_endpoints(&fabric);
+        fabric.partition(a.mac(), b.mac());
+        a.transmit(b.mac(), vec![1]);
+        b.transmit(a.mac(), vec![2]);
+        fabric.deliver_due();
+        assert_eq!(b.pending_rx(), 0);
+        assert_eq!(a.pending_rx(), 0);
+        assert_eq!(fabric.stats().frames_dropped, 2);
+        fabric.heal(b.mac(), a.mac());
+        a.transmit(b.mac(), vec![3]);
+        fabric.deliver_due();
+        assert_eq!(b.receive().unwrap().payload, vec![3]);
+    }
+
+    #[test]
+    fn unknown_destination_is_dropped() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig::ideal());
+        let a = fabric.register_endpoint(MacAddress::from_last_octet(1));
+        a.transmit(MacAddress::from_last_octet(99), vec![1]);
+        fabric.deliver_due();
+        assert_eq!(fabric.stats().frames_dropped, 1);
+    }
+
+    #[test]
+    fn mailbox_overflow_tail_drops() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig::ideal());
+        let a = fabric.register_endpoint(MacAddress::from_last_octet(1));
+        let b = fabric.register_endpoint_with_capacity(MacAddress::from_last_octet(2), 2);
+        for i in 0..5u8 {
+            a.transmit(b.mac(), vec![i]);
+        }
+        fabric.deliver_due();
+        assert_eq!(b.pending_rx(), 2);
+        assert_eq!(fabric.stats().frames_dropped, 3);
+        // Head of the queue is the earliest frame (tail drop, not head drop).
+        assert_eq!(b.receive().unwrap().payload, vec![0]);
+    }
+
+    #[test]
+    fn per_link_override_beats_default() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig {
+            latency: SimTime::from_micros(100),
+            bandwidth_bps: 0,
+            loss_probability: 0.0,
+        });
+        let (a, b) = two_endpoints(&fabric);
+        fabric.set_link(
+            a.mac(),
+            b.mac(),
+            LinkConfig {
+                latency: SimTime::from_micros(1),
+                bandwidth_bps: 0,
+                loss_probability: 0.0,
+            },
+        );
+        a.transmit(b.mac(), vec![1]);
+        b.transmit(a.mac(), vec![2]);
+        // a→b uses the 1µs override; b→a still uses the 100µs default.
+        assert_eq!(fabric.next_event_time(), Some(SimTime::from_micros(1)));
+        fabric.advance_to(SimTime::from_micros(1));
+        assert_eq!(b.pending_rx(), 1);
+        assert_eq!(a.pending_rx(), 0);
+        fabric.advance_to(SimTime::from_micros(100));
+        assert_eq!(a.pending_rx(), 1);
+    }
+
+    #[test]
+    fn tracer_records_when_enabled() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig::ideal());
+        fabric.tracer().set_enabled(true);
+        let (a, b) = two_endpoints(&fabric);
+        a.transmit(b.mac(), vec![1, 2]);
+        fabric.deliver_due();
+        let events = fabric.tracer().snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], TraceEvent::Transmit { len: 2, .. }));
+        assert!(matches!(events[1], TraceEvent::Deliver { len: 2, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let fabric = Fabric::new(1);
+        let _a = fabric.register_endpoint(MacAddress::from_last_octet(1));
+        let _b = fabric.register_endpoint(MacAddress::from_last_octet(1));
+    }
+
+    #[test]
+    fn deregistered_endpoint_stops_receiving() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig::ideal());
+        let (a, b) = two_endpoints(&fabric);
+        fabric.deregister_endpoint(b.mac());
+        a.transmit(b.mac(), vec![1]);
+        fabric.deliver_due();
+        assert_eq!(fabric.stats().frames_dropped, 1);
+    }
+
+    #[test]
+    fn advance_to_delivers_intermediate_events() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig {
+            latency: SimTime::from_micros(2),
+            bandwidth_bps: 0,
+            loss_probability: 0.0,
+        });
+        let (a, b) = two_endpoints(&fabric);
+        a.transmit(b.mac(), vec![1]);
+        fabric.clock().advance_to(SimTime::from_micros(1));
+        a.transmit(b.mac(), vec![2]);
+        fabric.advance_to(SimTime::from_millis(1));
+        assert_eq!(b.pending_rx(), 2);
+        assert_eq!(fabric.clock().now(), SimTime::from_millis(1));
+        assert_eq!(fabric.in_flight(), 0);
+    }
+}

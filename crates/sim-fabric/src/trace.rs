@@ -1,0 +1,182 @@
+//! Lightweight event tracing for debugging and experiment forensics.
+//!
+//! The tracer records a bounded ring of fabric-level events (transmissions,
+//! deliveries, drops). It is off by default — experiments enable it when a
+//! run needs to be audited (e.g., verifying that a TCP retransmission really
+//! was triggered by a simulated loss and not a stack bug).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::clock::SimTime;
+use crate::fabric::MacAddress;
+
+/// One recorded fabric event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A frame was accepted for transmission.
+    Transmit {
+        /// Virtual instant of the send.
+        at: SimTime,
+        /// Source endpoint.
+        src: MacAddress,
+        /// Destination endpoint (or broadcast).
+        dst: MacAddress,
+        /// Frame length in bytes.
+        len: usize,
+    },
+    /// A frame was delivered into a mailbox.
+    Deliver {
+        /// Virtual instant of the delivery.
+        at: SimTime,
+        /// Receiving endpoint.
+        dst: MacAddress,
+        /// Frame length in bytes.
+        len: usize,
+    },
+    /// A frame was dropped by the link loss model.
+    Drop {
+        /// Virtual instant of the drop decision.
+        at: SimTime,
+        /// Source endpoint.
+        src: MacAddress,
+        /// Intended destination.
+        dst: MacAddress,
+        /// Frame length in bytes.
+        len: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The instant the event occurred.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Transmit { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::Drop { at, .. } => *at,
+        }
+    }
+}
+
+/// A bounded, shared ring buffer of [`TraceEvent`]s.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Rc<RefCell<TracerInner>>,
+}
+
+struct TracerInner {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            inner: Rc::new(RefCell::new(TracerInner {
+                events: VecDeque::new(),
+                capacity,
+                enabled: false,
+            })),
+        }
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.borrow_mut().enabled = enabled;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().enabled
+    }
+
+    /// Records an event, evicting the oldest when full. No-op when disabled.
+    pub fn record(&self, event: TraceEvent) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(event);
+    }
+
+    /// Takes a snapshot of the recorded events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.iter().cloned().collect()
+    }
+
+    /// Clears recorded events (recording state is unchanged).
+    pub fn clear(&self) {
+        self.inner.borrow_mut().events.clear();
+    }
+
+    /// Number of drop events currently recorded.
+    pub fn drop_count(&self) -> usize {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Drop { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(last: u8) -> MacAddress {
+        MacAddress::new([2, 0, 0, 0, 0, last])
+    }
+
+    fn tx(at_ns: u64) -> TraceEvent {
+        TraceEvent::Transmit {
+            at: SimTime::from_nanos(at_ns),
+            src: mac(1),
+            dst: mac(2),
+            len: 64,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(4);
+        t.record(tx(1));
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let t = Tracer::new(2);
+        t.set_enabled(true);
+        t.record(tx(1));
+        t.record(tx(2));
+        t.record(tx(3));
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].at(), SimTime::from_nanos(2));
+        assert_eq!(snap[1].at(), SimTime::from_nanos(3));
+    }
+
+    #[test]
+    fn drop_count_filters_drops() {
+        let t = Tracer::new(8);
+        t.set_enabled(true);
+        t.record(tx(1));
+        t.record(TraceEvent::Drop {
+            at: SimTime::from_nanos(2),
+            src: mac(1),
+            dst: mac(2),
+            len: 64,
+        });
+        assert_eq!(t.drop_count(), 1);
+        t.clear();
+        assert_eq!(t.drop_count(), 0);
+        assert!(t.is_enabled());
+    }
+}

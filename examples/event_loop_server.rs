@@ -1,0 +1,104 @@
+//! A wait_any event-loop server: the paper's epoll replacement (§4.4).
+//!
+//! "Applications can easily replace an application-level epoll loop with a
+//! call to wait_any." This example serves several concurrent TCP clients
+//! from one loop built on `wait_any`: each completion wakes the loop
+//! exactly once and carries its data, so there is no re-read syscall and
+//! no thundering herd.
+//!
+//! Run with: `cargo run --example event_loop_server`
+
+use demikernel::libos::{LibOs, SocketKind};
+use demikernel::testing::{catnip_pair, host_ip};
+use demikernel::types::{OperationResult, QDesc, QToken, Sga};
+use net_stack::types::SocketAddr;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 8;
+
+fn main() {
+    let (rt, _fabric, client, server) = catnip_pair(55);
+
+    // Server listener.
+    let listen_qd = server.socket(SocketKind::Tcp).expect("socket");
+    server
+        .bind(listen_qd, SocketAddr::new(host_ip(2), 9090))
+        .expect("bind");
+    server.listen(listen_qd, 64).expect("listen");
+
+    // Clients run as coroutines: connect, fire requests, check replies.
+    for c in 0..CLIENTS {
+        let client = client.clone();
+        rt.spawn_background("client", async move {
+            let qd = client.socket(SocketKind::Tcp).expect("socket");
+            let qt = client
+                .connect(qd, SocketAddr::new(host_ip(2), 9090))
+                .expect("connect");
+            let rt = client.runtime().clone();
+            let OperationResult::Connect = rt.await_op(qt).await else {
+                panic!("client {c} failed to connect");
+            };
+            for r in 0..REQUESTS_PER_CLIENT {
+                let msg = format!("c{c}-r{r}");
+                let push = client.push(qd, &Sga::from_slice(msg.as_bytes())).unwrap();
+                rt.await_op(push).await;
+                let pop = client.pop(qd).unwrap();
+                let OperationResult::Pop { sga, .. } = rt.await_op(pop).await else {
+                    panic!("client {c} lost its reply");
+                };
+                assert_eq!(sga.to_vec(), format!("ACK:{msg}").into_bytes());
+            }
+            let _ = client.close(qd);
+        });
+    }
+
+    // The server event loop — ONE wait_any over accept + per-connection
+    // pops, replacing the whole epoll dance.
+    let mut tokens: Vec<QToken> = Vec::new();
+    let mut token_conn: Vec<Option<QDesc>> = Vec::new(); // None = accept.
+    tokens.push(server.accept(listen_qd).expect("accept"));
+    token_conn.push(None);
+
+    let mut served = 0;
+    let total = CLIENTS * REQUESTS_PER_CLIENT;
+    let mut completions = 0u64;
+    while served < total {
+        let (idx, result) = server.wait_any(&tokens, None).expect("wait_any");
+        completions += 1;
+        let conn = token_conn[idx];
+        tokens.swap_remove(idx);
+        token_conn.swap_remove(idx);
+        match (conn, result) {
+            (None, OperationResult::Accept { qd }) => {
+                // Re-arm the accept and start popping the new connection.
+                tokens.push(server.accept(listen_qd).expect("accept"));
+                token_conn.push(None);
+                tokens.push(server.pop(qd).expect("pop"));
+                token_conn.push(Some(qd));
+            }
+            (Some(qd), OperationResult::Pop { sga, .. }) => {
+                // The data came WITH the wakeup — echo it acknowledged.
+                let mut reply = b"ACK:".to_vec();
+                reply.extend_from_slice(&sga.to_vec());
+                let push = server.push(qd, &Sga::from_slice(&reply)).expect("push");
+                server.wait(push, None).expect("push wait");
+                served += 1;
+                tokens.push(server.pop(qd).expect("pop"));
+                token_conn.push(Some(qd));
+            }
+            (Some(_), OperationResult::Failed(_)) => {
+                // Connection closed by the client; nothing to re-arm.
+            }
+            (tag, other) => panic!("unexpected completion {other:?} for {tag:?}"),
+        }
+    }
+
+    let m = rt.metrics().snapshot();
+    println!("served {served} requests from {CLIENTS} clients");
+    println!(
+        "event-loop completions: {completions} — every wakeup carried data \
+         (wakeups={}, with_data={}), zero wasted",
+        m.wakeups, m.wakeups_with_data
+    );
+    assert_eq!(served, total);
+}

@@ -1,0 +1,29 @@
+//! demikernel-suite: the workspace umbrella.
+//!
+//! Re-exports every crate of the reproduction of *"I'm Not Dead Yet! The
+//! Role of the Operating System in a Kernel-Bypass Era"* (HotOS '19) so
+//! that integration tests (`tests/`) and examples (`examples/`) can reach
+//! the full system through one dependency.
+//!
+//! Layering, bottom to top:
+//!
+//! * [`sim_fabric`] — virtual-time event fabric (the "datacenter network");
+//! * [`demi_sched`] / [`demi_memory`] — coroutine scheduler and zero-copy
+//!   memory manager;
+//! * [`dpdk_sim`], [`rdma_sim`], [`spdk_sim`] — the simulated kernel-bypass
+//!   devices (paper Table 1);
+//! * [`net_stack`] — the user-level network stack a DPDK-class libOS must
+//!   supply;
+//! * [`posix_sim`] — the simulated legacy kernel (the baseline);
+//! * [`demikernel`] — the paper's contribution: the queue abstraction, the
+//!   system-call interface, and the library OSes.
+
+pub use demi_memory;
+pub use demi_sched;
+pub use demikernel;
+pub use dpdk_sim;
+pub use net_stack;
+pub use posix_sim;
+pub use rdma_sim;
+pub use sim_fabric;
+pub use spdk_sim;

@@ -1,0 +1,97 @@
+//! The portability claim (§1): one application source, every libOS.
+//!
+//! `echo_app` below is written purely against the `LibOs` trait. It runs
+//! unmodified over catnip (DPDK), catcorn (RDMA), and catnap (the kernel
+//! baseline); catmem runs the same data path as a loopback.
+
+use demikernel::libos::{LibOs, SocketKind};
+use demikernel::testing::{catcorn_pair, catmem_world, catnap_pair, catnip_pair, host_ip};
+use demikernel::types::{QDesc, Sga};
+use net_stack::types::SocketAddr;
+
+/// The portable application: a connected echo over any two libOS objects.
+fn echo_app(client: &dyn LibOs, server: &dyn LibOs, port: u16, rounds: usize) {
+    let lqd = server.socket(SocketKind::Tcp).expect("socket");
+    server
+        .bind(lqd, SocketAddr::new(host_ip(2), port))
+        .expect("bind");
+    server.listen(lqd, 8).expect("listen");
+    let aqt = server.accept(lqd).expect("accept");
+    let cqd = client.socket(SocketKind::Tcp).expect("socket");
+    let cqt = client
+        .connect(cqd, SocketAddr::new(host_ip(2), port))
+        .expect("connect");
+    let sqd: QDesc = server.wait(aqt, None).expect("accept wait").expect_accept();
+    client.wait(cqt, None).expect("connect wait");
+
+    for i in 0..rounds {
+        let msg = format!("round-{i}");
+        client
+            .blocking_push(cqd, &Sga::from_slice(msg.as_bytes()))
+            .expect("push");
+        let (_, req) = server.blocking_pop(sqd).expect("server pop").expect_pop();
+        assert_eq!(req.to_vec(), msg.as_bytes());
+        server.blocking_push(sqd, &req).expect("echo");
+        let (_, reply) = client.blocking_pop(cqd).expect("client pop").expect_pop();
+        assert_eq!(reply.to_vec(), msg.as_bytes());
+    }
+    client.close(cqd).expect("close");
+}
+
+#[test]
+fn echo_runs_on_catnip() {
+    let (_rt, _fabric, client, server) = catnip_pair(301);
+    echo_app(&client, &server, 7000, 20);
+}
+
+#[test]
+fn echo_runs_on_catcorn() {
+    let (_rt, _fabric, client, server) = catcorn_pair(302);
+    echo_app(&client, &server, 18515, 20);
+}
+
+#[test]
+fn echo_runs_on_catnap() {
+    let (_rt, _fabric, client, server) = catnap_pair(303);
+    echo_app(&client, &server, 7000, 20);
+}
+
+#[test]
+fn catmem_runs_the_same_data_path_as_loopback() {
+    let (_rt, libos) = catmem_world();
+    let qd = libos.queue().unwrap();
+    for i in 0..20 {
+        let msg = format!("round-{i}");
+        libos
+            .blocking_push(qd, &Sga::from_slice(msg.as_bytes()))
+            .unwrap();
+        let (_, got) = libos.blocking_pop(qd).unwrap().expect_pop();
+        assert_eq!(got.to_vec(), msg.as_bytes());
+    }
+}
+
+#[test]
+fn devices_evolve_applications_do_not() {
+    // §1: "unmodified as devices continue to evolve" — the same app on a
+    // SmartNIC-equipped port (an 'evolved' device) without any change.
+    use demikernel::libos::catnip::Catnip;
+    use demikernel::runtime::Runtime;
+    use dpdk_sim::PortConfig;
+    use sim_fabric::Fabric;
+
+    let fabric = Fabric::new(304);
+    let rt = Runtime::with_fabric(fabric.clone());
+    let client = Catnip::with_port_config(
+        &rt,
+        &fabric,
+        PortConfig::smartnic(demikernel::testing::host_mac(1), 4),
+        host_ip(1),
+    );
+    let server = Catnip::with_port_config(
+        &rt,
+        &fabric,
+        PortConfig::smartnic(demikernel::testing::host_mac(2), 4),
+        host_ip(2),
+    );
+    echo_app(&client, &server, 7000, 10);
+}

@@ -1,0 +1,142 @@
+//! Figure 2: the Demikernel architecture splits OS functionality into a
+//! control path (may involve the legacy kernel) and a data path (never
+//! does). These tests trace both during a realistic run.
+
+use demikernel::libos::{LibOs, SocketKind};
+use demikernel::testing::{catnap_pair, catnip_pair, host_ip};
+use demikernel::types::Sga;
+use net_stack::types::SocketAddr;
+
+#[test]
+fn kernel_bypass_data_path_never_crosses() {
+    let (rt, _fabric, client, server) = catnip_pair(201);
+    // Control path: setup.
+    let sqd = server.socket(SocketKind::Udp).unwrap();
+    server.bind(sqd, SocketAddr::new(host_ip(2), 7)).unwrap();
+    let cqd = client.socket(SocketKind::Udp).unwrap();
+    client.bind(cqd, SocketAddr::new(host_ip(1), 9000)).unwrap();
+    let control = rt.metrics().snapshot();
+    assert!(
+        control.control_path_syscalls > 0,
+        "setup is allowed (and expected) to be control-path work"
+    );
+
+    // Data path: one thousand request/response pairs.
+    rt.metrics().reset();
+    for _ in 0..1000 {
+        client
+            .pushto(
+                cqd,
+                &Sga::from_slice(b"req"),
+                SocketAddr::new(host_ip(2), 7),
+            )
+            .unwrap();
+        let (from, sga) = server.blocking_pop(sqd).unwrap().expect_pop();
+        server.pushto(sqd, &sga, from.unwrap()).unwrap();
+        let _ = client.blocking_pop(cqd).unwrap();
+    }
+    let data = rt.metrics().snapshot();
+    assert_eq!(
+        data.data_path_syscalls, 0,
+        "Fig. 2: the data path must never enter the kernel"
+    );
+    assert_eq!(data.pushes, 2000);
+    assert_eq!(data.pops, 2000);
+}
+
+#[test]
+fn traditional_architecture_crosses_on_every_io() {
+    let (_rt, _fabric, client, server) = catnap_pair(202);
+    let sqd = server.socket(SocketKind::Udp).unwrap();
+    server.bind(sqd, SocketAddr::new(host_ip(2), 7)).unwrap();
+    let cqd = client.socket(SocketKind::Udp).unwrap();
+    client.bind(cqd, SocketAddr::new(host_ip(1), 9000)).unwrap();
+
+    client.sim_kernel().reset_stats();
+    server.sim_kernel().reset_stats();
+    for _ in 0..100 {
+        client
+            .pushto(
+                cqd,
+                &Sga::from_slice(b"req"),
+                SocketAddr::new(host_ip(2), 7),
+            )
+            .unwrap();
+        let (from, sga) = server.blocking_pop(sqd).unwrap().expect_pop();
+        server.pushto(sqd, &sga, from.unwrap()).unwrap();
+        let _ = client.blocking_pop(cqd).unwrap();
+    }
+    let ck = client.kernel_stats().unwrap();
+    let sk = server.kernel_stats().unwrap();
+    // Each sendto is one syscall + one copy; each receive costs at least
+    // one syscall (polling) + one copy. 100 round trips → ≥400 crossings
+    // and exactly 400 payload copies across both hosts.
+    assert!(ck.syscalls >= 200, "client crossings: {}", ck.syscalls);
+    assert!(sk.syscalls >= 200, "server crossings: {}", sk.syscalls);
+    assert_eq!(ck.copies + sk.copies, 400);
+}
+
+#[test]
+fn per_request_crossing_counts_match_fig1() {
+    // The Fig. 1 contrast, quantified per request: bypass = 0 crossings,
+    // traditional ≥ 2 (send + receive) per host.
+    let (rt, _f1, bypass_client, bypass_server) = catnip_pair(203);
+    let sqd = bypass_server.socket(SocketKind::Udp).unwrap();
+    bypass_server
+        .bind(sqd, SocketAddr::new(host_ip(2), 7))
+        .unwrap();
+    let cqd = bypass_client.socket(SocketKind::Udp).unwrap();
+    bypass_client
+        .bind(cqd, SocketAddr::new(host_ip(1), 9000))
+        .unwrap();
+    // Warm up ARP, then measure one request.
+    bypass_client
+        .pushto(
+            cqd,
+            &Sga::from_slice(b"warm"),
+            SocketAddr::new(host_ip(2), 7),
+        )
+        .unwrap();
+    let _ = bypass_server.blocking_pop(sqd).unwrap();
+    rt.metrics().reset();
+    bypass_client
+        .pushto(
+            cqd,
+            &Sga::from_slice(b"one"),
+            SocketAddr::new(host_ip(2), 7),
+        )
+        .unwrap();
+    let _ = bypass_server.blocking_pop(sqd).unwrap();
+    assert_eq!(rt.metrics().snapshot().data_path_syscalls, 0);
+
+    let (_rt2, _f2, kernel_client, kernel_server) = catnap_pair(204);
+    let sqd = kernel_server.socket(SocketKind::Udp).unwrap();
+    kernel_server
+        .bind(sqd, SocketAddr::new(host_ip(2), 7))
+        .unwrap();
+    let cqd = kernel_client.socket(SocketKind::Udp).unwrap();
+    kernel_client
+        .bind(cqd, SocketAddr::new(host_ip(1), 9000))
+        .unwrap();
+    kernel_client
+        .pushto(
+            cqd,
+            &Sga::from_slice(b"warm"),
+            SocketAddr::new(host_ip(2), 7),
+        )
+        .unwrap();
+    let _ = kernel_server.blocking_pop(sqd).unwrap();
+    kernel_client.sim_kernel().reset_stats();
+    kernel_server.sim_kernel().reset_stats();
+    kernel_client
+        .pushto(
+            cqd,
+            &Sga::from_slice(b"one"),
+            SocketAddr::new(host_ip(2), 7),
+        )
+        .unwrap();
+    let _ = kernel_server.blocking_pop(sqd).unwrap();
+    let crossings = kernel_client.kernel_stats().unwrap().syscalls
+        + kernel_server.kernel_stats().unwrap().syscalls;
+    assert!(crossings >= 2, "traditional path: {crossings} crossings");
+}

@@ -1,0 +1,192 @@
+//! Figure 3 conformance: every listed system call exists and behaves as
+//! the paper specifies, exercised over catmem (pure queues) and catnip
+//! (device queues).
+
+use std::rc::Rc;
+
+use demikernel::libos::{LibOs, SocketKind};
+use demikernel::ops::Demikernel;
+use demikernel::testing::{catmem_world, catnip_pair, host_ip};
+use demikernel::types::{DemiError, OperationResult, Sga};
+use net_stack::types::SocketAddr;
+use sim_fabric::SimTime;
+
+#[test]
+fn control_path_network_calls_mirror_posix_but_return_qds() {
+    // Fig. 3 lines: socket, listen, bind, accept, connect, close.
+    let (_rt, _fabric, client, server) = catnip_pair(101);
+    let listen_qd = server.socket(SocketKind::Tcp).unwrap();
+    server
+        .bind(listen_qd, SocketAddr::new(host_ip(2), 80))
+        .unwrap();
+    server.listen(listen_qd, 8).unwrap();
+    let accept_qt = server.accept(listen_qd).unwrap();
+
+    let conn_qd = client.socket(SocketKind::Tcp).unwrap();
+    let connect_qt = client
+        .connect(conn_qd, SocketAddr::new(host_ip(2), 80))
+        .unwrap();
+
+    let server_qd = server.wait(accept_qt, None).unwrap().expect_accept();
+    assert!(matches!(
+        client.wait(connect_qt, None).unwrap(),
+        OperationResult::Connect
+    ));
+    client.close(conn_qd).unwrap();
+    server.close(server_qd).unwrap();
+    server.close(listen_qd).unwrap();
+}
+
+#[test]
+fn queue_calls_create_merge_filter_sort_map_qconnect() {
+    // Fig. 3 control-path queue calls over catmem.
+    let (_rt, libos) = catmem_world();
+    let dk = Demikernel::new(Rc::new(libos));
+    let q1 = dk.queue().unwrap();
+    let q2 = dk.queue().unwrap();
+    let merged = dk.merge(q1, q2).unwrap();
+    let filtered = dk.filter(merged, Rc::new(|s: &Sga| !s.is_empty())).unwrap();
+    let sorted = dk
+        .sort(filtered, Rc::new(|a: &Sga, b: &Sga| a.len() > b.len()))
+        .unwrap();
+    let mapped = dk.map(sorted, Rc::new(|s: Sga| s)).unwrap();
+    let sink = dk.queue().unwrap();
+    dk.qconnect(mapped, sink).unwrap();
+
+    // An element pushed into q1 flows through the whole pipeline.
+    dk.blocking_push(q1, &Sga::from_slice(b"through the pipeline"))
+        .unwrap();
+    let (_, out) = dk.blocking_pop(sink).unwrap().expect_pop();
+    assert_eq!(out.to_vec(), b"through the pipeline");
+}
+
+#[test]
+fn push_pop_atomicity_over_both_libos() {
+    // "A scatter-gather array pushed into a Demikernel queue always pops
+    // out as a single element."
+    // catmem:
+    let (_rt, libos) = catmem_world();
+    let qd = libos.queue().unwrap();
+    let mut sga = Sga::new();
+    for part in [&b"three"[..], &b"part"[..], &b"message"[..]] {
+        sga.push_seg(demi_memory::DemiBuffer::from_slice(part));
+    }
+    libos.blocking_push(qd, &sga).unwrap();
+    let (_, got) = libos.blocking_pop(qd).unwrap().expect_pop();
+    assert_eq!(got.to_vec(), b"threepartmessage");
+
+    // catnip over TCP (a byte stream under the hood):
+    let (_rt2, _fabric, client, server) = catnip_pair(102);
+    let lqd = server.socket(SocketKind::Tcp).unwrap();
+    server.bind(lqd, SocketAddr::new(host_ip(2), 80)).unwrap();
+    server.listen(lqd, 8).unwrap();
+    let aqt = server.accept(lqd).unwrap();
+    let cqd = client.socket(SocketKind::Tcp).unwrap();
+    let cqt = client
+        .connect(cqd, SocketAddr::new(host_ip(2), 80))
+        .unwrap();
+    let sqd = server.wait(aqt, None).unwrap().expect_accept();
+    client.wait(cqt, None).unwrap();
+    client.blocking_push(cqd, &sga).unwrap();
+    let (_, got) = server.blocking_pop(sqd).unwrap().expect_pop();
+    assert_eq!(got.to_vec(), b"threepartmessage");
+}
+
+#[test]
+fn wait_returns_data_wait_any_selects_wait_all_collects() {
+    // Fig. 3 data-path calls: wait / wait_any / wait_all.
+    let (_rt, libos) = catmem_world();
+    let q1 = libos.queue().unwrap();
+    let q2 = libos.queue().unwrap();
+
+    // wait returns the popped data directly.
+    libos
+        .blocking_push(q1, &Sga::from_slice(b"direct"))
+        .unwrap();
+    let qt = libos.pop(q1).unwrap();
+    let result = libos.wait(qt, None).unwrap();
+    let (_, sga) = result.expect_pop();
+    assert_eq!(sga.to_vec(), b"direct");
+
+    // wait_any returns the first completion and leaves the others valid.
+    let slow = libos.pop(q1).unwrap();
+    let fast = libos.pop(q2).unwrap();
+    libos.blocking_push(q2, &Sga::from_slice(b"fast")).unwrap();
+    let (idx, result) = libos.wait_any(&[slow, fast], None).unwrap();
+    assert_eq!(idx, 1);
+    assert_eq!(result.expect_pop().1.to_vec(), b"fast");
+    libos.blocking_push(q1, &Sga::from_slice(b"slow")).unwrap();
+    assert_eq!(
+        libos.wait(slow, None).unwrap().expect_pop().1.to_vec(),
+        b"slow"
+    );
+
+    // wait_all blocks until every operation completes.
+    let a = libos.push(q1, &Sga::from_slice(b"a")).unwrap();
+    let b = libos.push(q2, &Sga::from_slice(b"b")).unwrap();
+    let results = libos.wait_all(&[a, b], None).unwrap();
+    assert_eq!(results.len(), 2);
+    assert!(results.iter().all(|r| matches!(r, OperationResult::Push)));
+}
+
+#[test]
+fn blocking_calls_equal_push_then_wait() {
+    // Fig. 3: "identical to a push, followed by a wait on the returned
+    // qtoken" — verified by equivalence of results.
+    let (_rt, libos) = catmem_world();
+    let qd = libos.queue().unwrap();
+
+    let qt = libos.push(qd, &Sga::from_slice(b"two-step")).unwrap();
+    let two_step = libos.wait(qt, None).unwrap();
+    let one_step = libos
+        .blocking_push(qd, &Sga::from_slice(b"one-step"))
+        .unwrap();
+    assert_eq!(two_step, OperationResult::Push);
+    assert_eq!(one_step, OperationResult::Push);
+
+    let (_, first) = libos.blocking_pop(qd).unwrap().expect_pop();
+    let (_, second) = libos.blocking_pop(qd).unwrap().expect_pop();
+    assert_eq!(first.to_vec(), b"two-step");
+    assert_eq!(second.to_vec(), b"one-step");
+}
+
+#[test]
+fn qtokens_are_single_use_and_per_operation() {
+    // §4.4: "each qtoken is unique to a single queue operation."
+    let (_rt, libos) = catmem_world();
+    let qd = libos.queue().unwrap();
+    let qt1 = libos.push(qd, &Sga::from_slice(b"x")).unwrap();
+    let qt2 = libos.push(qd, &Sga::from_slice(b"y")).unwrap();
+    assert_ne!(qt1, qt2);
+    libos.wait(qt1, None).unwrap();
+    assert_eq!(libos.wait(qt1, None), Err(DemiError::BadQToken));
+    libos.wait(qt2, None).unwrap();
+}
+
+#[test]
+fn wait_timeout_is_honored() {
+    let (_rt, libos) = catmem_world();
+    let qd = libos.queue().unwrap();
+    let qt = libos.pop(qd).unwrap();
+    assert_eq!(
+        libos.wait(qt, Some(SimTime::from_millis(2))),
+        Err(DemiError::Timeout)
+    );
+    // The token survives the timeout and resolves later.
+    libos.blocking_push(qd, &Sga::from_slice(b"late")).unwrap();
+    let (_, sga) = libos.wait(qt, None).unwrap().expect_pop();
+    assert_eq!(sga.to_vec(), b"late");
+}
+
+#[test]
+fn file_calls_exist_on_the_storage_libos() {
+    // Fig. 3 control-path file calls: open / creat.
+    let (_rt, catfs, _dev) = demikernel::testing::catfs_world();
+    let qd = catfs.create("fig3").unwrap();
+    catfs
+        .blocking_push(qd, &Sga::from_slice(b"stored"))
+        .unwrap();
+    let reader = catfs.open("fig3").unwrap();
+    let (_, sga) = catfs.blocking_pop(reader).unwrap().expect_pop();
+    assert_eq!(sga.to_vec(), b"stored");
+}

@@ -1,0 +1,102 @@
+//! Table 1: the kernel-bypass accelerator taxonomy, regenerated from the
+//! simulated devices' capability descriptors.
+
+use sim_fabric::{DeviceCaps, DeviceCategory};
+
+fn all_devices() -> Vec<DeviceCaps> {
+    vec![
+        dpdk_sim::capabilities(),
+        spdk_sim::capabilities(),
+        rdma_sim::capabilities(),
+        dpdk_sim::smartnic_capabilities(),
+    ]
+}
+
+#[test]
+fn every_device_is_kernel_bypass() {
+    // The one property the whole category shares (paper §2): "There is no
+    // unifying interface or set of features, other than reducing
+    // application overhead by bypassing the OS kernel."
+    for caps in all_devices() {
+        assert!(caps.kernel_bypass, "{} must bypass the kernel", caps.name);
+    }
+}
+
+#[test]
+fn columns_match_table_1() {
+    // Left column: bypass only.
+    assert_eq!(
+        dpdk_sim::capabilities().category,
+        DeviceCategory::BypassOnly
+    );
+    assert_eq!(
+        spdk_sim::capabilities().category,
+        DeviceCategory::BypassOnly
+    );
+    // Middle column: +OS features (RDMA's reliable transport).
+    assert_eq!(
+        rdma_sim::capabilities().category,
+        DeviceCategory::PlusOsFeatures
+    );
+    // Right column: +other features (programmable SmartNICs).
+    assert_eq!(
+        dpdk_sim::smartnic_capabilities().category,
+        DeviceCategory::PlusOtherFeatures
+    );
+}
+
+#[test]
+fn rdma_provides_more_than_dpdk_but_not_everything() {
+    let dpdk = dpdk_sim::capabilities();
+    let rdma = rdma_sim::capabilities();
+    // RDMA adds reliable transport in hardware...
+    assert!(!dpdk.reliable_transport);
+    assert!(rdma.reliable_transport);
+    // ...but the paper's complaints hold for both: no buffer management,
+    // no flow control, explicit registration required.
+    for caps in [&dpdk, &rdma] {
+        assert!(!caps.buffer_management, "{}", caps.name);
+        assert!(!caps.flow_control, "{}", caps.name);
+        assert!(caps.explicit_registration_required, "{}", caps.name);
+    }
+}
+
+#[test]
+fn missing_feature_lists_shrink_across_columns() {
+    // The further right in Table 1, the less the libOS must supply.
+    let dpdk_missing = dpdk_sim::capabilities().missing_os_features().len();
+    let rdma_missing = rdma_sim::capabilities().missing_os_features().len();
+    assert!(
+        rdma_missing < dpdk_missing,
+        "RDMA ({rdma_missing}) should be missing less than DPDK ({dpdk_missing})"
+    );
+}
+
+#[test]
+fn printable_matrix_has_the_papers_shape() {
+    // Regenerate the table (also printed by bench e7) and sanity-check it.
+    let mut lines = vec![format!(
+        "{:<20} {:<16} {:>6} {:>9} {:>7} {:>7} {:>8}",
+        "device", "category", "bypass", "reliable", "bufmgmt", "flowctl", "offload"
+    )];
+    for caps in all_devices() {
+        lines.push(format!(
+            "{:<20} {:<16} {:>6} {:>9} {:>7} {:>7} {:>8}",
+            caps.name,
+            caps.category.label(),
+            caps.kernel_bypass,
+            caps.reliable_transport,
+            caps.buffer_management,
+            caps.flow_control,
+            caps.program_offload
+        ));
+    }
+    let table = lines.join("\n");
+    println!("{table}");
+    assert!(table.contains("Kernel-bypass"));
+    assert!(table.contains("+OS features"));
+    assert!(table.contains("+other features"));
+    // No simulated device manages buffers for the app — the gap the
+    // Demikernel fills.
+    assert!(!table.contains("bufmgmt: true"));
+}

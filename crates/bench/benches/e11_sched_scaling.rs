@@ -1,0 +1,122 @@
+//! E11 — scheduler scaling: the cost of *waiting* must not depend on how
+//! many operations are merely *outstanding*.
+//!
+//! The paper's wait/wait_any API invites applications to keep thousands of
+//! pops in flight (one per connection). A sweep scheduler re-polls every
+//! outstanding coroutine on every pass, so each completion costs O(pending)
+//! polls; the waker-driven scheduler polls only tasks something actually
+//! woke, so each completion costs O(1) regardless of the herd parked
+//! behind it.
+//!
+//! Regenerates: wait-loop polls per completion and spurious polls for one
+//! ready task among {10, 100, 1000, 10000} parked tasks, sweep vs wake.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use demi_bench::Table;
+use demi_sched::{yield_once, Condition, PollPolicy};
+use demikernel::types::{OperationResult, QToken};
+use demikernel::Runtime;
+
+/// Runs `completions` one-shot ops to completion while `pending` ops sit
+/// parked on never-signalled conditions. Returns (wait-loop polls per
+/// completion, spurious polls, total scheduler polls).
+fn run(policy: PollPolicy, pending: usize, completions: usize) -> (f64, u64, u64) {
+    let rt = Runtime::new_with_policy(policy);
+    let conds: Vec<Condition> = (0..pending).map(|_| Condition::new()).collect();
+    let parked: Vec<QToken> = conds
+        .iter()
+        .map(|c| {
+            let c = c.clone();
+            rt.spawn_op("parked", async move {
+                c.wait().await;
+                OperationResult::Push
+            })
+        })
+        .collect();
+    // Drain the spawn polls so the parked herd is fully parked.
+    rt.pump();
+    rt.metrics().reset();
+    let polls_before = rt.scheduler().stats().polls;
+
+    for _ in 0..completions {
+        let qt = rt.spawn_op("ready", async {
+            yield_once().await;
+            OperationResult::Push
+        });
+        rt.wait(qt, None).unwrap();
+    }
+
+    let stats = rt.scheduler().stats();
+    let snap = rt.metrics().snapshot();
+    let polls_per_completion = snap.wait_polls as f64 / completions as f64;
+
+    // Unpark the herd so the world ends in a clean state.
+    for c in &conds {
+        c.signal();
+    }
+    for qt in parked {
+        rt.wait(qt, None).unwrap();
+    }
+    (
+        polls_per_completion,
+        stats.spurious_polls,
+        stats.polls - polls_before,
+    )
+}
+
+fn experiment_table() {
+    const COMPLETIONS: usize = 50;
+    let mut table = Table::new(
+        "E11: wait-loop polls per completion, 1 ready op among N parked",
+        &[
+            "N parked",
+            "sweep polls/completion",
+            "wake polls/completion",
+            "sweep spurious",
+            "wake spurious",
+        ],
+    );
+    let mut wake_cost_at_smallest = None;
+    for &n in &[10usize, 100, 1000, 10_000] {
+        let (sweep_ppc, sweep_spurious, _) = run(PollPolicy::Sweep, n, COMPLETIONS);
+        let (wake_ppc, wake_spurious, _) = run(PollPolicy::Wake, n, COMPLETIONS);
+        // The claim under test: the wake scheduler's per-completion poll
+        // count does not grow with the parked population, and it never
+        // polls a task nothing woke.
+        assert_eq!(wake_spurious, 0, "wake scheduler polled a parked task");
+        let baseline = *wake_cost_at_smallest.get_or_insert(wake_ppc);
+        assert!(
+            (wake_ppc - baseline).abs() < f64::EPSILON,
+            "wake polls/completion changed with parked population: {baseline} -> {wake_ppc}"
+        );
+        // The sweep scheduler, by construction, pays for the whole herd.
+        assert!(
+            sweep_ppc >= n as f64,
+            "sweep should re-poll all {n} parked tasks per pass, got {sweep_ppc}"
+        );
+        table.row(&[
+            format!("{n}"),
+            format!("{sweep_ppc:.1}"),
+            format!("{wake_ppc:.1}"),
+            format!("{sweep_spurious}"),
+            format!("{wake_spurious}"),
+        ]);
+    }
+    table.print();
+}
+
+fn bench(c: &mut Criterion) {
+    experiment_table();
+    let mut group = c.benchmark_group("e11_sched_scaling");
+    group.sample_size(10);
+    group.bench_function("sweep_1k_parked", |b| {
+        b.iter(|| run(PollPolicy::Sweep, 1000, criterion::black_box(20)))
+    });
+    group.bench_function("wake_1k_parked", |b| {
+        b.iter(|| run(PollPolicy::Wake, 1000, criterion::black_box(20)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -25,14 +25,15 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use demi_sched::yield_once;
+use demi_sched::Notify;
 use net_stack::types::SocketAddr;
 use rdma_sim::{
     Completion, CqId, MrAccess, MrId, PdId, QpId, QpState, RdmaDevice, WcOpcode, WcStatus,
 };
-use sim_fabric::{DeviceCaps, Fabric, MacAddress};
+use sim_fabric::{DeviceCaps, Fabric, MacAddress, SimClock};
 
 use crate::libos::{LibOs, LibOsKind, SocketKind};
+use crate::metrics::Metrics;
 use crate::runtime::Runtime;
 use crate::types::{DemiError, OperationResult, QDesc, QToken, Sga};
 
@@ -53,6 +54,10 @@ struct Conn {
     /// they contend for send slots.
     next_ticket: u64,
     turn: u64,
+    /// Fires on every per-connection state change a coroutine might be
+    /// parked on: a completion dispatched by the pump, the push turn
+    /// advancing, or a send slot being recycled.
+    events: Notify,
 }
 
 enum CatcornQueue {
@@ -79,42 +84,34 @@ pub struct Catcorn {
     inner: Rc<RefCell<Inner>>,
 }
 
-impl Catcorn {
-    /// Creates a catcorn instance on a fresh RDMA device at `mac`.
-    pub fn new(runtime: &Runtime, fabric: &Fabric, mac: MacAddress) -> Self {
-        let device = RdmaDevice::new(fabric, mac);
-        let pd = device.alloc_pd();
-        let cq = device.create_cq();
-        let catcorn = Catcorn {
-            runtime: runtime.clone(),
-            device: device.clone(),
-            pd,
-            cq,
-            inner: Rc::new(RefCell::new(Inner {
-                queues: HashMap::new(),
-                conns: HashMap::new(),
-                next_qd: 1,
-                next_wr: 1,
-            })),
-        };
-        let pump = catcorn.clone();
-        let clock = runtime.clock().clone();
-        runtime.register_poller(move || pump.pump(clock.now()));
-        let deadline_dev = device.clone();
-        runtime.register_deadline_source(move || deadline_dev.next_deadline());
-        catcorn
-    }
+/// The cycle-free heart of catcorn: everything the I/O coroutines and the
+/// pump need. Spawned coroutines and registered pollers capture this —
+/// never `Catcorn` itself — because anything owned by the runtime that
+/// holds a `Runtime` clone forms an Rc cycle (runtime → scheduler/pollers →
+/// capture → runtime) and leaks the whole world.
+#[derive(Clone)]
+struct Core {
+    device: RdmaDevice,
+    pd: PdId,
+    cq: CqId,
+    inner: Rc<RefCell<Inner>>,
+    /// The runtime's metrics block (its own Rc, independent of the runtime).
+    metrics: Metrics,
+    /// The runtime's activity gate (likewise cycle-free).
+    activity: Notify,
+    clock: SimClock,
+}
 
-    /// The underlying device (experiment instrumentation).
-    pub fn device(&self) -> &RdmaDevice {
-        &self.device
-    }
-
-    fn pump(&self, now: sim_fabric::SimTime) {
-        self.device.poll(now);
+impl Core {
+    /// Drives the device and dispatches completions to their connections,
+    /// waking parked coroutines. Returns how many work items (frames +
+    /// completions) were processed.
+    fn pump(&self, now: sim_fabric::SimTime) -> usize {
+        let frames = self.device.poll(now);
         let completions = self.device.poll_cq(self.cq, 64);
+        let work = frames + completions.len();
         if completions.is_empty() {
-            return;
+            return work;
         }
         let inner = self.inner.borrow();
         for c in completions {
@@ -128,7 +125,9 @@ impl Catcorn {
                     conn.send_completions.insert(c.wr_id, c);
                 }
             }
+            conn.events.notify_waiters();
         }
+        work
     }
 
     fn alloc_qd(&self, q: CatcornQueue) -> QDesc {
@@ -150,7 +149,7 @@ impl Catcorn {
     /// rings (transparent registration, one control-path cost each) and
     /// pre-posts every receive slot (the buffer management RDMA demands).
     fn setup_conn(&self, qp: QpId) -> Rc<RefCell<Conn>> {
-        self.runtime.metrics().count_control_path_syscall();
+        self.metrics.count_control_path_syscall();
         let send_mr =
             self.device
                 .register_mr(self.pd, SLOT_SIZE * RING_SLOTS, MrAccess::LOCAL_ONLY);
@@ -172,9 +171,65 @@ impl Catcorn {
             recv_ready: VecDeque::new(),
             next_ticket: 0,
             turn: 0,
+            events: Notify::new(),
         }));
         self.inner.borrow_mut().conns.insert(qp, conn.clone());
         conn
+    }
+}
+
+impl Catcorn {
+    /// Creates a catcorn instance on a fresh RDMA device at `mac`.
+    pub fn new(runtime: &Runtime, fabric: &Fabric, mac: MacAddress) -> Self {
+        let device = RdmaDevice::new(fabric, mac);
+        let pd = device.alloc_pd();
+        let cq = device.create_cq();
+        let catcorn = Catcorn {
+            runtime: runtime.clone(),
+            device: device.clone(),
+            pd,
+            cq,
+            inner: Rc::new(RefCell::new(Inner {
+                queues: HashMap::new(),
+                conns: HashMap::new(),
+                next_qd: 1,
+                next_wr: 1,
+            })),
+        };
+        // The pump runs inside the runtime, so it must capture the
+        // cycle-free core, not the libOS (which holds the runtime).
+        let pump = catcorn.core();
+        let clock = runtime.clock().clone();
+        runtime.register_poller(move || pump.pump(clock.now()));
+        let deadline_dev = device.clone();
+        runtime.register_deadline_source(move || deadline_dev.next_deadline());
+        catcorn
+    }
+
+    /// The underlying device (experiment instrumentation).
+    pub fn device(&self) -> &RdmaDevice {
+        &self.device
+    }
+
+    /// A fresh handle to the cycle-free coroutine state.
+    fn core(&self) -> Core {
+        Core {
+            device: self.device.clone(),
+            pd: self.pd,
+            cq: self.cq,
+            inner: self.inner.clone(),
+            metrics: self.runtime.metrics().clone(),
+            activity: self.runtime.activity().clone(),
+            clock: self.runtime.clock().clone(),
+        }
+    }
+
+    fn alloc_qd(&self, q: CatcornQueue) -> QDesc {
+        let mut inner = self.inner.borrow_mut();
+        let qd = QDesc(inner.next_qd);
+        inner.next_qd += 1;
+        inner.queues.insert(qd, q);
+        qd
     }
 }
 
@@ -244,18 +299,21 @@ impl LibOs for Catcorn {
                 None => return Err(DemiError::BadQDesc),
             }
         };
-        let this = self.clone();
+        let core = self.core();
         Ok(self.runtime.spawn_op("catcorn::accept", async move {
-            let qp = this.device.create_qp(this.pd, this.cq, this.cq);
+            let qp = core.device.create_qp(core.pd, core.cq, core.cq);
             loop {
-                let now = this.runtime.now();
-                match this.device.accept(port, qp, now) {
+                // Connection requests arrive with device frames, so park on
+                // the runtime's activity gate between checks.
+                let wait = core.activity.notified();
+                let now = core.clock.now();
+                match core.device.accept(port, qp, now) {
                     Ok(true) => {
-                        let conn = this.setup_conn(qp);
-                        let qd = this.alloc_qd(CatcornQueue::Conn(conn));
+                        let conn = core.setup_conn(qp);
+                        let qd = core.alloc_qd(CatcornQueue::Conn(conn));
                         return OperationResult::Accept { qd };
                     }
-                    Ok(false) => yield_once().await,
+                    Ok(false) => wait.await,
                     Err(_) => return OperationResult::Failed(DemiError::Rdma("accept failed")),
                 }
             }
@@ -275,13 +333,16 @@ impl LibOs for Catcorn {
         self.device
             .connect(qp, mac_of(remote), remote.port, self.runtime.now())
             .map_err(|_| DemiError::Rdma("connect failed"))?;
-        let this = self.clone();
+        let core = self.core();
         Ok(self.runtime.spawn_op("catcorn::connect", async move {
             loop {
-                match this.device.qp_state(qp) {
+                // The QP reaches RTS when the handshake frames land; park on
+                // the activity gate between checks.
+                let wait = core.activity.notified();
+                match core.device.qp_state(qp) {
                     Ok(QpState::Rts) => {
-                        let conn = this.setup_conn(qp);
-                        this.inner
+                        let conn = core.setup_conn(qp);
+                        core.inner
                             .borrow_mut()
                             .queues
                             .insert(qd, CatcornQueue::Conn(conn));
@@ -290,7 +351,7 @@ impl LibOs for Catcorn {
                     Ok(QpState::Error) => {
                         return OperationResult::Failed(DemiError::Rdma("connection refused"));
                     }
-                    Ok(_) => yield_once().await,
+                    Ok(_) => wait.await,
                     Err(_) => return OperationResult::Failed(DemiError::Rdma("bad qp")),
                 }
             }
@@ -326,7 +387,7 @@ impl LibOs for Catcorn {
             return Err(DemiError::Rdma("message exceeds slot size"));
         }
         let payload = sga.to_vec();
-        let this = self.clone();
+        let core = self.core();
         // Take an ordering ticket at call time: pushes hit the wire in
         // `push()` order regardless of slot contention.
         let ticket = {
@@ -337,8 +398,11 @@ impl LibOs for Catcorn {
         };
         Ok(self.runtime.spawn_op("catcorn::push", async move {
             // Flow control the device does not provide: wait for our turn
-            // and for a free slot.
+            // and for a free slot, parked on the connection's event channel
+            // (earlier pushes advancing the turn or recycling slots fire it).
+            let events = conn.borrow().events.clone();
             let slot = loop {
+                let wait = events.notified();
                 let maybe = {
                     let mut c = conn.borrow_mut();
                     if c.turn == ticket {
@@ -349,7 +413,7 @@ impl LibOs for Catcorn {
                 };
                 match maybe {
                     Some(s) => break s,
-                    None => yield_once().await,
+                    None => wait.await,
                 }
             };
             let (qp, send_mr) = {
@@ -357,7 +421,7 @@ impl LibOs for Catcorn {
                 (c.qp, c.send_mr)
             };
             // Stage into registered memory (the DMA-visible region).
-            if this
+            if core
                 .device
                 .mr_write(send_mr, slot * SLOT_SIZE, &payload)
                 .is_err()
@@ -365,27 +429,40 @@ impl LibOs for Catcorn {
                 let mut c = conn.borrow_mut();
                 c.turn += 1;
                 c.free_send_slots.push_back(slot);
+                c.events.notify_waiters();
                 return OperationResult::Failed(DemiError::Rdma("mr write"));
             }
-            let wr_id = this.next_wr();
-            let now = this.runtime.now();
+            let wr_id = core.next_wr();
+            let now = core.clock.now();
             let posted =
-                this.device
+                core.device
                     .post_send(qp, wr_id, send_mr, slot * SLOT_SIZE, payload.len(), now);
-            conn.borrow_mut().turn += 1;
+            {
+                let mut c = conn.borrow_mut();
+                c.turn += 1;
+                c.events.notify_waiters();
+            }
             if posted.is_err() {
-                conn.borrow_mut().free_send_slots.push_back(slot);
+                let mut c = conn.borrow_mut();
+                c.free_send_slots.push_back(slot);
+                c.events.notify_waiters();
                 return OperationResult::Failed(DemiError::Rdma("post_send"));
             }
-            // Await the send completion, then recycle the slot.
+            // Await the send completion (dispatched by the pump), then
+            // recycle the slot and wake any push blocked on slot exhaustion.
             let status = loop {
+                let wait = events.notified();
                 let done = conn.borrow_mut().send_completions.remove(&wr_id);
                 match done {
                     Some(c) => break c.status,
-                    None => yield_once().await,
+                    None => wait.await,
                 }
             };
-            conn.borrow_mut().free_send_slots.push_back(slot);
+            {
+                let mut c = conn.borrow_mut();
+                c.free_send_slots.push_back(slot);
+                c.events.notify_waiters();
+            }
             if status.is_ok() {
                 OperationResult::Push
             } else {
@@ -404,13 +481,17 @@ impl LibOs for Catcorn {
                 None => return Err(DemiError::BadQDesc),
             }
         };
-        let this = self.clone();
+        let core = self.core();
         Ok(self.runtime.spawn_op("catcorn::pop", async move {
+            // Receive completions are dispatched by the pump; park on the
+            // connection's event channel until one lands.
+            let events = conn.borrow().events.clone();
             let completion = loop {
+                let wait = events.notified();
                 let ready = conn.borrow_mut().recv_ready.pop_front();
                 match ready {
                     Some(c) => break c,
-                    None => yield_once().await,
+                    None => wait.await,
                 }
             };
             if !completion.status.is_ok() {
@@ -421,7 +502,7 @@ impl LibOs for Catcorn {
                 let c = conn.borrow();
                 (c.qp, c.recv_mr)
             };
-            let payload = match this
+            let payload = match core
                 .device
                 .mr_read(recv_mr, slot * SLOT_SIZE, completion.byte_len)
             {
@@ -430,7 +511,7 @@ impl LibOs for Catcorn {
             };
             // Recycle the slot: re-post the receive (buffer management).
             let _ =
-                this.device
+                core.device
                     .post_recv(qp, completion.wr_id, recv_mr, slot * SLOT_SIZE, SLOT_SIZE);
             OperationResult::Pop {
                 from: None,

@@ -22,7 +22,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use demi_sched::yield_once;
+use demi_sched::Notify;
 use sim_fabric::{DeviceCaps, SimClock};
 use spdk_sim::nvme::{NvmeCompletion, NvmeDevice, QpairId, BLOCK_SIZE};
 
@@ -56,6 +56,8 @@ struct LogState {
     len: u64,
     /// Cached tail-block contents (also durable: rewritten per push).
     tail: Vec<u8>,
+    /// Fires whenever `len` grows, waking pops parked at the log tail.
+    appended: Notify,
 }
 
 impl LogState {
@@ -64,6 +66,7 @@ impl LogState {
             blocks: Vec::new(),
             len: 0,
             tail: Vec::new(),
+            appended: Notify::new(),
         }
     }
 }
@@ -92,65 +95,46 @@ pub struct Catfs {
     inner: Rc<RefCell<Inner>>,
 }
 
-impl Catfs {
-    /// Creates a catfs instance owning `device`, registered on the shared
-    /// runtime (the device's completion times drive clock advancement).
-    pub fn new(runtime: &Runtime, device: NvmeDevice) -> Self {
-        let qpair = device.alloc_qpair();
-        let catfs = Catfs {
-            runtime: runtime.clone(),
-            device: device.clone(),
-            qpair,
-            inner: Rc::new(RefCell::new(Inner {
-                logs: HashMap::new(),
-                queues: HashMap::new(),
-                next_qd: 1,
-                next_lba: 0,
-                next_cmd: 1,
-                completions: HashMap::new(),
-                stats: CatfsStats::default(),
-            })),
-        };
-        // Pump device completions into the dispatch table each pass.
-        let pump = catfs.clone();
-        runtime.register_poller(move || pump.pump_completions());
-        let deadline_dev = device.clone();
-        runtime.register_deadline_source(move || deadline_dev.next_deadline());
-        catfs
-    }
+/// The cycle-free heart of catfs: everything the I/O coroutines need.
+/// Spawned coroutines capture this — never `Catfs` itself — because a task
+/// future holding a `Runtime` clone would form an Rc cycle (runtime →
+/// scheduler → task future → runtime) and leak the whole world.
+#[derive(Clone)]
+struct Core {
+    device: NvmeDevice,
+    qpair: QpairId,
+    inner: Rc<RefCell<Inner>>,
+    /// The runtime's activity gate (its own Rc, independent of the runtime).
+    activity: Notify,
+}
 
-    /// The shared virtual clock (convenience).
-    pub fn clock(&self) -> SimClock {
-        self.runtime.clock().clone()
-    }
-
-    /// Layout counters.
-    pub fn stats(&self) -> CatfsStats {
-        self.inner.borrow().stats
-    }
-
-    /// Device-level counters (write amplification denominator).
-    pub fn device_stats(&self) -> spdk_sim::NvmeStats {
-        self.device.stats()
-    }
-
-    fn pump_completions(&self) {
+impl Core {
+    /// Drains device completions into the dispatch table; returns how many
+    /// arrived (the poller's external-progress report, which also makes the
+    /// runtime fire its activity gate for the waiters parked in
+    /// [`Core::wait_cmd`]).
+    fn pump_completions(&self) -> usize {
         let comps = self.device.poll_completions(self.qpair, 64);
-        if comps.is_empty() {
-            return;
+        let n = comps.len();
+        if n == 0 {
+            return 0;
         }
         let mut inner = self.inner.borrow_mut();
         for c in comps {
             inner.completions.insert(c.cmd_id, c);
         }
+        n
     }
 
     async fn wait_cmd(&self, cmd_id: u64) -> NvmeCompletion {
         loop {
+            // Completions surface through the poller above, which counts as
+            // external progress; park on the activity gate between checks.
+            let wait = self.activity.notified();
             if let Some(c) = self.inner.borrow_mut().completions.remove(&cmd_id) {
                 return c;
             }
-            yield_once().await;
+            wait.await;
         }
     }
 
@@ -199,6 +183,61 @@ impl Catfs {
             pos += take;
         }
         out
+    }
+}
+
+impl Catfs {
+    /// Creates a catfs instance owning `device`, registered on the shared
+    /// runtime (the device's completion times drive clock advancement).
+    pub fn new(runtime: &Runtime, device: NvmeDevice) -> Self {
+        let qpair = device.alloc_qpair();
+        let catfs = Catfs {
+            runtime: runtime.clone(),
+            device: device.clone(),
+            qpair,
+            inner: Rc::new(RefCell::new(Inner {
+                logs: HashMap::new(),
+                queues: HashMap::new(),
+                next_qd: 1,
+                next_lba: 0,
+                next_cmd: 1,
+                completions: HashMap::new(),
+                stats: CatfsStats::default(),
+            })),
+        };
+        // Pump device completions into the dispatch table each pass. The
+        // poller lives inside the runtime, so it must capture the cycle-free
+        // core, not the libOS (which holds the runtime).
+        let pump = catfs.core();
+        runtime.register_poller(move || pump.pump_completions());
+        let deadline_dev = device.clone();
+        runtime.register_deadline_source(move || deadline_dev.next_deadline());
+        catfs
+    }
+
+    /// The shared virtual clock (convenience).
+    pub fn clock(&self) -> SimClock {
+        self.runtime.clock().clone()
+    }
+
+    /// Layout counters.
+    pub fn stats(&self) -> CatfsStats {
+        self.inner.borrow().stats
+    }
+
+    /// Device-level counters (write amplification denominator).
+    pub fn device_stats(&self) -> spdk_sim::NvmeStats {
+        self.device.stats()
+    }
+
+    /// A fresh handle to the cycle-free coroutine state.
+    fn core(&self) -> Core {
+        Core {
+            device: self.device.clone(),
+            qpair: self.qpair,
+            inner: self.inner.clone(),
+            activity: self.runtime.activity().clone(),
+        }
     }
 
     /// Rebuilds a log from a device written by a previous catfs instance
@@ -388,7 +427,7 @@ impl LibOs for Catfs {
                 .ok_or(DemiError::BadQDesc)?
         };
         let payload = sga.to_vec();
-        let this = self.clone();
+        let core = self.core();
         Ok(self.runtime.spawn_op("catfs::push", async move {
             // Serialize the record.
             let mut record = Vec::with_capacity(RECORD_HEADER + payload.len());
@@ -407,7 +446,7 @@ impl LibOs for Catfs {
                     if state.tail.is_empty() {
                         // Start a new block.
                         let lba = {
-                            let mut inner = this.inner.borrow_mut();
+                            let mut inner = core.inner.borrow_mut();
                             let lba = inner.next_lba;
                             inner.next_lba += 1;
                             lba
@@ -432,12 +471,17 @@ impl LibOs for Catfs {
                     b.resize(BLOCK_SIZE, 0);
                     b
                 };
-                this.write_block(lba, &block).await;
-                if tail_len == BLOCK_SIZE {
-                    log.borrow_mut().tail.clear();
+                core.write_block(lba, &block).await;
+                {
+                    let mut state = log.borrow_mut();
+                    if tail_len == BLOCK_SIZE {
+                        state.tail.clear();
+                    }
+                    // The appended bytes are durable: wake tailing pops.
+                    state.appended.notify_waiters();
                 }
             }
-            this.inner.borrow_mut().stats.appends += 1;
+            core.inner.borrow_mut().stats.appends += 1;
             OperationResult::Push
         }))
     }
@@ -450,41 +494,43 @@ impl LibOs for Catfs {
                 return Err(DemiError::BadQDesc);
             }
         }
-        let this = self.clone();
+        let core = self.core();
         Ok(self.runtime.spawn_op("catfs::pop", async move {
             loop {
                 let (log, cursor) = {
-                    let inner = this.inner.borrow();
+                    let inner = core.inner.borrow();
                     let Some(open) = inner.queues.get(&qd) else {
                         return OperationResult::Failed(DemiError::BadQDesc);
                     };
                     (open.log.clone(), open.cursor)
                 };
+                let wait = log.borrow().appended.notified();
                 let available = log.borrow().len - cursor;
                 if available < RECORD_HEADER as u64 {
-                    // Tail of the log: wait for more pushes.
-                    yield_once().await;
+                    // Tail of the log: park until a push appends more.
+                    wait.await;
                     continue;
                 }
-                let header = this.read_bytes(&log, cursor, RECORD_HEADER).await;
+                let header = core.read_bytes(&log, cursor, RECORD_HEADER).await;
                 if u16::from_be_bytes([header[0], header[1]]) != RECORD_MAGIC {
                     return OperationResult::Failed(DemiError::Storage("bad record magic"));
                 }
                 let len = u32::from_be_bytes([header[2], header[3], header[4], header[5]]) as u64;
                 let expect_sum = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
                 if log.borrow().len - cursor < RECORD_HEADER as u64 + len {
-                    yield_once().await;
+                    // Header landed but the payload is still being pushed.
+                    wait.await;
                     continue;
                 }
-                let payload = this
+                let payload = core
                     .read_bytes(&log, cursor + RECORD_HEADER as u64, len as usize)
                     .await;
                 if checksum(&payload) != expect_sum {
-                    this.inner.borrow_mut().stats.checksum_failures += 1;
+                    core.inner.borrow_mut().stats.checksum_failures += 1;
                     return OperationResult::Failed(DemiError::Storage("record checksum"));
                 }
                 {
-                    let mut inner = this.inner.borrow_mut();
+                    let mut inner = core.inner.borrow_mut();
                     if let Some(open) = inner.queues.get_mut(&qd) {
                         open.cursor = cursor + RECORD_HEADER as u64 + len;
                     }

@@ -10,7 +10,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use demi_sched::{yield_once, AsyncQueue};
+use demi_sched::{AsyncQueue, Notify};
 
 use crate::libos::{LibOs, LibOsKind};
 use crate::runtime::Runtime;
@@ -19,6 +19,8 @@ use crate::types::{DemiError, OperationResult, QDesc, QToken, Sga};
 struct CatmemQueue {
     items: AsyncQueue<Sga>,
     closed: Cell<bool>,
+    /// Fires on push and close, waking pops parked on an empty queue.
+    events: Notify,
 }
 
 struct Inner {
@@ -78,6 +80,7 @@ impl LibOs for Catmem {
             Rc::new(CatmemQueue {
                 items: AsyncQueue::new(),
                 closed: Cell::new(false),
+                events: Notify::new(),
             }),
         );
         Ok(qd)
@@ -86,6 +89,8 @@ impl LibOs for Catmem {
     fn close(&self, qd: QDesc) -> Result<(), DemiError> {
         let queue = self.get(qd)?;
         queue.closed.set(true);
+        // Pending pops must observe the close and fail promptly.
+        queue.events.notify_waiters();
         Ok(())
     }
 
@@ -98,6 +103,7 @@ impl LibOs for Catmem {
         let sga = sga.clone(); // Handle clone: zero-copy.
         Ok(self.runtime.spawn_op("catmem::push", async move {
             queue.items.push(sga);
+            queue.events.notify_waiters();
             OperationResult::Push
         }))
     }
@@ -107,13 +113,16 @@ impl LibOs for Catmem {
         self.runtime.metrics().count_pop();
         Ok(self.runtime.spawn_op("catmem::pop", async move {
             loop {
+                // Snapshot before checking so a push/close landing between
+                // the check and the park is not lost.
+                let wait = queue.events.notified();
                 if let Some(sga) = queue.items.try_pop() {
                     return OperationResult::Pop { from: None, sga };
                 }
                 if queue.closed.get() {
                     return OperationResult::Failed(DemiError::Closed);
                 }
-                yield_once().await;
+                wait.await;
             }
         }))
     }

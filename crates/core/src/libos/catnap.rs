@@ -15,7 +15,6 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
-use demi_sched::yield_once;
 use dpdk_sim::{DpdkPort, PortConfig};
 use net_stack::framing::{encode_header, FrameDecoder};
 use net_stack::types::SocketAddr;
@@ -82,6 +81,9 @@ impl Catnap {
         // kernel servicing the NIC — not charged as a syscall.
         let poll_sockets = sockets.clone();
         runtime.register_poller(move || poll_sockets.borrow_mut().poll());
+        // All four blocking loops below (accept/connect/udp_pop/tcp_pop)
+        // wait on kernel-stack progress, which the poller reports; they
+        // park on the runtime's activity gate between checks.
         let deadline_sockets = sockets.clone();
         runtime.register_deadline_source(move || deadline_sockets.borrow().next_deadline());
         Catnap {
@@ -178,19 +180,32 @@ impl LibOs for Catnap {
                 None => return Err(DemiError::BadQDesc),
             }
         };
-        let this = self.clone();
+        // Capture only cycle-free pieces (`sockets`/`inner` are their own
+        // Rc's; `activity` is independent of the runtime): a coroutine
+        // holding a `Runtime` clone would form an Rc cycle (runtime ->
+        // scheduler -> task future -> runtime) and leak the world.
+        let sockets = self.sockets.clone();
+        let inner = self.inner.clone();
+        let activity = self.runtime.activity().clone();
         Ok(self.runtime.spawn_op("catnap::accept", async move {
             loop {
-                let accepted = this.sockets.borrow_mut().accept(fd);
+                let wait = activity.notified();
+                let accepted = sockets.borrow_mut().accept(fd);
                 match accepted {
                     Ok(Some(conn_fd)) => {
-                        let qd = this.alloc_qd(CatnapQueue::TcpConn {
-                            fd: conn_fd,
-                            decoder: Rc::new(RefCell::new(FrameDecoder::new())),
-                        });
+                        let mut inner = inner.borrow_mut();
+                        let qd = QDesc(inner.next_qd);
+                        inner.next_qd += 1;
+                        inner.queues.insert(
+                            qd,
+                            CatnapQueue::TcpConn {
+                                fd: conn_fd,
+                                decoder: Rc::new(RefCell::new(FrameDecoder::new())),
+                            },
+                        );
                         return OperationResult::Accept { qd };
                     }
-                    Ok(None) => yield_once().await,
+                    Ok(None) => wait.await,
                     Err(e) => return OperationResult::Failed(sock_err(e)),
                 }
             }
@@ -219,8 +234,10 @@ impl LibOs for Catnap {
             }
         };
         let sockets = self.sockets.clone();
+        let activity = self.runtime.activity().clone();
         Ok(self.runtime.spawn_op("catnap::connect", async move {
             loop {
+                let wait = activity.notified();
                 // Bind borrow results before matching: a borrow held in a
                 // match scrutinee would live across the await below.
                 let so_error = sockets.borrow().so_error(fd);
@@ -230,7 +247,7 @@ impl LibOs for Catnap {
                 let connected = sockets.borrow().is_connected(fd);
                 match connected {
                     Ok(true) => return OperationResult::Connect,
-                    Ok(false) => yield_once().await,
+                    Ok(false) => wait.await,
                     Err(e) => return OperationResult::Failed(sock_err(e)),
                 }
             }
@@ -302,11 +319,13 @@ impl LibOs for Catnap {
             Some(CatnapQueue::Udp { fd }) => {
                 let fd = *fd;
                 let sockets = self.sockets.clone();
+                let activity = self.runtime.activity().clone();
                 drop(inner);
                 Ok(self.runtime.spawn_op("catnap::udp_pop", async move {
                     // POSIX forces a user buffer the kernel copies into.
                     let mut buf = vec![0u8; 65_536];
                     loop {
+                        let wait = activity.notified();
                         let got = sockets.borrow_mut().recvfrom(fd, &mut buf);
                         match got {
                             Ok(Some((from, n))) => {
@@ -315,7 +334,7 @@ impl LibOs for Catnap {
                                     sga: Sga::from_slice(&buf[..n]),
                                 };
                             }
-                            Ok(None) => yield_once().await,
+                            Ok(None) => wait.await,
                             Err(e) => return OperationResult::Failed(sock_err(e)),
                         }
                     }
@@ -325,14 +344,16 @@ impl LibOs for Catnap {
                 let fd = *fd;
                 let decoder = decoder.clone();
                 let sockets = self.sockets.clone();
+                let activity = self.runtime.activity().clone();
                 drop(inner);
                 Ok(self.runtime.spawn_op("catnap::tcp_pop", async move {
                     let mut buf = vec![0u8; 16_384];
                     loop {
+                        let wait = activity.notified();
                         // Stream read into a user buffer (copy), then
                         // reassemble the atomic unit from the bytes.
                         let got = sockets.borrow_mut().read(fd, &mut buf);
-                        match got {
+                        let read_bytes = match got {
                             Ok(Some(0)) => {
                                 return OperationResult::Failed(DemiError::Closed);
                             }
@@ -340,10 +361,11 @@ impl LibOs for Catnap {
                                 decoder
                                     .borrow_mut()
                                     .push_chunk(demi_memory::DemiBuffer::from_slice(&buf[..n]));
+                                true
                             }
-                            Ok(None) => {}
+                            Ok(None) => false,
                             Err(e) => return OperationResult::Failed(sock_err(e)),
-                        }
+                        };
                         // Bind before matching: a RefCell borrow in the
                         // scrutinee would be held across the await below.
                         let next = decoder.borrow_mut().next_message();
@@ -354,7 +376,11 @@ impl LibOs for Catnap {
                                     sga: Sga::from_bufs(vec![msg]),
                                 };
                             }
-                            Ok(None) => yield_once().await,
+                            // Park only when the read came up empty: a
+                            // productive read means more bytes may already
+                            // be buffered in the kernel socket.
+                            Ok(None) if !read_bytes => wait.await,
+                            Ok(None) => {}
                             Err(e) => return OperationResult::Failed(e.into()),
                         }
                     }

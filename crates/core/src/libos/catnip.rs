@@ -22,7 +22,6 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 use demi_memory::{DemiBuffer, MemoryManager};
-use demi_sched::yield_once;
 use dpdk_sim::{DpdkPort, NicProgram, PortConfig};
 use net_stack::framing::{encode_header, FrameDecoder};
 use net_stack::tcp::{ConnId, ListenerId, State};
@@ -91,6 +90,9 @@ impl Catnip {
         // its protocol timers for clock advancement.
         let poll_stack = stack.clone();
         runtime.register_poller(move || poll_stack.poll());
+        // Stack progress (frames in/out) is reported by that poller, so
+        // every blocking loop below parks on the runtime's activity gate
+        // rather than re-polling the stack each pass.
         let deadline_stack = stack.clone();
         runtime.register_deadline_source(move || deadline_stack.next_deadline());
         Catnip {
@@ -220,18 +222,27 @@ impl LibOs for Catnip {
                 None => return Err(DemiError::BadQDesc),
             }
         };
-        let this = self.clone();
+        let stack = self.stack.clone();
+        let inner = self.inner.clone();
+        let activity = self.runtime.activity().clone();
         Ok(self.runtime.spawn_op("catnip::accept", async move {
             loop {
-                match this.stack.tcp_accept(listener) {
+                let wait = activity.notified();
+                match stack.tcp_accept(listener) {
                     Ok(Some(conn)) => {
-                        let qd = this.alloc_qd(CatnipQueue::TcpConn {
-                            conn,
-                            decoder: Rc::new(RefCell::new(FrameDecoder::new())),
-                        });
+                        let mut inner = inner.borrow_mut();
+                        let qd = QDesc(inner.next_qd);
+                        inner.next_qd += 1;
+                        inner.queues.insert(
+                            qd,
+                            CatnipQueue::TcpConn {
+                                conn,
+                                decoder: Rc::new(RefCell::new(FrameDecoder::new())),
+                            },
+                        );
                         return OperationResult::Accept { qd };
                     }
-                    Ok(None) => yield_once().await,
+                    Ok(None) => wait.await,
                     Err(e) => return OperationResult::Failed(e.into()),
                 }
             }
@@ -272,8 +283,10 @@ impl LibOs for Catnip {
                 );
                 drop(inner);
                 let stack = self.stack.clone();
+                let activity = self.runtime.activity().clone();
                 Ok(self.runtime.spawn_op("catnip::tcp_connect", async move {
                     loop {
+                        let wait = activity.notified();
                         match stack.tcp_state(conn) {
                             Ok(State::Established) => return OperationResult::Connect,
                             Ok(State::Closed) => {
@@ -283,7 +296,7 @@ impl LibOs for Catnip {
                                     .unwrap_or(DemiError::Closed);
                                 return OperationResult::Failed(err);
                             }
-                            Ok(_) => yield_once().await,
+                            Ok(_) => wait.await,
                             Err(e) => return OperationResult::Failed(e.into()),
                         }
                     }
@@ -371,16 +384,18 @@ impl LibOs for Catnip {
             Some(CatnipQueue::Udp { port, .. }) => {
                 let port = *port;
                 let stack = self.stack.clone();
+                let activity = self.runtime.activity().clone();
                 drop(inner);
                 Ok(self.runtime.spawn_op("catnip::udp_pop", async move {
                     loop {
+                        let wait = activity.notified();
                         if let Some((from, payload)) = stack.udp_recv_from(port) {
                             return OperationResult::Pop {
                                 from: Some(from),
                                 sga: Sga::from_bufs(vec![payload]),
                             };
                         }
-                        yield_once().await;
+                        wait.await;
                     }
                 }))
             }
@@ -388,9 +403,11 @@ impl LibOs for Catnip {
                 let conn = *conn;
                 let decoder = decoder.clone();
                 let stack = self.stack.clone();
+                let activity = self.runtime.activity().clone();
                 drop(inner);
                 Ok(self.runtime.spawn_op("catnip::tcp_pop", async move {
                     loop {
+                        let wait = activity.notified();
                         // Drain arrived stream chunks into the framer.
                         loop {
                             match stack.tcp_recv(conn) {
@@ -413,7 +430,7 @@ impl LibOs for Catnip {
                         if stack.tcp_eof(conn) && decoder.borrow().buffered_bytes() == 0 {
                             return OperationResult::Failed(DemiError::Closed);
                         }
-                        yield_once().await;
+                        wait.await;
                     }
                 }))
             }

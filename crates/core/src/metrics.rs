@@ -37,6 +37,13 @@ pub struct MetricsSnapshot {
     pub pushes: u64,
     /// Pop operations started.
     pub pops: u64,
+    /// Iterations of the `wait_any` loop (each = one pump of the world).
+    pub wait_passes: u64,
+    /// Task polls performed across those passes. With the waker-driven
+    /// scheduler this tracks *ready* work, independent of how many
+    /// operations are parked; under the legacy sweep policy it grows with
+    /// the number of outstanding operations (E11).
+    pub wait_polls: u64,
 }
 
 #[derive(Default)]
@@ -85,6 +92,13 @@ impl Metrics {
     /// Records a pop submission.
     pub fn count_pop(&self) {
         self.inner.borrow_mut().snap.pops += 1;
+    }
+
+    /// Records one iteration of a `wait` loop and the task polls it made.
+    pub fn count_wait_pass(&self, polls: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.snap.wait_passes += 1;
+        inner.snap.wait_polls += polls;
     }
 
     /// Snapshot.

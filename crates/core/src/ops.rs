@@ -17,7 +17,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::{Rc, Weak};
 
-use demi_sched::{yield_once, AsyncQueue};
+use demi_sched::{AsyncQueue, Notify};
 use net_stack::types::SocketAddr;
 use sim_fabric::DeviceCaps;
 
@@ -68,6 +68,8 @@ enum VirtualQueue {
     },
     Sort {
         buffer: SortBuffer,
+        /// Fires when the forwarder lands an element in `buffer`.
+        added: Notify,
         target: QDesc,
         higher_priority: SgaPriority,
     },
@@ -156,9 +158,13 @@ impl Demikernel {
                         let Some(inner) = weak.upgrade() else { return };
                         let dk = Demikernel { inner };
                         let Ok(qt) = dk.pop(src) else { return };
-                        let rt = dk.inner.runtime.clone();
+                        // Build the (runtime-weak) future, then drop every
+                        // strong handle before suspending: a parked forwarder
+                        // holding the runtime would leak the world (Rc cycle
+                        // through the scheduler).
+                        let fut = dk.inner.runtime.await_op(qt);
                         drop(dk);
-                        match rt.await_op(qt).await {
+                        match fut.await {
                             OperationResult::Pop { from, sga } => {
                                 if let Some(inner) = weak.upgrade() {
                                     inner.stats.borrow_mut().forwarded += 1;
@@ -200,8 +206,10 @@ impl Demikernel {
     pub fn sort(&self, qd: QDesc, higher_priority: SgaPriority) -> Result<QDesc, DemiError> {
         self.check_exists(qd)?;
         let buffer: SortBuffer = Rc::new(RefCell::new(Vec::new()));
+        let added = Notify::new();
         let sorted = self.alloc_virt(VirtualQueue::Sort {
             buffer: buffer.clone(),
+            added: added.clone(),
             target: qd,
             higher_priority,
         });
@@ -214,11 +222,12 @@ impl Demikernel {
                     let Some(inner) = weak.upgrade() else { return };
                     let dk = Demikernel { inner };
                     let Ok(qt) = dk.pop(qd) else { return };
-                    let rt = dk.inner.runtime.clone();
+                    let fut = dk.inner.runtime.await_op(qt);
                     drop(dk);
-                    match rt.await_op(qt).await {
+                    match fut.await {
                         OperationResult::Pop { from, sga } => {
                             buffer.borrow_mut().push((from, sga));
+                            added.notify_waiters();
                         }
                         _ => return,
                     }
@@ -247,16 +256,19 @@ impl Demikernel {
                     let Some(inner) = weak.upgrade() else { return };
                     let dk = Demikernel { inner };
                     let Ok(pop_qt) = dk.pop(qin) else { return };
-                    let rt = dk.inner.runtime.clone();
-                    let result = rt.await_op(pop_qt).await;
-                    match result {
+                    let fut = dk.inner.runtime.await_op(pop_qt);
+                    drop(dk);
+                    match fut.await {
                         OperationResult::Pop { sga, .. } => {
+                            let Some(inner) = weak.upgrade() else { return };
+                            let dk = Demikernel { inner };
                             dk.inner.stats.borrow_mut().forwarded += 1;
                             let Ok(push_qt) = dk.push(qout, &sga) else {
                                 return;
                             };
+                            let fut = dk.inner.runtime.await_op(push_qt);
                             drop(dk);
-                            match rt.await_op(push_qt).await {
+                            match fut.await {
                                 OperationResult::Push => {}
                                 _ => return,
                             }
@@ -367,10 +379,20 @@ impl LibOs for Demikernel {
                 let (t1, t2) = (targets[0], targets[1]);
                 let qt1 = self.push(t1, sga)?;
                 let qt2 = self.push(t2, sga)?;
-                let rt = self.inner.runtime.clone();
+                let weak = self.downgrade();
                 Ok(self.inner.runtime.spawn_op("ops::merge_push", async move {
-                    let r1 = rt.await_op(qt1).await;
-                    let r2 = rt.await_op(qt2).await;
+                    // Create both (runtime-weak) futures, then drop the
+                    // strong handle before suspending: a spawned coroutine
+                    // owning the runtime would leak the world (Rc cycle
+                    // through the scheduler).
+                    let (f1, f2) = {
+                        let Some(inner) = weak.upgrade() else {
+                            return OperationResult::Failed(DemiError::BadQToken);
+                        };
+                        (inner.runtime.await_op(qt1), inner.runtime.await_op(qt2))
+                    };
+                    let r1 = f1.await;
+                    let r2 = f2.await;
                     match (r1, r2) {
                         (OperationResult::Push, OperationResult::Push) => OperationResult::Push,
                         (OperationResult::Failed(e), _) | (_, OperationResult::Failed(e)) => {
@@ -429,15 +451,25 @@ impl LibOs for Demikernel {
                 }
                 let target = *target;
                 let pred = pred.clone();
-                let dk = self.clone();
+                let weak = self.downgrade();
                 Ok(self.inner.runtime.spawn_op("ops::filter_pop", async move {
                     loop {
-                        let Ok(qt) = dk.pop(target) else {
-                            return OperationResult::Failed(DemiError::BadQDesc);
+                        let fut = {
+                            let Some(inner) = weak.upgrade() else {
+                                return OperationResult::Failed(DemiError::BadQDesc);
+                            };
+                            let dk = Demikernel { inner };
+                            let Ok(qt) = dk.pop(target) else {
+                                return OperationResult::Failed(DemiError::BadQDesc);
+                            };
+                            dk.inner.runtime.await_op(qt)
                         };
-                        match dk.inner.runtime.clone().await_op(qt).await {
+                        match fut.await {
                             OperationResult::Pop { from, sga } => {
-                                let mut stats = dk.inner.stats.borrow_mut();
+                                let Some(inner) = weak.upgrade() else {
+                                    return OperationResult::Failed(DemiError::BadQDesc);
+                                };
+                                let mut stats = inner.stats.borrow_mut();
                                 stats.cpu_filter_evals += 1;
                                 if pred(&sga) {
                                     drop(stats);
@@ -452,13 +484,16 @@ impl LibOs for Demikernel {
             }
             VirtualQueue::Sort {
                 buffer,
+                added,
                 higher_priority,
                 ..
             } => {
                 let buffer = buffer.clone();
+                let added = added.clone();
                 let cmp = higher_priority.clone();
                 Ok(self.inner.runtime.spawn_op("ops::sort_pop", async move {
                     loop {
+                        let wait = added.notified();
                         {
                             let mut buf = buffer.borrow_mut();
                             if !buf.is_empty() {
@@ -472,21 +507,30 @@ impl LibOs for Demikernel {
                                 return OperationResult::Pop { from, sga };
                             }
                         }
-                        yield_once().await;
+                        wait.await;
                     }
                 }))
             }
             VirtualQueue::Map { target, f } => {
                 let target = *target;
                 let f = f.clone();
-                let dk = self.clone();
+                let weak = self.downgrade();
                 Ok(self.inner.runtime.spawn_op("ops::map_pop", async move {
-                    let Ok(qt) = dk.pop(target) else {
-                        return OperationResult::Failed(DemiError::BadQDesc);
+                    let fut = {
+                        let Some(inner) = weak.upgrade() else {
+                            return OperationResult::Failed(DemiError::BadQDesc);
+                        };
+                        let dk = Demikernel { inner };
+                        let Ok(qt) = dk.pop(target) else {
+                            return OperationResult::Failed(DemiError::BadQDesc);
+                        };
+                        dk.inner.runtime.await_op(qt)
                     };
-                    match dk.inner.runtime.clone().await_op(qt).await {
+                    match fut.await {
                         OperationResult::Pop { from, sga } => {
-                            dk.inner.stats.borrow_mut().map_applications += 1;
+                            if let Some(inner) = weak.upgrade() {
+                                inner.stats.borrow_mut().map_applications += 1;
+                            }
                             OperationResult::Pop { from, sga: f(sga) }
                         }
                         other => other,

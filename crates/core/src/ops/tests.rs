@@ -89,7 +89,12 @@ fn sort_returns_highest_priority_first() {
     for v in [3u8, 9, 1, 7] {
         push_bytes(&dk, q, &[v]);
     }
-    // Give the forwarder a chance to drain all four before popping.
+    // Run the forwarder to quiescence so all four elements reach the
+    // priority buffer before popping.
+    let rt = dk.runtime().clone();
+    while rt.scheduler().has_runnable() {
+        rt.pump();
+    }
     let qt = dk.pop(sorted).unwrap();
     let (_, first) = dk.wait(qt, None).unwrap().expect_pop();
     // At minimum the popped element beats everything still buffered; with

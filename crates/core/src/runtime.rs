@@ -15,26 +15,46 @@
 //! it returns the completed operation's data directly (no second syscall),
 //! and exactly one waiter resolves per completion (each qtoken names one
 //! operation).
+//!
+//! Scheduling is waker-driven: a `wait` runs scheduler passes only while
+//! the run queue is non-empty, and blocked coroutines park on waker
+//! sources — per-qtoken completion wakers ([`Runtime::await_op`]), queue
+//! and condition wakers, timer deadlines, or the runtime's *activity gate*
+//! ([`Runtime::activity`]), which fires whenever external progress happens
+//! (frames delivered, device pollers did work, timers fired). Deadlock is
+//! no longer a spin-count heuristic: when a pass polls nothing, nothing
+//! external moved, and virtual time cannot advance, one *rescue sweep*
+//! re-polls every live task (catching state changes that lack waker
+//! plumbing), and only if that, too, yields nothing is the wait declared
+//! deadlocked.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::future::Future;
 use std::rc::Rc;
 
-use demi_sched::{Scheduler, TaskHandle, TimerService};
+use demi_sched::{Notify, PollPolicy, Scheduler, TaskHandle, TimerService};
 use sim_fabric::{Fabric, SimClock, SimTime};
 
 use crate::metrics::Metrics;
 use crate::types::{DemiError, OperationResult, QToken};
 
-/// Iterations without any completion or clock movement before `wait`
-/// declares the simulation deadlocked.
-const SPIN_LIMIT: u32 = 100_000;
-
-/// A device-poll hook run on every scheduler pass.
-type Poller = Box<dyn Fn()>;
+/// A device-poll hook run on every scheduler pass; returns how many work
+/// items (frames, completions, readiness transitions) it processed, so the
+/// runtime can tell external progress from idle spinning.
+type Poller = Box<dyn Fn() -> usize>;
 /// A source of timer deadlines consulted when all tasks block.
 type DeadlineSource = Box<dyn Fn() -> Option<SimTime>>;
+
+/// What one pump did: the scheduler's pass counters plus the external work
+/// (frames delivered, poller work items, timers fired) that happened around
+/// it.
+#[derive(Debug, Clone, Copy, Default)]
+struct PumpReport {
+    completed: usize,
+    polled: usize,
+    external: usize,
+}
 
 struct Inner {
     scheduler: Scheduler,
@@ -46,6 +66,10 @@ struct Inner {
     qts: RefCell<HashMap<QToken, TaskHandle<OperationResult>>>,
     next_qt: Cell<u64>,
     metrics: Metrics,
+    /// The activity gate: notified whenever external progress happens, so
+    /// libOS coroutines waiting for "the world to move" (new frames, device
+    /// completions) park here instead of yield-spinning.
+    activity: Notify,
 }
 
 /// The shared runtime (cheaply cloneable handle).
@@ -57,25 +81,37 @@ pub struct Runtime {
 impl Runtime {
     /// A runtime with its own fresh clock (catmem/catfs worlds).
     pub fn new() -> Self {
-        Self::build(SimClock::new(), None)
+        Self::build(SimClock::new(), None, PollPolicy::default())
+    }
+
+    /// A runtime with its own clock and an explicit scheduler policy
+    /// (benchmarks compare [`PollPolicy::Wake`] against the legacy
+    /// [`PollPolicy::Sweep`]).
+    pub fn new_with_policy(policy: PollPolicy) -> Self {
+        Self::build(SimClock::new(), None, policy)
     }
 
     /// A runtime sharing a fabric's clock; blocked waits advance the
     /// fabric's event queue.
     pub fn with_fabric(fabric: Fabric) -> Self {
-        Self::build(fabric.clock(), Some(fabric))
+        Self::build(fabric.clock(), Some(fabric), PollPolicy::default())
+    }
+
+    /// A fabric-sharing runtime with an explicit scheduler policy.
+    pub fn with_fabric_and_policy(fabric: Fabric, policy: PollPolicy) -> Self {
+        Self::build(fabric.clock(), Some(fabric), policy)
     }
 
     /// A runtime on an existing clock (e.g., rebuilding a libOS over a
     /// device that outlives its first runtime).
     pub fn with_clock(clock: SimClock) -> Self {
-        Self::build(clock, None)
+        Self::build(clock, None, PollPolicy::default())
     }
 
-    fn build(clock: SimClock, fabric: Option<Fabric>) -> Self {
+    fn build(clock: SimClock, fabric: Option<Fabric>, policy: PollPolicy) -> Self {
         Runtime {
             inner: Rc::new(Inner {
-                scheduler: Scheduler::new(),
+                scheduler: Scheduler::with_policy(policy),
                 timers: TimerService::new(clock.clone()),
                 clock,
                 fabric,
@@ -84,6 +120,7 @@ impl Runtime {
                 qts: RefCell::new(HashMap::new()),
                 next_qt: Cell::new(1),
                 metrics: Metrics::new(),
+                activity: Notify::new(),
             }),
         }
     }
@@ -113,9 +150,19 @@ impl Runtime {
         &self.inner.metrics
     }
 
+    /// The activity gate: fires after every batch of external progress
+    /// (frames delivered, poller work, timers fired). Coroutines waiting
+    /// for device- or network-driven state changes park on
+    /// `activity().notified()` and re-check their predicate when woken.
+    pub fn activity(&self) -> &Notify {
+        &self.inner.activity
+    }
+
     /// Registers a function run on every scheduler pass (device RX pumps,
-    /// stack `poll()`s).
-    pub fn register_poller(&self, poller: impl Fn() + 'static) {
+    /// stack `poll()`s). The poller reports how many work items it
+    /// processed; `0` means "nothing happened", letting the runtime detect
+    /// quiescence without spin counting.
+    pub fn register_poller(&self, poller: impl Fn() -> usize + 'static) {
         self.inner.pollers.borrow_mut().push(Box::new(poller));
     }
 
@@ -148,21 +195,48 @@ impl Runtime {
         let _ = self.inner.scheduler.spawn(name, task);
     }
 
-    /// One cooperative pass: deliver due frames, run device pollers, then
-    /// every live coroutine. Returns the number of tasks that completed.
+    /// One cooperative pass: deliver due frames, run device pollers, fire
+    /// due timers, then one scheduler pass over the *woken* tasks. Returns
+    /// the number of tasks that completed.
     ///
     /// Frame delivery must happen here and not only in the internal advance
     /// because virtual time also moves through *cost charges* (the
     /// simulated kernel charging syscall/copy time); frames whose delivery
     /// instant has been passed that way must still arrive promptly.
     pub fn pump(&self) -> usize {
+        self.pump_report().completed
+    }
+
+    fn pump_report(&self) -> PumpReport {
+        let mut external = 0usize;
         if let Some(fabric) = &self.inner.fabric {
+            let before = fabric.stats().frames_delivered;
             fabric.deliver_due();
+            external += (fabric.stats().frames_delivered - before) as usize;
         }
         for poller in self.inner.pollers.borrow().iter() {
-            poller();
+            external += poller();
         }
-        self.inner.scheduler.poll_once()
+        external += self.inner.timers.fire_due();
+        if external > 0 {
+            // Something moved in the outside world: wake every coroutine
+            // parked on the gate so it can re-check its predicate.
+            self.inner.activity.notify_waiters();
+        }
+        // Run a scheduler pass only when there is woken work to run (the
+        // legacy Sweep policy polls everyone, so it always "has work").
+        let pass = if self.inner.scheduler.has_runnable()
+            || self.inner.scheduler.policy() == PollPolicy::Sweep
+        {
+            self.inner.scheduler.run_pass()
+        } else {
+            Default::default()
+        };
+        PumpReport {
+            completed: pass.completed,
+            polled: pass.polled,
+            external,
+        }
     }
 
     /// Advances virtual time to the earliest pending event, bounded by
@@ -214,7 +288,19 @@ impl Runtime {
         if let Some(fabric) = &self.inner.fabric {
             fabric.deliver_due();
         }
+        // Wake the sleepers whose deadlines were just reached.
+        self.inner.timers.fire_due();
         true
+    }
+
+    /// The last line of defense before declaring deadlock: re-poll every
+    /// live task once (counted as spurious polls in the scheduler stats).
+    /// This catches state transitions that have no waker plumbing — e.g., a
+    /// protocol giving up after its last retry without emitting a frame.
+    /// Returns whether the sweep produced new work.
+    fn rescue_sweep(&self) -> bool {
+        let report = self.inner.scheduler.sweep_pass();
+        report.completed > 0 || self.inner.scheduler.has_runnable()
     }
 
     fn take_if_complete(&self, qt: QToken) -> Option<OperationResult> {
@@ -247,6 +333,12 @@ impl Runtime {
     /// Waits for the first of `qts` to complete; returns its index and
     /// result (the paper's improved epoll, §4.4). Completed tokens are
     /// consumed; the rest stay valid.
+    ///
+    /// The wait loop is event-driven, not spin-bounded: every iteration
+    /// either ran woken tasks, absorbed external work, or advanced virtual
+    /// time. When none of those is possible the world is quiescent; after
+    /// a fruitless rescue sweep the wait reports [`DemiError::Deadlock`]
+    /// deterministically.
     pub fn wait_any(
         &self,
         qts: &[QToken],
@@ -258,9 +350,9 @@ impl Runtime {
             }
         }
         let deadline = timeout.map(|d| self.now().saturating_add(d));
-        let mut spins = 0u32;
         loop {
-            let completed = self.pump();
+            let report = self.pump_report();
+            self.inner.metrics.count_wait_pass(report.polled as u64);
             for (i, &qt) in qts.iter().enumerate() {
                 if let Some(result) = self.take_if_complete(qt) {
                     self.inner
@@ -274,16 +366,30 @@ impl Runtime {
                     return Err(DemiError::Timeout);
                 }
             }
-            let before = self.now();
-            let advanced = self.advance(deadline);
-            if completed == 0 && !advanced && self.now() == before {
-                spins += 1;
-                if spins > SPIN_LIMIT {
-                    return Err(DemiError::Deadlock);
-                }
+            // Try to advance virtual time whenever nothing completed this
+            // pass — runnable tasks may be waiting on the clock itself.
+            let advanced = if report.completed == 0 {
+                self.advance(deadline)
             } else {
-                spins = 0;
+                false
+            };
+            if report.completed > 0 || report.polled > 0 || report.external > 0 || advanced {
+                continue;
             }
+            // Quiescent: no woken tasks, no external work, no time to
+            // advance. One rescue sweep, then give up.
+            if self.rescue_sweep() {
+                continue;
+            }
+            if std::env::var("DEMI_DEBUG_DEADLOCK").is_ok() {
+                eprintln!(
+                    "DEADLOCK: now={:?} live={:?} stats={:?}",
+                    self.now(),
+                    self.inner.scheduler.live_task_names(),
+                    self.inner.scheduler.stats()
+                );
+            }
+            return Err(DemiError::Deadlock);
         }
     }
 
@@ -322,20 +428,26 @@ impl Runtime {
 
     /// A future resolving when the operation named by `qt` completes —
     /// the coroutine-level counterpart of [`Runtime::wait`], used by queue
-    /// transformations to compose operations inside the scheduler.
+    /// transformations to compose operations inside the scheduler. The
+    /// awaiting coroutine parks on the operation's completion waker; it is
+    /// woken exactly once, when the operation finishes.
     ///
     /// Resolves to `Failed(BadQToken)` for unknown/consumed tokens.
     pub fn await_op(&self, qt: QToken) -> OpFuture {
         OpFuture {
-            runtime: self.clone(),
+            runtime: Rc::downgrade(&self.inner),
             qt,
         }
     }
 }
 
 /// Future returned by [`Runtime::await_op`].
+///
+/// Holds the runtime weakly: this future lives inside a spawned coroutine,
+/// which the scheduler (owned by the runtime) owns in turn — a strong
+/// `Runtime` here would close an Rc cycle and leak the world.
 pub struct OpFuture {
-    runtime: Runtime,
+    runtime: std::rc::Weak<Inner>,
     qt: QToken,
 }
 
@@ -344,14 +456,26 @@ impl Future for OpFuture {
 
     fn poll(
         self: std::pin::Pin<&mut Self>,
-        _cx: &mut std::task::Context<'_>,
+        cx: &mut std::task::Context<'_>,
     ) -> std::task::Poll<OperationResult> {
-        if !self.runtime.known(self.qt) {
+        let Some(inner) = self.runtime.upgrade() else {
+            // The runtime is being torn down; nothing to wait for.
+            return std::task::Poll::Ready(OperationResult::Failed(DemiError::BadQToken));
+        };
+        let runtime = Runtime { inner };
+        if !runtime.known(self.qt) {
             return std::task::Poll::Ready(OperationResult::Failed(DemiError::BadQToken));
         }
-        match self.runtime.take_if_complete(self.qt) {
+        match runtime.take_if_complete(self.qt) {
             Some(result) => std::task::Poll::Ready(result),
-            None => std::task::Poll::Pending,
+            None => {
+                // Park until the operation's task completes.
+                let qts = runtime.inner.qts.borrow();
+                if let Some(handle) = qts.get(&self.qt) {
+                    handle.register_completion_waker(cx.waker());
+                }
+                std::task::Poll::Pending
+            }
         }
     }
 }
@@ -512,5 +636,93 @@ mod tests {
         });
         rt.wait(qt, None).unwrap();
         assert_eq!(rt.now(), fire_at);
+    }
+
+    #[test]
+    fn parked_ops_cost_nothing_while_waiting_on_another() {
+        let rt = Runtime::new();
+        // 50 operations parked forever on their own wakerless futures
+        // would deadlock; park them on never-signalled conditions instead
+        // and confirm waiting on a live op doesn't re-poll them.
+        let conds: Vec<demi_sched::Condition> =
+            (0..50).map(|_| demi_sched::Condition::new()).collect();
+        let parked: Vec<QToken> = conds
+            .iter()
+            .map(|c| {
+                let c = c.clone();
+                rt.spawn_op("parked", async move {
+                    c.wait().await;
+                    OperationResult::Push
+                })
+            })
+            .collect();
+        // Drain the initial spawn polls.
+        rt.pump();
+        let polls_after_park = rt.scheduler().stats().polls;
+        let live = rt.spawn_op("live", async {
+            yield_once().await;
+            OperationResult::Push
+        });
+        rt.wait(live, None).unwrap();
+        let stats = rt.scheduler().stats();
+        // Only the live op was polled; the 50 parked ops stayed parked.
+        assert_eq!(stats.polls, polls_after_park + 2);
+        assert_eq!(stats.spurious_polls, 0);
+        // Release the parked ops so the world shuts down cleanly.
+        for c in &conds {
+            c.signal();
+        }
+        for qt in parked {
+            rt.wait(qt, None).unwrap();
+        }
+    }
+
+    #[test]
+    fn await_op_parks_until_completion() {
+        let rt = Runtime::new();
+        let timers = rt.timers().clone();
+        let slow = rt.spawn_op("slow", async move {
+            timers.sleep(SimTime::from_micros(100)).await;
+            OperationResult::Push
+        });
+        let chained = rt.spawn_op("chained", {
+            let rt = rt.clone();
+            async move {
+                let result = rt.await_op(slow).await;
+                assert!(matches!(result, OperationResult::Push));
+                OperationResult::Connect
+            }
+        });
+        let result = rt.wait(chained, None).unwrap();
+        assert!(matches!(result, OperationResult::Connect));
+        assert_eq!(rt.now(), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn rescue_sweep_catches_wakerless_state_change() {
+        let rt = Runtime::new();
+        // A future with NO waker plumbing: readiness flips as a side effect
+        // of a deadline source moving the clock, but nobody wakes the task.
+        let clock = rt.clock().clone();
+        let fire_at = SimTime::from_micros(7);
+        rt.register_deadline_source(move || Some(fire_at));
+        let poll_clock = rt.clock().clone();
+        let qt = rt.spawn_op("wakerless", async move {
+            std::future::poll_fn(move |_cx| {
+                if poll_clock.now() >= fire_at {
+                    std::task::Poll::Ready(())
+                } else {
+                    std::task::Poll::Pending // no waker registered!
+                }
+            })
+            .await;
+            OperationResult::Push
+        });
+        rt.wait(qt, None).unwrap();
+        assert_eq!(clock.now(), fire_at);
+        // The wait needed at least one rescue sweep to notice the flip
+        // (visible as extra passes beyond the wake-driven ones); the task
+        // still completed and the clock still advanced correctly.
+        assert!(rt.scheduler().stats().passes > 1);
     }
 }

@@ -1,16 +1,19 @@
 //! A one-shot, multi-waiter condition flag.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
+use crate::waiters::{arm, new_slot, WaiterList, WakerSlot};
+
 /// A shared boolean that coroutines can await.
 ///
-/// Once [`Condition::signal`] is called, every current and future waiter
-/// completes. Used for connection-established notifications, shutdown
-/// propagation, and test orchestration.
+/// Once [`Condition::signal`] is called, every current waiter is woken and
+/// every current and future waiter completes. Used for
+/// connection-established notifications, shutdown propagation, and test
+/// orchestration.
 ///
 /// # Examples
 ///
@@ -35,6 +38,7 @@ use std::task::{Context, Poll};
 #[derive(Clone, Default)]
 pub struct Condition {
     set: Rc<Cell<bool>>,
+    waiters: Rc<RefCell<WaiterList>>,
 }
 
 impl Condition {
@@ -43,9 +47,10 @@ impl Condition {
         Self::default()
     }
 
-    /// Signals the condition; idempotent.
+    /// Signals the condition and wakes all waiters; idempotent.
     pub fn signal(&self) {
         self.set.set(true);
+        self.waiters.borrow_mut().wake_all();
     }
 
     /// Whether the condition has been signalled.
@@ -57,6 +62,9 @@ impl Condition {
     pub fn wait(&self) -> ConditionFuture {
         ConditionFuture {
             set: self.set.clone(),
+            waiters: self.waiters.clone(),
+            slot: new_slot(),
+            registered: false,
         }
     }
 }
@@ -68,20 +76,31 @@ impl std::fmt::Debug for Condition {
 }
 
 /// Future returned by [`Condition::wait`].
-#[derive(Debug)]
 pub struct ConditionFuture {
     set: Rc<Cell<bool>>,
+    waiters: Rc<RefCell<WaiterList>>,
+    slot: WakerSlot,
+    registered: bool,
 }
 
 impl Future for ConditionFuture {
     type Output = ();
 
-    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.set.get() {
             Poll::Ready(())
         } else {
+            let this = &mut *self;
+            arm(&this.slot, &mut this.registered, &this.waiters, cx);
             Poll::Pending
         }
+    }
+}
+
+impl Drop for ConditionFuture {
+    fn drop(&mut self) {
+        // Disarm so a later signal does not wake a dead waiter.
+        *self.slot.borrow_mut() = None;
     }
 }
 
@@ -132,5 +151,45 @@ mod tests {
         cond.signal();
         cond.signal();
         assert!(cond.is_set());
+    }
+
+    #[test]
+    fn parked_waiter_is_not_repolled_until_signal() {
+        let sched = Scheduler::new();
+        let cond = Condition::new();
+        let h = sched.spawn("waiter", {
+            let cond = cond.clone();
+            async move {
+                cond.wait().await;
+            }
+        });
+        sched.poll_once();
+        let parked_polls = sched.stats().polls;
+        for _ in 0..10 {
+            sched.poll_once();
+        }
+        assert_eq!(sched.stats().polls, parked_polls, "waiter was re-polled while parked");
+        cond.signal();
+        sched.poll_once();
+        assert!(h.is_complete());
+    }
+
+    #[test]
+    fn dropped_waiter_is_not_woken_and_leaks_nothing() {
+        let sched = Scheduler::new();
+        let cond = Condition::new();
+        let fut = cond.wait();
+        drop(fut);
+        cond.signal();
+        // A live waiter spawned afterwards still completes normally.
+        let h = sched.spawn("live", {
+            let cond = cond.clone();
+            async move {
+                cond.wait().await;
+                1u8
+            }
+        });
+        sched.poll_once();
+        assert_eq!(h.take_result(), Some(1));
     }
 }

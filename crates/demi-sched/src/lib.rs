@@ -1,35 +1,46 @@
-//! A single-threaded, poll-based coroutine scheduler.
+//! A single-threaded, waker-driven coroutine scheduler.
 //!
 //! Demikernel library OSes run every I/O operation as a coroutine: `push`,
 //! `pop`, `accept`, and `connect` each spawn a task and return a *qtoken*
 //! naming it; `wait`/`wait_any`/`wait_all` drive the scheduler until the
-//! named tasks complete (paper §4.3–4.4). This crate provides that machinery
-//! in a deliberately simple form:
+//! named tasks complete (paper §4.3–4.4). The paper's efficiency claim —
+//! `wait` "wakes exactly one thread" per completion — is a statement about
+//! *readiness*: completing an operation must cost O(that operation), not
+//! O(every outstanding operation). This crate provides that machinery:
 //!
-//! * [`Scheduler`] — a slab of `Pin<Box<dyn Future>>` tasks polled
-//!   round-robin with a no-op waker. Polling (rather than waker-driven
-//!   wake-ups) matches the busy-poll discipline of real kernel-bypass
-//!   data paths, where the CPU spins on device queues anyway.
-//! * [`TaskHandle`] — typed access to a task's eventual result.
-//! * [`TimerService`] — virtual-time sleeps, with an
-//!   [`earliest_deadline`](TimerService::earliest_deadline) query the
-//!   runtime uses to decide how far to advance the clock when all tasks
-//!   are blocked.
-//! * [`yield_once`] / [`Condition`] / [`AsyncQueue`] — cooperation
-//!   primitives for writing protocol coroutines.
+//! * [`Scheduler`] — a slab of `Pin<Box<dyn Future>>` tasks, each with a
+//!   real [`std::task::Waker`] backed by a shared run queue. A scheduler
+//!   pass drains only woken tasks, so thousands of parked connections cost
+//!   nothing per completion. The legacy poll-everything discipline is kept
+//!   as the opt-in [`PollPolicy::Sweep`] for before/after benchmarking.
+//! * [`TaskHandle`] — typed access to a task's eventual result, including
+//!   completion-waker registration so waiters park instead of re-polling.
+//! * [`TimerService`] — virtual-time sleeps on a deadline heap; the runtime
+//!   advances the clock to [`TimerService::earliest_deadline`] and
+//!   [`fire_due`](TimerService::fire_due) wakes exactly the expired
+//!   sleepers.
+//! * [`yield_once`] / [`Condition`] / [`Notify`] / [`AsyncQueue`] —
+//!   cooperation primitives. All of them wake their waiters on state
+//!   change; `yield_once` self-wakes (stay runnable, go to the back of the
+//!   queue).
 //!
 //! Everything is single-threaded (`Rc`-based) by design: a Demikernel libOS
 //! owns one core and partitions state per core, so cross-thread
-//! synchronization never appears on the data path.
+//! synchronization never appears on the data path. (The run queue itself is
+//! `Mutex`+atomic so a `Waker` that escapes to another thread stays sound —
+//! uncontended in practice.)
 
 pub mod condition;
+pub mod notify;
 pub mod queue;
 pub mod scheduler;
 pub mod timer;
+mod waiters;
 pub mod yield_;
 
 pub use condition::Condition;
+pub use notify::{Notified, Notify};
 pub use queue::AsyncQueue;
-pub use scheduler::{Scheduler, SchedulerStats, TaskHandle, TaskId};
+pub use scheduler::{PassReport, PollPolicy, Scheduler, SchedulerStats, TaskHandle, TaskId};
 pub use timer::TimerService;
 pub use yield_::{yield_once, YieldFuture};

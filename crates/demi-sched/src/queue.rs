@@ -2,9 +2,12 @@
 //!
 //! `AsyncQueue` is the workhorse connecting protocol layers: a producer
 //! coroutine (e.g., the TCP receiver) pushes completed data units and a
-//! consumer coroutine (a `pop` task) awaits them. Because the scheduler is
-//! poll-based, no waker bookkeeping is needed — an awaiting pop simply
-//! re-checks the queue each pass.
+//! consumer coroutine (a `pop` task) awaits them. A pop that finds the
+//! queue empty parks its task and registers a waker; `push` wakes every
+//! parked consumer. Wake-all (rather than wake-one) is deliberate: a woken
+//! consumer may have been cancelled before it runs, and waking all of them
+//! lets the survivors race for the item without a lost-wakeup hazard —
+//! losers find the queue empty and park again.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -13,15 +16,23 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
+use crate::waiters::{arm, new_slot, WaiterList, WakerSlot};
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+}
+
 /// A shared FIFO with an awaitable pop.
 pub struct AsyncQueue<T> {
-    inner: Rc<RefCell<VecDeque<T>>>,
+    inner: Rc<RefCell<QueueInner<T>>>,
+    waiters: Rc<RefCell<WaiterList>>,
 }
 
 impl<T> Clone for AsyncQueue<T> {
     fn clone(&self) -> Self {
         AsyncQueue {
             inner: self.inner.clone(),
+            waiters: self.waiters.clone(),
         }
     }
 }
@@ -29,7 +40,10 @@ impl<T> Clone for AsyncQueue<T> {
 impl<T> Default for AsyncQueue<T> {
     fn default() -> Self {
         AsyncQueue {
-            inner: Rc::new(RefCell::new(VecDeque::new())),
+            inner: Rc::new(RefCell::new(QueueInner {
+                items: VecDeque::new(),
+            })),
+            waiters: Rc::new(RefCell::new(WaiterList::default())),
         }
     }
 }
@@ -40,31 +54,35 @@ impl<T> AsyncQueue<T> {
         Self::default()
     }
 
-    /// Appends an item.
+    /// Appends an item and wakes every parked consumer.
     pub fn push(&self, item: T) {
-        self.inner.borrow_mut().push_back(item);
+        self.inner.borrow_mut().items.push_back(item);
+        self.waiters.borrow_mut().wake_all();
     }
 
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<T> {
-        self.inner.borrow_mut().pop_front()
+        self.inner.borrow_mut().items.pop_front()
     }
 
     /// A future that completes with the next item.
     pub fn pop(&self) -> PopFuture<T> {
         PopFuture {
             inner: self.inner.clone(),
+            waiters: self.waiters.clone(),
+            slot: new_slot(),
+            registered: false,
         }
     }
 
     /// Number of queued items.
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.borrow().items.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.inner.borrow().items.is_empty()
     }
 }
 
@@ -76,17 +94,35 @@ impl<T> std::fmt::Debug for AsyncQueue<T> {
 
 /// Future returned by [`AsyncQueue::pop`].
 pub struct PopFuture<T> {
-    inner: Rc<RefCell<VecDeque<T>>>,
+    inner: Rc<RefCell<QueueInner<T>>>,
+    waiters: Rc<RefCell<WaiterList>>,
+    slot: WakerSlot,
+    registered: bool,
 }
 
 impl<T> Future for PopFuture<T> {
     type Output = T;
 
-    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
-        match self.inner.borrow_mut().pop_front() {
-            Some(item) => Poll::Ready(item),
-            None => Poll::Pending,
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let popped = self.inner.borrow_mut().items.pop_front();
+        match popped {
+            Some(item) => {
+                *self.slot.borrow_mut() = None;
+                Poll::Ready(item)
+            }
+            None => {
+                let this = &mut *self;
+                arm(&this.slot, &mut this.registered, &this.waiters, cx);
+                Poll::Pending
+            }
         }
+    }
+}
+
+impl<T> Drop for PopFuture<T> {
+    fn drop(&mut self) {
+        // Disarm so a later push does not wake a dead consumer.
+        *self.slot.borrow_mut() = None;
     }
 }
 
@@ -151,5 +187,45 @@ mod tests {
         let mut got = vec![a.take_result().unwrap(), b.take_result().unwrap()];
         got.sort_unstable();
         assert_eq!(got, vec![10, 20]);
+    }
+
+    #[test]
+    fn parked_consumer_wakes_only_on_push() {
+        let sched = Scheduler::new();
+        let q: AsyncQueue<u8> = AsyncQueue::new();
+        let consumer = sched.spawn("consumer", {
+            let q = q.clone();
+            async move { q.pop().await }
+        });
+        sched.poll_once();
+        let parked_polls = sched.stats().polls;
+        for _ in 0..10 {
+            sched.poll_once();
+        }
+        assert_eq!(sched.stats().polls, parked_polls, "consumer re-polled while parked");
+        q.push(5);
+        sched.poll_once();
+        assert_eq!(consumer.take_result(), Some(5));
+    }
+
+    #[test]
+    fn cancelled_consumer_does_not_steal_wakes() {
+        let sched = Scheduler::new();
+        let q: AsyncQueue<u8> = AsyncQueue::new();
+        // A consumer task that parks, then is "cancelled" by dropping its
+        // pop future and parking forever on a fresh one it never polls.
+        let survivor = sched.spawn("survivor", {
+            let q = q.clone();
+            async move { q.pop().await }
+        });
+        {
+            // An unpolled (never-registered) and a dropped future around.
+            let f1 = q.pop();
+            drop(f1);
+        }
+        sched.poll_once();
+        q.push(7);
+        sched.poll_once();
+        assert_eq!(survivor.take_result(), Some(7));
     }
 }

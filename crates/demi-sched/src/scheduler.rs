@@ -1,15 +1,39 @@
-//! The task slab and round-robin polling loop.
+//! The task slab and the waker-driven run queue.
+//!
+//! Each spawned task owns a real [`Waker`] backed by a shared run queue.
+//! Waking a task enqueues its slot index (deduplicated by a per-slot
+//! `scheduled` flag, so a task sits in the queue at most once); a scheduler
+//! pass drains only the entries that were present when the pass began, so
+//! per-pass work is O(ready tasks) rather than O(live tasks). The legacy
+//! poll-everything behavior survives as the opt-in [`PollPolicy::Sweep`] so
+//! the two disciplines can be benchmarked against each other in-tree.
 
 use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::task::{Context, Poll, Waker};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
 
 /// Identifies a spawned task. In the Demikernel layer, qtokens wrap task ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub u64);
+
+/// How the scheduler selects tasks to poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollPolicy {
+    /// Waker-driven: a pass drains the run queue, polling only tasks whose
+    /// wakers fired. Idle tasks cost nothing.
+    #[default]
+    Wake,
+    /// Legacy round-robin: a pass polls every live task regardless of
+    /// readiness. Kept for before/after benchmarking (e11) and as the
+    /// mechanism behind rescue sweeps.
+    Sweep,
+}
 
 /// Counters describing scheduler activity, used by the experiments to count
 /// wake-ups and polls precisely.
@@ -21,13 +45,99 @@ pub struct SchedulerStats {
     pub completed: u64,
     /// Total individual `Future::poll` invocations.
     pub polls: u64,
-    /// Total `poll_once` scheduler passes.
+    /// Total scheduler passes (`poll_once` / `run_pass` / `sweep_pass`).
     pub passes: u64,
+    /// Total waker deliveries that made a task runnable. Redundant wakes of
+    /// an already-queued task and wakes of completed tasks are not counted —
+    /// this is the "useful wake-up" number the paper's "exactly one wake-up
+    /// per completion" claim is about.
+    pub wakeups: u64,
+    /// Polls of tasks that had *not* been woken and returned `Pending`: pure
+    /// overhead. Zero by construction under [`PollPolicy::Wake`] (only
+    /// rescue sweeps add to it); grows O(live × passes) under
+    /// [`PollPolicy::Sweep`].
+    pub spurious_polls: u64,
+}
+
+/// What one scheduler pass did; the runtime uses this to decide whether the
+/// system is making progress without re-scanning the slab.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassReport {
+    /// Tasks that ran to completion during the pass.
+    pub completed: usize,
+    /// Total `Future::poll` invocations during the pass.
+    pub polled: usize,
+    /// Polls of tasks whose waker had fired (the useful subset of `polled`).
+    pub woken: usize,
+}
+
+/// The shared run queue: slot indices (plus the slot generation that was
+/// live when the wake fired) in wake order.
+///
+/// The queue is `Mutex`-protected and the dedup flag is atomic so that a
+/// `Waker` smuggled onto another thread stays sound; in the single-threaded
+/// simulation both are always uncontended.
+struct RunQueue {
+    queue: Mutex<VecDeque<(usize, u64)>>,
+    wakeups: AtomicU64,
+}
+
+impl RunQueue {
+    fn new() -> Arc<Self> {
+        Arc::new(RunQueue {
+            queue: Mutex::new(VecDeque::new()),
+            wakeups: AtomicU64::new(0),
+        })
+    }
+
+    fn push(&self, index: usize, gen: u64) {
+        self.queue.lock().unwrap().push_back((index, gen));
+    }
+
+    fn pop(&self) -> Option<(usize, u64)> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+
+    fn clear(&self) {
+        self.queue.lock().unwrap().clear();
+    }
+}
+
+/// Per-slot waker state. `scheduled` guarantees at-most-once queue presence:
+/// it is set when a wake enqueues the task, cleared immediately before the
+/// task is polled (so a mid-poll wake re-enqueues exactly once), and set
+/// permanently when the task completes (so wake-after-complete is a no-op).
+/// `gen` pins the waker to one occupancy of the slot; a stale waker that
+/// outlives the task enqueues an entry the scheduler discards on sight.
+struct SlotWaker {
+    index: usize,
+    gen: u64,
+    scheduled: AtomicBool,
+    rq: Arc<RunQueue>,
+}
+
+impl Wake for SlotWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        if !self.scheduled.swap(true, Ordering::AcqRel) {
+            self.rq.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.rq.push(self.index, self.gen);
+        }
+    }
 }
 
 struct TaskSlot {
     id: TaskId,
     name: &'static str,
+    gen: u64,
+    waker: Arc<SlotWaker>,
     future: Pin<Box<dyn Future<Output = ()>>>,
 }
 
@@ -36,7 +146,10 @@ struct Inner {
     tasks: Vec<Option<TaskSlot>>,
     free: Vec<usize>,
     next_id: u64,
+    next_gen: u64,
+    live: usize,
     stats: SchedulerStats,
+    policy: PollPolicy,
 }
 
 /// A single-threaded cooperative scheduler.
@@ -57,22 +170,44 @@ struct Inner {
 /// }
 /// assert_eq!(handle.take_result(), Some(42));
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Scheduler {
     inner: Rc<RefCell<Inner>>,
+    rq: Arc<RunQueue>,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler {
+            inner: Rc::new(RefCell::new(Inner::default())),
+            rq: RunQueue::new(),
+        }
+    }
 }
 
 impl Scheduler {
-    /// Creates an empty scheduler.
+    /// Creates an empty waker-driven scheduler.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty scheduler with an explicit [`PollPolicy`].
+    pub fn with_policy(policy: PollPolicy) -> Self {
+        let sched = Self::default();
+        sched.inner.borrow_mut().policy = policy;
+        sched
+    }
+
+    /// The active polling policy.
+    pub fn policy(&self) -> PollPolicy {
+        self.inner.borrow().policy
+    }
+
     /// Spawns a coroutine and returns a typed handle to its result.
     ///
-    /// The task starts in the runnable set and is first polled on the next
-    /// [`Scheduler::poll_once`] pass. Dropping the handle detaches the task;
-    /// it keeps running to completion.
+    /// The task starts on the run queue and is first polled on the next
+    /// scheduler pass. Dropping the handle detaches the task; it keeps
+    /// running to completion.
     pub fn spawn<T, F>(&self, name: &'static str, future: F) -> TaskHandle<T>
     where
         T: 'static,
@@ -80,83 +215,187 @@ impl Scheduler {
     {
         let result: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
         let done = Rc::new(Cell::new(false));
+        let done_wakers: Rc<RefCell<Vec<Waker>>> = Rc::new(RefCell::new(Vec::new()));
         let wrapped = {
             let result = result.clone();
             let done = done.clone();
+            let done_wakers = done_wakers.clone();
             async move {
                 let value = future.await;
                 *result.borrow_mut() = Some(value);
                 done.set(true);
+                for w in done_wakers.borrow_mut().drain(..) {
+                    w.wake();
+                }
             }
         };
 
         let mut inner = self.inner.borrow_mut();
         inner.stats.spawned += 1;
+        inner.live += 1;
         let id = TaskId(inner.next_id);
         inner.next_id += 1;
+        let gen = inner.next_gen;
+        inner.next_gen += 1;
+        let index = inner.free.pop().unwrap_or(inner.tasks.len());
+        let waker = Arc::new(SlotWaker {
+            index,
+            gen,
+            // Born scheduled: the slot is enqueued below, so wakes racing
+            // with the first poll must dedup against that entry.
+            scheduled: AtomicBool::new(true),
+            rq: self.rq.clone(),
+        });
         let slot = TaskSlot {
             id,
             name,
+            gen,
+            waker,
             future: Box::pin(wrapped),
         };
-        match inner.free.pop() {
-            Some(index) => inner.tasks[index] = Some(slot),
-            None => inner.tasks.push(Some(slot)),
+        if index == inner.tasks.len() {
+            inner.tasks.push(Some(slot));
+        } else {
+            inner.tasks[index] = Some(slot);
         }
+        drop(inner);
+        self.rq.push(index, gen);
         TaskHandle {
             scheduler: self.clone(),
             id,
             name,
             result,
             done,
+            done_wakers,
         }
     }
 
-    /// Polls every live task exactly once; returns how many completed during
-    /// this pass.
-    ///
-    /// Tasks spawned *during* the pass (by other tasks) are not polled until
-    /// the next pass, which keeps each pass bounded.
+    /// Runs one scheduler pass under the configured policy; returns how many
+    /// tasks completed. Compatibility alias for [`Scheduler::run_pass`].
     pub fn poll_once(&self) -> usize {
+        self.run_pass().completed
+    }
+
+    /// Runs one scheduler pass under the configured policy.
+    pub fn run_pass(&self) -> PassReport {
+        match self.policy() {
+            PollPolicy::Wake => self.wake_pass(),
+            PollPolicy::Sweep => self.sweep_pass(),
+        }
+    }
+
+    /// Whether any task is currently queued to run.
+    pub fn has_runnable(&self) -> bool {
+        self.rq.len() > 0
+    }
+
+    /// Drains the run-queue entries present at entry, polling only woken
+    /// tasks. Entries enqueued *during* the pass (including self-wakes from
+    /// `yield_once` and tasks spawned by other tasks) wait for the next
+    /// pass, which keeps each pass bounded and preserves round-robin
+    /// fairness among runnable tasks.
+    fn wake_pass(&self) -> PassReport {
+        self.inner.borrow_mut().stats.passes += 1;
+        let budget = self.rq.len();
+        let mut report = PassReport::default();
+
+        for _ in 0..budget {
+            let Some((index, gen)) = self.rq.pop() else {
+                break;
+            };
+            // Move the task out of the slab while polling so the task body
+            // may re-borrow the scheduler (e.g., to spawn).
+            let slot = {
+                let mut inner = self.inner.borrow_mut();
+                // A vacant slot or a generation mismatch means a stale
+                // wake: the slot was freed (and possibly reused) after the
+                // wake fired. Discard the entry.
+                let taken = match inner.tasks.get_mut(index) {
+                    Some(occupant) if occupant.as_ref().is_some_and(|s| s.gen == gen) => {
+                        occupant.take().unwrap()
+                    }
+                    _ => continue,
+                };
+                inner.stats.polls += 1;
+                taken
+            };
+            report.polled += 1;
+            report.woken += 1;
+            report.completed += self.poll_slot(index, slot);
+        }
+        report
+    }
+
+    /// Polls **every** live task once, regardless of readiness: the legacy
+    /// discipline, used as [`PollPolicy::Sweep`]'s pass and as the runtime's
+    /// rescue sweep before declaring deadlock. Polls of unwoken tasks that
+    /// stay `Pending` are tallied as `spurious_polls`.
+    pub fn sweep_pass(&self) -> PassReport {
         let upper = {
             let mut inner = self.inner.borrow_mut();
             inner.stats.passes += 1;
             inner.tasks.len()
         };
-        let waker = Waker::noop();
-        let mut cx = Context::from_waker(waker);
-        let mut completed = 0;
+        // Everyone gets polled, so queued entries are redundant; clearing
+        // keeps the queue from growing across sweep passes. Mid-poll wakes
+        // re-enqueue below and survive for the next pass.
+        self.rq.clear();
+        let mut report = PassReport::default();
 
         for index in 0..upper {
-            // Move the task out of the slab while polling so the task body
-            // may re-borrow the scheduler (e.g., to spawn).
-            let Some(mut slot) = self.inner.borrow_mut().tasks[index].take() else {
-                continue;
+            let (slot, was_woken) = {
+                let mut inner = self.inner.borrow_mut();
+                let Some(occupant) = inner.tasks.get_mut(index) else {
+                    continue;
+                };
+                let Some(slot) = occupant.take() else {
+                    continue;
+                };
+                inner.stats.polls += 1;
+                // Consume the wake (if any) exactly as wake_pass would.
+                let was_woken = slot.waker.scheduled.swap(false, Ordering::AcqRel);
+                (slot, was_woken)
             };
-            self.inner.borrow_mut().stats.polls += 1;
-            match slot.future.as_mut().poll(&mut cx) {
-                Poll::Ready(()) => {
-                    let mut inner = self.inner.borrow_mut();
-                    inner.stats.completed += 1;
-                    inner.free.push(index);
-                    completed += 1;
-                }
-                Poll::Pending => {
-                    self.inner.borrow_mut().tasks[index] = Some(slot);
-                }
+            report.polled += 1;
+            report.woken += usize::from(was_woken);
+            let completed = self.poll_slot(index, slot);
+            report.completed += completed;
+            if !was_woken && completed == 0 && self.inner.borrow().tasks[index].is_some() {
+                self.inner.borrow_mut().stats.spurious_polls += 1;
             }
         }
-        completed
+        report
     }
 
-    /// Number of live (incomplete) tasks.
+    /// Polls one slot (already taken out of the slab); returns 1 if it
+    /// completed. The caller has accounted the poll in the stats.
+    fn poll_slot(&self, index: usize, mut slot: TaskSlot) -> usize {
+        // Clear the dedup flag *before* polling: a wake delivered while the
+        // task runs must re-enqueue it (exactly once).
+        slot.waker.scheduled.store(false, Ordering::Release);
+        let waker = Waker::from(slot.waker.clone());
+        let mut cx = Context::from_waker(&waker);
+        match slot.future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                // Leave `scheduled` set forever: any straggler wake of this
+                // (now dead) generation becomes an O(1) no-op.
+                slot.waker.scheduled.store(true, Ordering::Release);
+                let mut inner = self.inner.borrow_mut();
+                inner.stats.completed += 1;
+                inner.live -= 1;
+                inner.free.push(index);
+                1
+            }
+            Poll::Pending => {
+                self.inner.borrow_mut().tasks[index] = Some(slot);
+                0
+            }
+        }
+    }
+
+    /// Number of live (incomplete) tasks. O(1): maintained as a counter.
     pub fn live_tasks(&self) -> usize {
-        self.inner
-            .borrow()
-            .tasks
-            .iter()
-            .filter(|t| t.is_some())
-            .count()
+        self.inner.borrow().live
     }
 
     /// Names of live tasks, for deadlock diagnostics.
@@ -182,13 +421,20 @@ impl Scheduler {
 
     /// Snapshot of activity counters.
     pub fn stats(&self) -> SchedulerStats {
-        self.inner.borrow().stats
+        let mut stats = self.inner.borrow().stats;
+        stats.wakeups = self.rq.wakeups.load(Ordering::Relaxed);
+        stats
     }
 }
 
 impl fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Scheduler(live={})", self.live_tasks())
+        write!(
+            f,
+            "Scheduler(live={}, runnable={})",
+            self.live_tasks(),
+            self.rq.len()
+        )
     }
 }
 
@@ -199,6 +445,7 @@ pub struct TaskHandle<T> {
     name: &'static str,
     result: Rc<RefCell<Option<T>>>,
     done: Rc<Cell<bool>>,
+    done_wakers: Rc<RefCell<Vec<Waker>>>,
 }
 
 impl<T> TaskHandle<T> {
@@ -224,6 +471,20 @@ impl<T> TaskHandle<T> {
         self.result.borrow_mut().take()
     }
 
+    /// Registers a waker to fire when the task completes; a duplicate of an
+    /// already-registered waker is skipped. No-op (the caller should check
+    /// [`TaskHandle::is_complete`] first) if the task already finished.
+    pub fn register_completion_waker(&self, waker: &Waker) {
+        if self.done.get() {
+            waker.wake_by_ref();
+            return;
+        }
+        let mut wakers = self.done_wakers.borrow_mut();
+        if !wakers.iter().any(|w| w.will_wake(waker)) {
+            wakers.push(waker.clone());
+        }
+    }
+
     /// The scheduler this task runs on.
     pub fn scheduler(&self) -> &Scheduler {
         &self.scheduler
@@ -238,6 +499,7 @@ impl<T> Clone for TaskHandle<T> {
             name: self.name,
             result: self.result.clone(),
             done: self.done.clone(),
+            done_wakers: self.done_wakers.clone(),
         }
     }
 }
@@ -373,6 +635,7 @@ mod tests {
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.passes, 2);
         assert_eq!(stats.polls, 3);
+        assert_eq!(stats.spurious_polls, 0);
     }
 
     #[test]
@@ -381,5 +644,95 @@ mod tests {
         sched.spawn("stuck", std::future::pending::<()>());
         sched.poll_once();
         assert_eq!(sched.live_task_names(), vec!["stuck"]);
+    }
+
+    #[test]
+    fn parked_tasks_are_not_repolled() {
+        let sched = Scheduler::new();
+        // A task that parks forever: polled exactly once (its spawn wake),
+        // then never again under the Wake policy.
+        sched.spawn("parked", std::future::pending::<()>());
+        sched.poll_once();
+        let after_first = sched.stats().polls;
+        for _ in 0..100 {
+            sched.poll_once();
+        }
+        assert_eq!(sched.stats().polls, after_first);
+        assert_eq!(sched.stats().spurious_polls, 0);
+        assert!(!sched.has_runnable());
+    }
+
+    #[test]
+    fn sweep_policy_repolls_everything_and_counts_spurious() {
+        let sched = Scheduler::with_policy(PollPolicy::Sweep);
+        sched.spawn("parked", std::future::pending::<()>());
+        sched.poll_once();
+        sched.poll_once();
+        sched.poll_once();
+        let stats = sched.stats();
+        assert_eq!(stats.polls, 3);
+        // First poll consumed the spawn wake; the next two were spurious.
+        assert_eq!(stats.spurious_polls, 2);
+    }
+
+    #[test]
+    fn run_pass_reports_woken_vs_polled() {
+        let sched = Scheduler::new();
+        sched.spawn("ready", async {});
+        let report = sched.run_pass();
+        assert_eq!(
+            report,
+            PassReport {
+                completed: 1,
+                polled: 1,
+                woken: 1
+            }
+        );
+        // Nothing runnable: an empty pass.
+        let report = sched.run_pass();
+        assert_eq!(report, PassReport::default());
+    }
+
+    #[test]
+    fn completion_waker_fires_on_task_exit() {
+        let sched = Scheduler::new();
+        let slow = sched.spawn("slow", async {
+            yield_once().await;
+            9u8
+        });
+        let waiter = sched.spawn("waiter", {
+            let slow = slow.clone();
+            async move {
+                std::future::poll_fn(|cx| {
+                    if slow.is_complete() {
+                        Poll::Ready(())
+                    } else {
+                        slow.register_completion_waker(cx.waker());
+                        Poll::Pending
+                    }
+                })
+                .await;
+                slow.take_result()
+            }
+        });
+        for _ in 0..5 {
+            sched.poll_once();
+        }
+        assert_eq!(waiter.take_result(), Some(Some(9)));
+    }
+
+    #[test]
+    fn live_counter_tracks_spawn_and_complete() {
+        let sched = Scheduler::new();
+        assert_eq!(sched.live_tasks(), 0);
+        let _a = sched.spawn("a", async {
+            yield_once().await;
+        });
+        let _b = sched.spawn("b", async {});
+        assert_eq!(sched.live_tasks(), 2);
+        sched.poll_once();
+        assert_eq!(sched.live_tasks(), 1);
+        sched.poll_once();
+        assert_eq!(sched.live_tasks(), 0);
     }
 }

@@ -1,26 +1,54 @@
 //! Virtual-time sleeps.
 //!
 //! Protocol stacks need timers (TCP retransmission, ARP request timeouts,
-//! device service delays). A [`TimerService`] tracks the set of outstanding
-//! deadlines against the simulation clock; when every coroutine is blocked,
-//! the runtime asks for [`TimerService::earliest_deadline`] and advances the
-//! clock to the sooner of that and the fabric's next frame delivery.
+//! device service delays). A [`TimerService`] keeps a deadline heap against
+//! the simulation clock; when every coroutine is blocked, the runtime asks
+//! for [`TimerService::earliest_deadline`] and advances the clock to the
+//! sooner of that and the fabric's next frame delivery, then calls
+//! [`TimerService::fire_due`] to wake exactly the sleepers whose deadlines
+//! have passed — sleeping tasks are parked, not re-polled every pass.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
+use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::task::{Context, Poll};
+use std::task::{Context, Poll, Waker};
 
 use sim_fabric::{SimClock, SimTime};
+
+/// One heap entry: a deadline plus the sleeping task's waker cell. The cell
+/// is shared with the [`SleepFuture`]; dropping the future disarms it, so a
+/// fired entry for a cancelled sleep wakes nobody.
+struct TimerEntry {
+    deadline: SimTime,
+    waker: Rc<RefCell<Option<Waker>>>,
+}
+
+// BinaryHeap is a max-heap; invert the comparison for earliest-first.
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other.deadline.cmp(&self.deadline)
+    }
+}
 
 /// Shared registry of sleep deadlines on one simulation clock.
 #[derive(Clone)]
 pub struct TimerService {
     clock: SimClock,
-    deadlines: Rc<RefCell<BinaryHeap<Reverse<SimTime>>>>,
+    deadlines: Rc<RefCell<BinaryHeap<TimerEntry>>>,
 }
 
 impl TimerService {
@@ -44,10 +72,15 @@ impl TimerService {
 
     /// A future that completes once virtual time reaches `deadline`.
     pub fn sleep_until(&self, deadline: SimTime) -> SleepFuture {
-        self.deadlines.borrow_mut().push(Reverse(deadline));
+        let waker = Rc::new(RefCell::new(None));
+        self.deadlines.borrow_mut().push(TimerEntry {
+            deadline,
+            waker: waker.clone(),
+        });
         SleepFuture {
             clock: self.clock.clone(),
             deadline,
+            waker,
         }
     }
 
@@ -56,23 +89,37 @@ impl TimerService {
         self.sleep_until(self.clock.now().saturating_add(duration))
     }
 
-    /// The earliest unexpired deadline, if any.
+    /// Pops every deadline at or before the current time, waking its
+    /// sleeper (if still armed). Returns how many sleepers were woken.
     ///
-    /// Deadlines already in the past are discarded: their sleepers become
-    /// ready on the next poll and no longer constrain clock advancement.
-    pub fn earliest_deadline(&self) -> Option<SimTime> {
+    /// The runtime calls this after every clock advancement; anyone who
+    /// moves the shared clock by hand (tests, custom drivers) should too.
+    pub fn fire_due(&self) -> usize {
         let now = self.clock.now();
         let mut heap = self.deadlines.borrow_mut();
-        while let Some(Reverse(t)) = heap.peek().copied() {
-            if t > now {
-                return Some(t);
+        let mut woken = 0;
+        while heap.peek().is_some_and(|e| e.deadline <= now) {
+            let entry = heap.pop().unwrap();
+            let armed = entry.waker.borrow_mut().take();
+            if let Some(waker) = armed {
+                waker.wake();
+                woken += 1;
             }
-            heap.pop();
         }
-        None
+        woken
     }
 
-    /// Number of registered (possibly expired) deadlines.
+    /// The earliest unexpired deadline, if any.
+    ///
+    /// Deadlines already in the past are fired on the way (waking their
+    /// sleepers, exactly like [`TimerService::fire_due`]): their sleepers
+    /// are ready and no longer constrain clock advancement.
+    pub fn earliest_deadline(&self) -> Option<SimTime> {
+        self.fire_due();
+        self.deadlines.borrow().peek().map(|e| e.deadline)
+    }
+
+    /// Number of registered (possibly expired or cancelled) deadlines.
     pub fn pending(&self) -> usize {
         self.deadlines.borrow().len()
     }
@@ -80,14 +127,14 @@ impl TimerService {
 
 /// Future returned by [`TimerService::sleep_until`].
 ///
-/// Cancellation-safe: dropping the future before its deadline leaves a stale
-/// heap entry, which [`TimerService::earliest_deadline`] discards once
+/// Cancellation-safe: dropping the future before its deadline disarms its
+/// waker cell; the stale heap entry fires into the disarmed cell once
 /// expired — at worst the runtime advances the clock to a moment nobody is
 /// waiting for, which is harmless.
-#[derive(Debug)]
 pub struct SleepFuture {
     clock: SimClock,
     deadline: SimTime,
+    waker: Rc<RefCell<Option<Waker>>>,
 }
 
 impl SleepFuture {
@@ -100,12 +147,27 @@ impl SleepFuture {
 impl Future for SleepFuture {
     type Output = ();
 
-    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.clock.now() >= self.deadline {
+            *self.waker.borrow_mut() = None;
             Poll::Ready(())
         } else {
+            *self.waker.borrow_mut() = Some(cx.waker().clone());
             Poll::Pending
         }
+    }
+}
+
+impl Drop for SleepFuture {
+    fn drop(&mut self) {
+        // Disarm so firing the stale heap entry wakes nobody.
+        *self.waker.borrow_mut() = None;
+    }
+}
+
+impl std::fmt::Debug for SleepFuture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SleepFuture(deadline={:?})", self.deadline)
     }
 }
 
@@ -130,6 +192,7 @@ mod tests {
         assert!(!h.is_complete());
         assert_eq!(timers.earliest_deadline(), Some(SimTime::from_micros(10)));
         clock.advance_to(SimTime::from_micros(10));
+        assert_eq!(timers.fire_due(), 1);
         sched.poll_once();
         assert_eq!(h.take_result(), Some(SimTime::from_micros(10)));
         assert_eq!(timers.earliest_deadline(), None);
@@ -173,6 +236,31 @@ mod tests {
         drop(timers.sleep_until(SimTime::from_micros(5)));
         assert_eq!(timers.earliest_deadline(), Some(SimTime::from_micros(5)));
         clock.advance_to(SimTime::from_micros(5));
+        assert_eq!(timers.fire_due(), 0, "cancelled sleeper must not be woken");
         assert_eq!(timers.earliest_deadline(), None);
+        assert_eq!(timers.pending(), 0);
+    }
+
+    #[test]
+    fn fire_due_wakes_parked_sleeper_without_repolling_others() {
+        let clock = SimClock::new();
+        let timers = TimerService::new(clock.clone());
+        let sched = Scheduler::new();
+        sched.spawn("parked-forever", std::future::pending::<()>());
+        let h = sched.spawn("sleeper", {
+            let timers = timers.clone();
+            async move {
+                timers.sleep(SimTime::from_micros(3)).await;
+                true
+            }
+        });
+        sched.poll_once();
+        let parked_polls = sched.stats().polls;
+        clock.advance_to(SimTime::from_micros(3));
+        assert_eq!(timers.fire_due(), 1);
+        sched.poll_once();
+        assert!(h.is_complete());
+        // Only the sleeper was re-polled; the pending task stayed parked.
+        assert_eq!(sched.stats().polls, parked_polls + 1);
     }
 }

@@ -1,0 +1,64 @@
+//! Shared waker-registration plumbing for the cooperation primitives.
+//!
+//! Every primitive that parks tasks ([`crate::Condition`], [`crate::Notify`],
+//! [`crate::AsyncQueue`], [`crate::TimerService`]) uses the same scheme: the
+//! waiting future owns a [`WakerSlot`] it re-arms on every poll, the
+//! primitive keeps a [`WaiterList`] of those slots, and signalling *takes*
+//! each registered waker and fires it. Dropping a future disarms its slot
+//! (and releases its `Rc`), so cancelled waiters are never woken and are
+//! compacted out of the list on the next signal — a dropped waiter leaks
+//! nothing.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::task::{Context, Waker};
+
+/// One waiting future's waker cell. `None` = disarmed (not currently
+/// parked, or cancelled).
+pub(crate) type WakerSlot = Rc<RefCell<Option<Waker>>>;
+
+/// Creates a disarmed slot.
+pub(crate) fn new_slot() -> WakerSlot {
+    Rc::new(RefCell::new(None))
+}
+
+/// The waiter side of the protocol: arms `slot` with the current task's
+/// waker and registers it in `list` the first time (`registered` tracks
+/// that). Call on every `Poll::Pending` return.
+pub(crate) fn arm(
+    slot: &WakerSlot,
+    registered: &mut bool,
+    list: &Rc<RefCell<WaiterList>>,
+    cx: &mut Context<'_>,
+) {
+    *slot.borrow_mut() = Some(cx.waker().clone());
+    if !*registered {
+        list.borrow_mut().slots.push(slot.clone());
+        *registered = true;
+    }
+}
+
+/// A primitive's collection of waiter slots.
+#[derive(Default)]
+pub(crate) struct WaiterList {
+    slots: Vec<WakerSlot>,
+}
+
+impl WaiterList {
+    /// Wakes every armed waiter (taking its waker, so each registration
+    /// yields at most one wake) and compacts out slots whose future has
+    /// been dropped. Returns how many wakers fired.
+    pub(crate) fn wake_all(&mut self) -> usize {
+        let mut woken = 0;
+        self.slots.retain(|slot| {
+            if let Some(waker) = slot.borrow_mut().take() {
+                waker.wake();
+                woken += 1;
+            }
+            // Strong count 1 means only the list still holds the slot: the
+            // owning future is gone.
+            Rc::strong_count(slot) > 1
+        });
+        woken
+    }
+}

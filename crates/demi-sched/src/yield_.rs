@@ -13,11 +13,14 @@ pub struct YieldFuture {
 impl Future for YieldFuture {
     type Output = ();
 
-    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.yielded {
             Poll::Ready(())
         } else {
             self.yielded = true;
+            // Self-wake: the task stays runnable but moves to the back of
+            // the run queue, so every other runnable task gets a turn first.
+            cx.waker().wake_by_ref();
             Poll::Pending
         }
     }
@@ -25,8 +28,11 @@ impl Future for YieldFuture {
 
 /// Suspends the current coroutine until the next scheduler pass.
 ///
-/// Protocol coroutines call this inside busy loops ("poll the device, then
-/// yield") so that every task gets a share of each scheduler pass.
+/// The yielding task re-enqueues itself (a self-wake), so under the
+/// waker-driven policy a yield loop keeps running — but code that *waits*
+/// for an event should park on a waker source ([`crate::Condition`],
+/// [`crate::Notify`], [`crate::AsyncQueue`], a timer) instead of spinning
+/// on `yield_once`, which burns a poll per pass.
 pub fn yield_once() -> YieldFuture {
     YieldFuture::default()
 }
@@ -43,5 +49,20 @@ mod tests {
         let mut cx = Context::from_waker(waker);
         assert!(Pin::new(&mut fut).poll(&mut cx).is_pending());
         assert!(Pin::new(&mut fut).poll(&mut cx).is_ready());
+    }
+
+    #[test]
+    fn yield_requeues_itself_under_wake_policy() {
+        let sched = crate::Scheduler::new();
+        let h = sched.spawn("yielder", async {
+            for _ in 0..3 {
+                yield_once().await;
+            }
+            true
+        });
+        for _ in 0..4 {
+            sched.poll_once();
+        }
+        assert_eq!(h.take_result(), Some(true));
     }
 }

@@ -128,11 +128,20 @@ impl NetworkStack {
     }
 
     /// One poll pass: drain device RX, advance protocol timers, flush TX.
-    pub fn poll(&self) {
+    /// Returns how many work items the pass processed — frames moved
+    /// (RX + TX), plus frameless state transitions (ARP give-up drops, TCP
+    /// timer events) — so callers can tell a productive pass from an idle
+    /// one. A connection declared unreachable emits no frame, but a caller
+    /// parked on its state still needs to hear about it.
+    pub fn poll(&self) -> usize {
         let mut inner = self.inner.borrow_mut();
+        let before =
+            inner.stats.rx_frames + inner.stats.tx_frames + inner.stats.unreachable_drops;
         inner.rx_pass();
-        inner.timer_pass();
+        let timer_events = inner.timer_pass();
         inner.flush_tcp();
+        let after = inner.stats.rx_frames + inner.stats.tx_frames + inner.stats.unreachable_drops;
+        (after - before) as usize + timer_events
     }
 
     /// Earliest protocol timer deadline (ARP retry, TCP RTO/persist/
@@ -439,11 +448,11 @@ impl Inner {
         }
     }
 
-    fn timer_pass(&mut self) {
+    fn timer_pass(&mut self) -> usize {
         let now = self.clock.now();
         let actions = self.arp.poll(now);
         self.run_arp_actions(actions);
-        self.tcp.on_tick(now);
+        self.tcp.on_tick(now)
     }
 
     fn flush_tcp(&mut self) {

@@ -834,25 +834,31 @@ impl ControlBlock {
     // ------------------------------------------------------------------
 
     /// Advances timers to `now` (RTO, persist probe, TIME_WAIT expiry).
-    pub fn on_tick(&mut self, now: SimTime) {
+    /// Returns how many timer events fired — retransmits may emit frames,
+    /// but give-ups (handshake timeout, TIME_WAIT expiry) are pure state
+    /// transitions, and callers waiting on connection state need to know
+    /// *something* happened even when no frame moves.
+    pub fn on_tick(&mut self, now: SimTime) -> usize {
+        let mut events = 0;
         if let Some(deadline) = self.timewait_deadline {
             if now >= deadline {
                 self.state = State::Closed;
                 self.clear_timers();
-                return;
+                return 1;
             }
         }
 
         if let Some(deadline) = self.rto_deadline {
             if now >= deadline && !self.retx.is_empty() {
                 self.stats.timeouts += 1;
+                events += 1;
                 match self.state {
                     State::SynSent | State::SynReceived => {
                         if self.handshake_retries_left == 0 {
                             self.error = Some(NetError::Timeout);
                             self.state = State::Closed;
                             self.clear_timers();
-                            return;
+                            return events;
                         }
                         self.handshake_retries_left -= 1;
                         self.retransmit_front(now);
@@ -872,9 +878,11 @@ impl ControlBlock {
         if let Some(deadline) = self.persist_deadline {
             if now >= deadline {
                 self.persist_deadline = None;
+                events += 1;
                 self.persist_probe(now);
             }
         }
+        events
     }
 
     /// Zero-window probe: force out one byte so the peer's window update

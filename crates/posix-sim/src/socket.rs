@@ -92,9 +92,10 @@ impl KernelSockets {
     }
 
     /// Drives the in-kernel stack (device interrupts / softirq stand-in).
-    /// Not a syscall: this happens in kernel context.
-    pub fn poll(&mut self) {
-        self.stack.poll();
+    /// Not a syscall: this happens in kernel context. Returns how many
+    /// frames the stack moved.
+    pub fn poll(&mut self) -> usize {
+        self.stack.poll()
     }
 
     /// Earliest kernel-stack timer deadline.

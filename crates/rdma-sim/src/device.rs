@@ -530,15 +530,19 @@ impl RdmaDevice {
     // The device "firmware" loop.
     // ------------------------------------------------------------------
 
-    /// Processes delivered fabric frames and expired timers.
-    pub fn poll(&self, now: SimTime) {
+    /// Processes delivered fabric frames and expired timers. Returns how
+    /// many frames were consumed, so pollers can report device progress.
+    pub fn poll(&self, now: SimTime) -> usize {
         let mut inner = self.inner.borrow_mut();
+        let mut frames = 0;
         while let Some(frame) = inner.endpoint.receive() {
+            frames += 1;
             if let Some(msg) = WireMsg::parse(&frame.payload) {
                 inner.handle_msg(frame.src, msg, now);
             }
         }
         inner.tick(now);
+        frames
     }
 
     /// Earliest device timer deadline (for runtime clock advancement).

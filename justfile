@@ -1,0 +1,17 @@
+# Developer entry points. `just verify` is the pre-merge gate.
+
+# Build, test, and lint — everything CI would reject.
+verify:
+    cargo build --release
+    cargo test -q
+    cargo clippy -- -D warnings
+
+# Everything `verify` checks, across the whole workspace.
+verify-all:
+    cargo build --workspace --release
+    cargo test --workspace -q
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Regenerate every experiment table (E1–E11).
+experiments:
+    cargo bench -p demi-bench

@@ -1,0 +1,243 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small wall-clock harness with criterion's API shape: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function` /
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, and `black_box`.
+//!
+//! Measurement model: each benchmark runs a short warm-up, then timed
+//! batches until the measurement budget is spent, and reports the mean
+//! per-iteration time (plus derived throughput when declared). There is no
+//! statistical analysis, HTML report, or baseline comparison — the numbers
+//! are honest wall-clock means, printed to stdout, sufficient for the
+//! relative comparisons the bench suite makes.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared workload size, used to derive throughput from iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Top-level harness handle; hands out benchmark groups.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            measurement_time: Duration::from_millis(300),
+            _criterion: self,
+        }
+    }
+
+    /// Prints the closing summary (no-op in the stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the criterion sample count; the stub maps it onto its time
+    /// budget (more samples -> proportionally longer measurement).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.measurement_time = Duration::from_millis(30) * (n as u32);
+        self
+    }
+
+    /// Sets the total measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget (accepted; the stub warms up briefly anyway).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark that receives an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: impl fmt::Display, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(n) => {
+                format!("{:>10.1} MiB/s", n as f64 / mean_ns * 1e9 / (1 << 20) as f64)
+            }
+            Throughput::Elements(n) => {
+                format!("{:>10.1} Kelem/s", n as f64 / mean_ns * 1e9 / 1e3)
+            }
+        });
+        println!(
+            "bench {:<40} {:>12.1} ns/iter  ({} iters){}",
+            format!("{}/{}", self.name, id),
+            mean_ns,
+            b.iters,
+            rate.map(|r| format!("  {r}")).unwrap_or_default(),
+        );
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed run (fills caches, faults pages).
+        black_box(routine());
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into a named runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.measurement_time(Duration::from_millis(5));
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_counts_iterations() {
+        tiny(&mut Criterion::default());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

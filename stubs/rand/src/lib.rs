@@ -1,0 +1,128 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal, deterministic implementation of exactly the surface it consumes:
+//! [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`], and
+//! [`distributions::Uniform`] sampled through [`distributions::Distribution`].
+//! The generator is splitmix64 — not cryptographic, but statistically fine
+//! for workload shaping, and fully reproducible from the seed.
+
+/// Core generator interface: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `[low, high)`.
+    fn gen_range(&mut self, range: core::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        let span = range.end - range.start;
+        range.start + self.next_u64() % span
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        /// Draws one value using `rng` as the entropy source.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over the half-open interval `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: Copy> Uniform<T> {
+        /// Creates a uniform distribution over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            Uniform { low, high }
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits -> uniform in [0, 1), scaled to range.
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.low + unit * (self.high - self.low)
+        }
+    }
+
+    impl Distribution<u64> for Uniform<u64> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            assert!(self.low < self.high, "Uniform over empty range");
+            self.low + rng.next_u64() % (self.high - self.low)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_f64_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let dist = Uniform::new(0.0, 1.0);
+        for _ in 0..1000 {
+            let x: f64 = dist.sample(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

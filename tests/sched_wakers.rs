@@ -1,0 +1,146 @@
+//! Waker-correctness properties of the readiness scheduler.
+//!
+//! The waker protocol has three load-bearing guarantees the rest of the
+//! system leans on:
+//!
+//! 1. a task woken *while it is being polled* lands on the run queue
+//!    exactly once, no matter how many times its waker fires;
+//! 2. dropping a cloned waker neither wakes nor strands its task — the
+//!    task stays parked and any surviving clone still completes it;
+//! 3. waking a task that already completed is a no-op, even when its slot
+//!    has been recycled for a new task.
+
+use std::cell::{Cell, RefCell};
+use std::future::poll_fn;
+use std::rc::Rc;
+use std::task::{Poll, Waker};
+
+use demi_sched::Scheduler;
+use proptest::prelude::*;
+
+proptest! {
+    /// Mid-poll wakes dedup: however many times the waker fires during the
+    /// poll, the task is re-queued exactly once, and only one extra wakeup
+    /// is recorded.
+    #[test]
+    fn midpoll_wake_requeues_exactly_once(wakes in 1usize..8) {
+        let sched = Scheduler::new();
+        let polls = Rc::new(Cell::new(0usize));
+        let polls_in = polls.clone();
+        let handle = sched.spawn("self-waker", poll_fn(move |cx| {
+            let n = polls_in.get();
+            polls_in.set(n + 1);
+            if n == 0 {
+                // The scheduled flag was cleared just before this poll; every
+                // wake past the first must dedup against the re-queued entry.
+                for _ in 0..wakes {
+                    cx.waker().wake_by_ref();
+                }
+                Poll::Pending
+            } else {
+                Poll::Ready(())
+            }
+        }));
+
+        // Pass 1: the spawn entry; the task self-wakes mid-poll.
+        let first = sched.run_pass();
+        prop_assert_eq!(first.polled, 1);
+        prop_assert_eq!(first.completed, 0);
+
+        // Pass 2: exactly one re-queued entry, which completes the task.
+        let second = sched.run_pass();
+        prop_assert_eq!(second.polled, 1);
+        prop_assert_eq!(second.completed, 1);
+        prop_assert_eq!(polls.get(), 2);
+        prop_assert!(!sched.has_runnable());
+        prop_assert!(handle.is_complete());
+
+        // One wakeup for the whole mid-poll barrage: the first call
+        // re-queued the task, the other `wakes - 1` were absorbed.
+        prop_assert_eq!(sched.stats().wakeups, 1);
+    }
+
+    /// Wake-after-complete is a no-op: stale wakers — even many of them,
+    /// fired after their task's slot was recycled for a new task — neither
+    /// re-poll the dead task nor spuriously poll the slot's new tenant.
+    #[test]
+    fn wake_after_complete_is_noop(stale_wakes in 1usize..8) {
+        let sched = Scheduler::new();
+        let stash: Rc<RefCell<Option<Waker>>> = Rc::new(RefCell::new(None));
+
+        let stash_in = stash.clone();
+        let first_poll = Cell::new(true);
+        let a = sched.spawn("short-lived", poll_fn(move |cx| {
+            if first_poll.replace(false) {
+                *stash_in.borrow_mut() = Some(cx.waker().clone());
+                cx.waker().wake_by_ref(); // Immediately re-arm...
+                Poll::Pending
+            } else {
+                Poll::Ready(()) // ...and complete on the next pass.
+            }
+        }));
+        sched.run_pass();
+        sched.run_pass();
+        assert!(a.is_complete());
+        assert_eq!(sched.live_tasks(), 0);
+
+        // Recycle the slot: a new parked task takes the dead task's index.
+        let _b = sched.spawn("slot-reuser", poll_fn(|_| Poll::<()>::Pending));
+        sched.run_pass();
+        let polls_before = sched.stats().polls;
+
+        // Fire the dead task's waker, repeatedly.
+        let stale = stash.borrow_mut().take().expect("first poll stashed it");
+        for _ in 0..stale_wakes {
+            stale.wake_by_ref();
+        }
+
+        // Nothing becomes runnable and nothing gets polled — not the dead
+        // task, and not the slot's new tenant.
+        prop_assert!(!sched.has_runnable());
+        prop_assert_eq!(sched.run_pass().polled, 0);
+        prop_assert_eq!(sched.stats().polls, polls_before);
+        prop_assert_eq!(sched.live_tasks(), 1);
+    }
+}
+
+/// Dropping a cloned waker is not a wake and not a leak: the task stays
+/// parked (never spuriously polled), a surviving clone still completes it,
+/// and completion frees the slot.
+#[test]
+fn dropped_waker_neither_wakes_nor_strands() {
+    let sched = Scheduler::new();
+    let stash: Rc<RefCell<Vec<Waker>>> = Rc::new(RefCell::new(Vec::new()));
+
+    let stash_in = stash.clone();
+    let handle = sched.spawn("parker", poll_fn(move |cx| {
+        let mut s = stash_in.borrow_mut();
+        if s.is_empty() {
+            // Park, leaving two waker clones with the outside world.
+            s.push(cx.waker().clone());
+            s.push(cx.waker().clone());
+            Poll::Pending
+        } else {
+            Poll::Ready(())
+        }
+    }));
+    sched.run_pass();
+    assert!(!sched.has_runnable(), "task parked");
+
+    // Drop one clone without waking: no wake, no poll, no lost task.
+    let dropped = stash.borrow_mut().pop().expect("two clones stashed");
+    drop(dropped);
+    assert!(!sched.has_runnable());
+    assert_eq!(sched.run_pass().polled, 0);
+    assert_eq!(sched.live_tasks(), 1, "task neither woken nor lost");
+    assert_eq!(sched.stats().wakeups, 0, "a dropped waker is not a wake");
+
+    // The surviving clone still works: wake it, and the task completes.
+    let survivor = stash.borrow_mut()[0].clone();
+    survivor.wake();
+    let report = sched.run_pass();
+    assert_eq!(report.polled, 1);
+    assert_eq!(report.completed, 1);
+    assert!(handle.is_complete());
+    assert_eq!(sched.live_tasks(), 0, "slot freed on completion");
+}

@@ -136,19 +136,31 @@ impl Catnip {
     }
 
     /// Flattens an Sga into one contiguous datagram payload. Single-seg
-    /// arrays pass through zero-copy; multi-seg arrays gather (counted).
+    /// arrays pass through zero-copy (the same buffer handle travels down
+    /// the stack); multi-seg arrays gather into a pool buffer with header
+    /// headroom (counted).
     fn gather(&self, sga: &Sga) -> DemiBuffer {
         if sga.seg_count() == 1 {
             return sga.segments()[0].clone();
         }
         self.runtime.metrics().count_copy(sga.len());
-        let mut buf = DemiBuffer::zeroed(sga.len());
+        let mut buf = self.memory.alloc(sga.len());
         let dst = buf.try_mut().expect("fresh buffer");
         let mut off = 0;
         for seg in sga.segments() {
             dst[off..off + seg.len()].copy_from_slice(seg.as_slice());
             off += seg.len();
         }
+        buf
+    }
+
+    /// Builds the 8-byte stream framing header in a pool buffer with
+    /// header headroom, so the stack can wrap it without reallocating.
+    fn framing_header(&self, payload_len: usize) -> DemiBuffer {
+        let mut buf = self.memory.alloc(net_stack::framing::FRAME_HEADER_LEN);
+        buf.try_mut()
+            .expect("fresh buffer")
+            .copy_from_slice(&encode_header(payload_len));
         buf
     }
 }
@@ -336,7 +348,7 @@ impl LibOs for Catnip {
                 let remote = remote.ok_or(DemiError::InvalidState)?;
                 let (port, payload) = (*port, self.gather(sga));
                 drop(inner);
-                self.stack.udp_sendto(port, remote, payload.as_slice())?;
+                self.stack.udp_sendto(port, remote, payload)?;
                 Ok(self
                     .runtime
                     .spawn_op("catnip::udp_push", async { OperationResult::Push }))
@@ -346,7 +358,7 @@ impl LibOs for Catnip {
                 drop(inner);
                 // Framing header, then each segment zero-copy (the stack
                 // holds buffer clones: free-protection in action).
-                let header = DemiBuffer::from_slice(&encode_header(sga.len()));
+                let header = self.framing_header(sga.len());
                 self.stack.tcp_send(conn, header)?;
                 for seg in sga.segments() {
                     self.stack.tcp_send(conn, seg.clone())?;
@@ -367,7 +379,7 @@ impl LibOs for Catnip {
             Some(CatnipQueue::Udp { port, .. }) => {
                 let (port, payload) = (*port, self.gather(sga));
                 drop(inner);
-                self.stack.udp_sendto(port, to, payload.as_slice())?;
+                self.stack.udp_sendto(port, to, payload)?;
                 Ok(self
                     .runtime
                     .spawn_op("catnip::udp_pushto", async { OperationResult::Push }))

@@ -9,6 +9,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use demi_memory::DatapathSnapshot;
+
 /// Shared counter block (cheap to clone; one per libOS instance).
 #[derive(Clone, Default)]
 pub struct Metrics {
@@ -44,11 +46,33 @@ pub struct MetricsSnapshot {
     /// operations are parked; under the legacy sweep policy it grows with
     /// the number of outstanding operations (E11).
     pub wait_polls: u64,
+    /// `DemiBuffer` allocations since the last reset, from the demi-memory
+    /// datapath counters (E12). Thread-wide: in a two-host simulation this
+    /// covers both ends of the wire, which is what "per round trip" costs
+    /// want.
+    pub buffer_allocs: u64,
+    /// Payload-byte copy operations since the last reset (same source).
+    /// Zero on the catnip echo path — headers prepend into headroom and
+    /// payloads travel as views.
+    pub buffer_copies: u64,
+    /// Bytes moved by those copies.
+    pub buffer_bytes_copied: u64,
 }
 
-#[derive(Default)]
 struct MetricsInner {
     snap: MetricsSnapshot,
+    /// demi-memory counter reading at construction/reset; `snapshot()`
+    /// reports movement since then.
+    buffer_baseline: DatapathSnapshot,
+}
+
+impl Default for MetricsInner {
+    fn default() -> Self {
+        MetricsInner {
+            snap: MetricsSnapshot::default(),
+            buffer_baseline: demi_memory::counters::snapshot(),
+        }
+    }
 }
 
 impl Metrics {
@@ -101,14 +125,22 @@ impl Metrics {
         inner.snap.wait_polls += polls;
     }
 
-    /// Snapshot.
+    /// Snapshot, folding in the demi-memory datapath counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.inner.borrow().snap
+        let inner = self.inner.borrow();
+        let mut snap = inner.snap;
+        let buffers = demi_memory::counters::snapshot().delta(&inner.buffer_baseline);
+        snap.buffer_allocs = buffers.allocs;
+        snap.buffer_copies = buffers.copies;
+        snap.buffer_bytes_copied = buffers.bytes_copied;
+        snap
     }
 
     /// Zeroes the counters (between experiment phases).
     pub fn reset(&self) {
-        self.inner.borrow_mut().snap = MetricsSnapshot::default();
+        let mut inner = self.inner.borrow_mut();
+        inner.snap = MetricsSnapshot::default();
+        inner.buffer_baseline = demi_memory::counters::snapshot();
     }
 }
 

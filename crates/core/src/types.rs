@@ -55,6 +55,12 @@ impl Sga {
         &self.segs
     }
 
+    /// Mutable segment handles, for filling freshly allocated buffers in
+    /// place (each still refuses writes unless exclusively owned).
+    pub fn segments_mut(&mut self) -> &mut [DemiBuffer] {
+        &mut self.segs
+    }
+
     /// Number of segments.
     pub fn seg_count(&self) -> usize {
         self.segs.len()

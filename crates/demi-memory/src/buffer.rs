@@ -1,11 +1,58 @@
 //! The reference-counted zero-copy buffer.
+//!
+//! # Headroom layout
+//!
+//! A `DemiBuffer` is a *view* `[off, off + len)` into refcounted storage:
+//!
+//! ```text
+//!   storage:  [ ..headroom.. | ..view.. | ..tailroom.. ]
+//!             0              off        off+len        capacity
+//! ```
+//!
+//! Buffers allocated with headroom (see [`DemiBuffer::with_headroom`] and
+//! `BufferPool::alloc_with_headroom`) start with `off > 0`, leaving room for
+//! protocol headers to be written *in place* with [`DemiBuffer::prepend`] —
+//! the mbuf idiom: one allocation per packet, headers prepended on TX,
+//! trimmed off with [`DemiBuffer::trim_front`] on RX. Headroom is never
+//! silently grown: a `prepend` that does not fit returns an error.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::ops::Deref;
+use std::ptr::NonNull;
 use std::rc::{Rc, Weak};
 
-use crate::pool::PoolInner;
+use crate::counters;
+use crate::pool::{BufferPool, PoolInner};
+
+/// Why a [`DemiBuffer::prepend`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadroomError {
+    /// Not enough headroom in front of the view. There is no silent
+    /// reallocation: the caller decides whether to copy into a fresh
+    /// buffer (and account for it) or fail.
+    Exhausted { needed: usize, available: usize },
+    /// Another live handle views bytes *below* this view's start, so the
+    /// headroom region may be visible to someone else. Writing it would
+    /// mutate shared data — the same discipline as [`DemiBuffer::try_mut`].
+    Shared,
+}
+
+impl fmt::Display for HeadroomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeadroomError::Exhausted { needed, available } => write!(
+                f,
+                "headroom exhausted: need {needed} bytes, have {available}"
+            ),
+            HeadroomError::Shared => {
+                write!(f, "headroom shared with another live view")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeadroomError {}
 
 /// Where a buffer's storage returns when its last handle drops.
 pub(crate) struct PoolHome {
@@ -14,15 +61,102 @@ pub(crate) struct PoolHome {
 }
 
 pub(crate) struct BufInner {
-    /// `None` only transiently during drop, when storage is being returned
-    /// to its pool.
-    storage: Option<Box<[u8]>>,
-    home: Option<PoolHome>,
+    /// Base pointer of the owned allocation. Kept raw (rather than as a
+    /// `Box<[u8]>`) so that disjoint-range access — a `prepend` writing
+    /// headroom while other handles read their own views — never forms
+    /// overlapping references. The allocation is reconstructed as a box in
+    /// `Drop`.
+    ptr: NonNull<u8>,
+    cap: usize,
+    home: Cell<Option<PoolHome>>,
+    /// Live view starts: `(view start offset, number of live handles)`.
+    /// Maintained by every handle create/clone/retarget/drop; `prepend`
+    /// consults it to prove the headroom bytes are invisible to all other
+    /// handles. A flat vector, not an ordered map: a buffer rarely has more
+    /// than two or three distinct view offsets alive at once, and the
+    /// registry is touched on every hot-path prepend/trim, so a linear scan
+    /// over an inline-ish vector beats tree bookkeeping.
+    views: RefCell<Vec<(usize, usize)>>,
+}
+
+impl BufInner {
+    fn from_box(storage: Box<[u8]>, home: Option<PoolHome>) -> Self {
+        let cap = storage.len();
+        let ptr = Box::into_raw(storage) as *mut u8;
+        BufInner {
+            // SAFETY: Box::into_raw never returns null (dangling-but-valid
+            // for an empty slice).
+            ptr: unsafe { NonNull::new_unchecked(ptr) },
+            cap,
+            home: Cell::new(home),
+            views: RefCell::new(Vec::with_capacity(2)),
+        }
+    }
+
+    /// Reclaims the allocation as a box. Only sound once no views remain.
+    unsafe fn take_storage(&self) -> Box<[u8]> {
+        Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+            self.ptr.as_ptr(),
+            self.cap,
+        ))
+    }
+
+    fn view_register(&self, off: usize) {
+        let mut views = self.views.borrow_mut();
+        match views.iter_mut().find(|(o, _)| *o == off) {
+            Some((_, count)) => *count += 1,
+            None => views.push((off, 1)),
+        }
+    }
+
+    fn view_unregister(&self, off: usize) {
+        let mut views = self.views.borrow_mut();
+        let idx = views
+            .iter()
+            .position(|(o, _)| *o == off)
+            .expect("view was registered");
+        views[idx].1 -= 1;
+        if views[idx].1 == 0 {
+            views.swap_remove(idx);
+        }
+    }
+
+    /// Moves one live handle from offset `old` to `new` in a single pass —
+    /// the hot path of `prepend`/`advance`, where the common case is a
+    /// sole handle at `old` whose entry can be rewritten in place.
+    fn view_retarget(&self, old: usize, new: usize) {
+        if old == new {
+            return;
+        }
+        let mut views = self.views.borrow_mut();
+        let old_idx = views
+            .iter()
+            .position(|(o, _)| *o == old)
+            .expect("view was registered");
+        if let Some(new_idx) = views.iter().position(|(o, _)| *o == new) {
+            views[new_idx].1 += 1;
+            views[old_idx].1 -= 1;
+            if views[old_idx].1 == 0 {
+                views.swap_remove(old_idx);
+            }
+        } else if views[old_idx].1 == 1 {
+            views[old_idx].0 = new;
+        } else {
+            views[old_idx].1 -= 1;
+            views.push((new, 1));
+        }
+    }
+
+    fn any_view_below(&self, off: usize) -> bool {
+        self.views.borrow().iter().any(|(o, _)| *o < off)
+    }
 }
 
 impl Drop for BufInner {
     fn drop(&mut self) {
-        if let (Some(storage), Some(home)) = (self.storage.take(), self.home.take()) {
+        // SAFETY: the last handle is gone, so no slice borrows remain.
+        let storage = unsafe { self.take_storage() };
+        if let Some(home) = self.home.take() {
             if let Some(pool) = home.pool.upgrade() {
                 pool.borrow_mut().recycle(home.class, storage);
             }
@@ -31,7 +165,7 @@ impl Drop for BufInner {
     }
 }
 
-/// A reference-counted byte buffer with cheap sub-slicing.
+/// A reference-counted byte buffer with cheap sub-slicing and headroom.
 ///
 /// `DemiBuffer` is the unit of zero-copy I/O: the same underlying storage is
 /// shared (by handle clone) between the application, protocol layers, and
@@ -44,7 +178,9 @@ impl Drop for BufInner {
 /// **No write-protection** (paper §4.5): mutation requires exclusive
 /// ownership via [`DemiBuffer::try_mut`]; shared buffers are read-only
 /// through the safe API, so applications follow the allocate-new-buffer
-/// discipline the paper describes for Redis.
+/// discipline the paper describes for Redis. [`DemiBuffer::prepend`] extends
+/// the same discipline to headroom: it writes only bytes that no *other*
+/// live handle can see.
 pub struct DemiBuffer {
     inner: Rc<BufInner>,
     off: usize,
@@ -52,41 +188,96 @@ pub struct DemiBuffer {
 }
 
 impl DemiBuffer {
+    fn new_handle(inner: Rc<BufInner>, off: usize, len: usize) -> Self {
+        inner.view_register(off);
+        DemiBuffer { inner, off, len }
+    }
+
     /// Creates an unpooled buffer holding a copy of `data`.
+    ///
+    /// Counts one allocation and one copy of `data.len()` bytes toward the
+    /// datapath counters — this constructor *is* a copy.
     pub fn from_slice(data: &[u8]) -> Self {
-        DemiBuffer {
-            inner: Rc::new(BufInner {
-                storage: Some(data.to_vec().into_boxed_slice()),
-                home: None,
-            }),
-            off: 0,
-            len: data.len(),
-        }
+        counters::note_alloc();
+        counters::note_copy(data.len());
+        Self::new_handle(
+            Rc::new(BufInner::from_box(
+                data.to_vec().into_boxed_slice(),
+                None,
+            )),
+            0,
+            data.len(),
+        )
     }
 
     /// Creates an unpooled, zero-filled buffer of `len` bytes.
     pub fn zeroed(len: usize) -> Self {
-        DemiBuffer {
-            inner: Rc::new(BufInner {
-                storage: Some(vec![0u8; len].into_boxed_slice()),
-                home: None,
-            }),
-            off: 0,
+        counters::note_alloc();
+        Self::new_handle(
+            Rc::new(BufInner::from_box(vec![0u8; len].into_boxed_slice(), None)),
+            0,
             len,
-        }
+        )
     }
 
-    /// Wraps pool-owned storage; the view initially covers `len` bytes.
-    pub(crate) fn from_pool(storage: Box<[u8]>, len: usize, home: PoolHome) -> Self {
-        debug_assert!(len <= storage.len());
-        DemiBuffer {
-            inner: Rc::new(BufInner {
-                storage: Some(storage),
-                home: Some(home),
-            }),
-            off: 0,
+    /// Creates an unpooled, zero-filled buffer whose view starts `headroom`
+    /// bytes in: `len` visible bytes with `headroom` bytes of prepend room.
+    pub fn zeroed_with_headroom(headroom: usize, len: usize) -> Self {
+        counters::note_alloc();
+        Self::new_handle(
+            Rc::new(BufInner::from_box(
+                vec![0u8; headroom + len].into_boxed_slice(),
+                None,
+            )),
+            headroom,
             len,
-        }
+        )
+    }
+
+    /// Allocates `len` visible bytes from `pool` with `headroom` bytes of
+    /// prepend room in front of the view.
+    pub fn with_headroom(pool: &BufferPool, headroom: usize, len: usize) -> Self {
+        pool.alloc_with_headroom(headroom, len)
+    }
+
+    /// A zero-length buffer: the payload of pure-control packets (ACKs,
+    /// handshake segments). Allocates no data bytes and counts nothing
+    /// toward the datapath counters.
+    pub fn empty() -> Self {
+        Self::new_handle(
+            Rc::new(BufInner::from_box(Box::from([]), None)),
+            0,
+            0,
+        )
+    }
+
+    /// Copies this view into a fresh unpooled buffer with `headroom` bytes
+    /// of prepend room. This is the *honestly counted* fallback for when
+    /// [`DemiBuffer::prepend`] is refused: one allocation, one payload copy.
+    pub fn copy_with_headroom(&self, headroom: usize) -> Self {
+        let mut fresh = Self::zeroed_with_headroom(headroom, self.len);
+        counters::note_copy(self.len);
+        fresh
+            .try_mut()
+            .expect("freshly allocated buffer is exclusive")
+            .copy_from_slice(self.as_slice());
+        fresh
+    }
+
+    /// Wraps pool-owned storage; the view covers `[off, off + len)`.
+    pub(crate) fn from_pool(
+        storage: Box<[u8]>,
+        off: usize,
+        len: usize,
+        home: PoolHome,
+    ) -> Self {
+        debug_assert!(off + len <= storage.len());
+        counters::note_alloc();
+        Self::new_handle(
+            Rc::new(BufInner::from_box(storage, Some(home))),
+            off,
+            len,
+        )
     }
 
     /// Bytes visible through this handle.
@@ -102,16 +293,30 @@ impl DemiBuffer {
     /// Total capacity of the underlying storage (the size class for pooled
     /// buffers).
     pub fn capacity(&self) -> usize {
-        self.storage().len()
+        self.inner.cap
+    }
+
+    /// Bytes available in front of the view for [`DemiBuffer::prepend`].
+    /// Bytes removed with [`DemiBuffer::trim_front`] become headroom again —
+    /// exactly the mbuf model.
+    pub fn headroom(&self) -> usize {
+        self.off
     }
 
     /// The bytes of this view.
     pub fn as_slice(&self) -> &[u8] {
-        &self.storage()[self.off..self.off + self.len]
+        // SAFETY: `[off, off + len)` is in bounds for the allocation, the
+        // allocation lives as long as `self.inner`, and the only mutation
+        // paths (`try_mut`, `prepend`) either require exclusive ownership
+        // or write a range disjoint from every live view (see `prepend`).
+        unsafe { std::slice::from_raw_parts(self.inner.ptr.as_ptr().add(self.off), self.len) }
     }
 
-    /// Copies the view into a `Vec`.
+    /// Copies the view into a `Vec`. Counts one copy toward the datapath
+    /// counters — calling this on the hot path is exactly the cost the
+    /// zero-copy discipline avoids.
     pub fn to_vec(&self) -> Vec<u8> {
+        counters::note_copy(self.len);
         self.as_slice().to_vec()
     }
 
@@ -121,14 +326,77 @@ impl DemiBuffer {
     /// Returns `None` when the buffer is shared — the caller should allocate
     /// a fresh buffer instead, exactly the paper's recommended discipline.
     pub fn try_mut(&mut self) -> Option<&mut [u8]> {
-        let off = self.off;
-        let len = self.len;
-        let inner = Rc::get_mut(&mut self.inner)?;
-        let storage = inner
-            .storage
-            .as_mut()
-            .expect("storage present outside drop");
-        Some(&mut storage[off..off + len])
+        if Rc::strong_count(&self.inner) != 1 {
+            return None;
+        }
+        // SAFETY: sole handle (checked above), range in bounds, and the
+        // returned borrow is tied to `&mut self`, so no other access to the
+        // storage can be created while it lives.
+        Some(unsafe {
+            std::slice::from_raw_parts_mut(self.inner.ptr.as_ptr().add(self.off), self.len)
+        })
+    }
+
+    /// Whether [`DemiBuffer::prepend`]`(n)` would succeed right now.
+    pub fn can_prepend(&self, n: usize) -> bool {
+        n <= self.off && !self.inner.any_view_below(self.off)
+    }
+
+    /// Grows the view `n` bytes downward into headroom and returns the
+    /// newly exposed prefix for the caller to fill — the in-place header
+    /// write of the mbuf TX path.
+    ///
+    /// This is legal only when the headroom bytes are provably invisible to
+    /// every other live handle: it fails with [`HeadroomError::Shared`] if
+    /// any other handle's view starts below this one's (clones *at or
+    /// above* this offset — e.g. the application's own handle to the same
+    /// payload — are fine, because the written range `[off - n, off)` lies
+    /// entirely below their views). It fails with
+    /// [`HeadroomError::Exhausted`] when fewer than `n` headroom bytes
+    /// remain; there is no silent reallocation.
+    pub fn prepend(&mut self, n: usize) -> Result<&mut [u8], HeadroomError> {
+        if self.inner.any_view_below(self.off) {
+            return Err(HeadroomError::Shared);
+        }
+        if n > self.off {
+            return Err(HeadroomError::Exhausted {
+                needed: n,
+                available: self.off,
+            });
+        }
+        let new_off = self.off - n;
+        self.inner.view_retarget(self.off, new_off);
+        self.off = new_off;
+        self.len += n;
+        // SAFETY: `[new_off, new_off + n)` is in bounds. Every *other* live
+        // view starts at or above the old `off = new_off + n` (checked via
+        // the view registry above), so their slices are disjoint from the
+        // returned one; and the returned borrow is tied to `&mut self`, so
+        // this handle cannot produce an overlapping slice while it lives.
+        Ok(unsafe { std::slice::from_raw_parts_mut(self.inner.ptr.as_ptr().add(new_off), n) })
+    }
+
+    /// Drops the first `n` bytes from the view; they become headroom. The
+    /// in-place header strip of the mbuf RX path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn trim_front(&mut self, n: usize) {
+        self.advance(n);
+    }
+
+    /// Splits the view at `at`: `self` keeps `[0, at)` and the returned
+    /// handle views `[at, len)`. Zero-copy — both share storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.len()`.
+    pub fn split_off(&mut self, at: usize) -> DemiBuffer {
+        assert!(at <= self.len, "split_off beyond view");
+        let tail = Self::new_handle(self.inner.clone(), self.off + at, self.len - at);
+        self.len = at;
+        tail
     }
 
     /// Number of live handles to the underlying storage. A value above 1
@@ -149,11 +417,7 @@ impl DemiBuffer {
     /// Panics if the range is out of bounds or inverted.
     pub fn slice(&self, start: usize, end: usize) -> DemiBuffer {
         assert!(start <= end && end <= self.len, "slice out of bounds");
-        DemiBuffer {
-            inner: self.inner.clone(),
-            off: self.off + start,
-            len: end - start,
-        }
+        Self::new_handle(self.inner.clone(), self.off + start, end - start)
     }
 
     /// Shrinks the view to its first `len` bytes.
@@ -173,7 +437,9 @@ impl DemiBuffer {
     /// Panics if `n > self.len()`.
     pub fn advance(&mut self, n: usize) {
         assert!(n <= self.len, "advance beyond view");
-        self.off += n;
+        let new_off = self.off + n;
+        self.inner.view_retarget(self.off, new_off);
+        self.off = new_off;
         self.len -= n;
     }
 
@@ -184,29 +450,21 @@ impl DemiBuffer {
     ///
     /// Panics if the resulting view would exceed capacity.
     pub fn set_len(&mut self, len: usize) {
-        assert!(
-            self.off + len <= self.storage().len(),
-            "set_len beyond capacity"
-        );
+        assert!(self.off + len <= self.inner.cap, "set_len beyond capacity");
         self.len = len;
     }
+}
 
-    fn storage(&self) -> &[u8] {
-        self.inner
-            .storage
-            .as_ref()
-            .expect("storage present outside drop")
+impl Drop for DemiBuffer {
+    fn drop(&mut self) {
+        self.inner.view_unregister(self.off);
     }
 }
 
 impl Clone for DemiBuffer {
     /// Clones the *handle*; storage is shared, not copied.
     fn clone(&self) -> Self {
-        DemiBuffer {
-            inner: self.inner.clone(),
-            off: self.off,
-            len: self.len,
-        }
+        Self::new_handle(self.inner.clone(), self.off, self.len)
     }
 }
 
@@ -231,12 +489,37 @@ impl PartialEq for DemiBuffer {
 }
 impl Eq for DemiBuffer {}
 
+impl PartialEq<[u8]> for DemiBuffer {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for DemiBuffer {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for DemiBuffer {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for DemiBuffer {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
 impl fmt::Debug for DemiBuffer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "DemiBuffer(len={}, handles={})",
+            "DemiBuffer(len={}, headroom={}, handles={})",
             self.len,
+            self.off,
             self.handle_count()
         )
     }
@@ -248,17 +531,29 @@ impl From<&[u8]> for DemiBuffer {
     }
 }
 
+impl<const N: usize> From<&[u8; N]> for DemiBuffer {
+    fn from(data: &[u8; N]) -> Self {
+        DemiBuffer::from_slice(data)
+    }
+}
+
+impl From<&Vec<u8>> for DemiBuffer {
+    fn from(data: &Vec<u8>) -> Self {
+        DemiBuffer::from_slice(data)
+    }
+}
+
 impl From<Vec<u8>> for DemiBuffer {
+    /// Takes ownership of the vector's storage — no byte copy. Counts one
+    /// allocation (the vector's) toward the datapath counters.
     fn from(data: Vec<u8>) -> Self {
+        counters::note_alloc();
         let len = data.len();
-        DemiBuffer {
-            inner: Rc::new(BufInner {
-                storage: Some(data.into_boxed_slice()),
-                home: None,
-            }),
-            off: 0,
+        Self::new_handle(
+            Rc::new(BufInner::from_box(data.into_boxed_slice(), None)),
+            0,
             len,
-        }
+        )
     }
 }
 
@@ -347,6 +642,9 @@ mod tests {
         let b = DemiBuffer::from_slice(b"same");
         assert_eq!(a, b);
         assert!(!a.same_storage(&b));
+        assert_eq!(a, b"same"[..]);
+        assert_eq!(a, b"same".to_vec());
+        assert_eq!(a, *b"same");
     }
 
     #[test]
@@ -354,5 +652,140 @@ mod tests {
         let a = DemiBuffer::from_slice(b"abcdef");
         assert!(a.starts_with(b"abc"));
         assert_eq!(&a[2..4], b"cd");
+    }
+
+    #[test]
+    fn headroom_prepend_writes_in_place() {
+        let mut b = DemiBuffer::zeroed_with_headroom(8, 4);
+        assert_eq!(b.headroom(), 8);
+        assert_eq!(b.len(), 4);
+        b.try_mut().unwrap().copy_from_slice(b"body");
+        let hdr = b.prepend(3).expect("room for 3");
+        hdr.copy_from_slice(b"hd:");
+        assert_eq!(b.as_slice(), b"hd:body");
+        assert_eq!(b.headroom(), 5);
+    }
+
+    #[test]
+    fn prepend_is_refused_when_headroom_is_exhausted() {
+        let mut b = DemiBuffer::zeroed_with_headroom(2, 1);
+        assert!(b.can_prepend(2));
+        assert!(!b.can_prepend(3));
+        assert_eq!(
+            b.prepend(3),
+            Err(HeadroomError::Exhausted {
+                needed: 3,
+                available: 2
+            })
+        );
+        // And nothing changed: no silent reallocation.
+        assert_eq!(b.headroom(), 2);
+        assert_eq!(b.len(), 1);
+        assert!(b.prepend(2).is_ok());
+    }
+
+    #[test]
+    fn prepend_allows_clones_at_or_above_the_view() {
+        // The application keeps its own handle to the payload it pushed;
+        // the stack may still prepend headers below that view.
+        let mut tx = DemiBuffer::zeroed_with_headroom(8, 4);
+        let app = tx.clone();
+        assert!(tx.can_prepend(8), "clone at the same offset is harmless");
+        tx.prepend(2).unwrap().copy_from_slice(b"hh");
+        assert_eq!(app.len(), 4, "application view is untouched");
+        assert!(tx.same_storage(&app));
+    }
+
+    #[test]
+    fn prepend_is_refused_when_a_lower_view_is_live() {
+        // A device still holds the full framed packet; prepending again
+        // (e.g. a retransmission) would overwrite bytes under its feet.
+        let mut tx = DemiBuffer::zeroed_with_headroom(8, 4);
+        tx.prepend(4).unwrap(); // now views [4, 12)
+        let device = tx.clone(); // device holds the framed view
+        let mut payload = tx.clone();
+        payload.trim_front(4); // back to the payload view [8, 12)
+        assert!(!payload.can_prepend(1));
+        assert_eq!(payload.prepend(1), Err(HeadroomError::Shared));
+        drop(device);
+        drop(tx);
+        assert!(payload.can_prepend(4), "headroom reusable after device drop");
+        assert!(payload.prepend(4).is_ok());
+    }
+
+    #[test]
+    fn trim_front_turns_bytes_into_headroom() {
+        let mut b = DemiBuffer::from_slice(b"hdrpayload");
+        assert_eq!(b.headroom(), 0);
+        b.trim_front(3);
+        assert_eq!(b.as_slice(), b"payload");
+        assert_eq!(b.headroom(), 3);
+        // The trimmed header bytes are reusable as headroom.
+        b.prepend(3).unwrap().copy_from_slice(b"new");
+        assert_eq!(b.as_slice(), b"newpayload");
+    }
+
+    #[test]
+    fn split_off_shares_storage() {
+        let mut b = DemiBuffer::from_slice(b"headtail");
+        let tail = b.split_off(4);
+        assert_eq!(b.as_slice(), b"head");
+        assert_eq!(tail.as_slice(), b"tail");
+        assert!(b.same_storage(&tail));
+        assert_eq!(tail.headroom(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_off beyond view")]
+    fn split_off_out_of_bounds_panics() {
+        let mut b = DemiBuffer::from_slice(b"ab");
+        let _ = b.split_off(3);
+    }
+
+    #[test]
+    fn copy_with_headroom_is_a_counted_fallback() {
+        let src = DemiBuffer::from_slice(b"payload");
+        let before = counters::snapshot();
+        let mut copy = src.copy_with_headroom(16);
+        let delta = counters::snapshot().delta(&before);
+        assert_eq!(copy.as_slice(), b"payload");
+        assert_eq!(copy.headroom(), 16);
+        assert!(!copy.same_storage(&src));
+        assert_eq!(delta.allocs, 1);
+        assert_eq!(delta.copies, 1);
+        assert_eq!(delta.bytes_copied, 7);
+        assert!(copy.prepend(16).is_ok());
+    }
+
+    #[test]
+    fn empty_buffers_count_nothing() {
+        let before = counters::snapshot();
+        let e = DemiBuffer::empty();
+        let delta = counters::snapshot().delta(&before);
+        assert!(e.is_empty());
+        assert_eq!(delta.allocs, 0);
+        assert_eq!(delta.copies, 0);
+    }
+
+    #[test]
+    fn from_vec_counts_alloc_but_not_copy() {
+        let before = counters::snapshot();
+        let b = DemiBuffer::from(vec![1u8, 2, 3]);
+        let delta = counters::snapshot().delta(&before);
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+        assert_eq!(delta.allocs, 1);
+        assert_eq!(delta.bytes_copied, 0);
+    }
+
+    #[test]
+    fn view_registry_tracks_slices_and_drops() {
+        let a = DemiBuffer::from_slice(b"0123456789");
+        let low = a.slice(0, 2);
+        let mut high = a.slice(4, 10);
+        high.trim_front(2); // views [6, 10)
+        drop(a);
+        assert!(!high.can_prepend(1), "`low` still views offset 0");
+        drop(low);
+        assert!(high.can_prepend(6), "all lower views gone");
     }
 }

@@ -1,0 +1,78 @@
+//! Datapath allocation/copy accounting.
+//!
+//! The paper's zero-copy claim (§3.2, E2/E12) is only honest if the stack's
+//! *own* allocations and copies are counted, not just the application's.
+//! Every `DemiBuffer` constructor that allocates notes an allocation here,
+//! and every operation that moves payload bytes (`from_slice`, `to_vec`,
+//! the `copy_with_headroom` fallback, device-level `alloc_from` helpers)
+//! notes a copy — so a test can assert "one pool allocation, zero payload
+//! copies per packet" instead of merely printing it.
+//!
+//! Counters are thread-local (the simulation is single-threaded); consumers
+//! snapshot before and after a window of work and take the delta.
+
+use std::cell::Cell;
+
+/// A point-in-time reading of the datapath counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DatapathSnapshot {
+    /// Buffer allocations: pool allocations (warm or cold) plus unpooled
+    /// `DemiBuffer` constructions. Handle clones and slices never count.
+    pub allocs: u64,
+    /// Payload copy operations (a `memcpy` of buffer contents).
+    pub copies: u64,
+    /// Total bytes moved by those copies.
+    pub bytes_copied: u64,
+}
+
+impl DatapathSnapshot {
+    /// Counter movement since `earlier`.
+    pub fn delta(&self, earlier: &DatapathSnapshot) -> DatapathSnapshot {
+        DatapathSnapshot {
+            allocs: self.allocs - earlier.allocs,
+            copies: self.copies - earlier.copies,
+            bytes_copied: self.bytes_copied - earlier.bytes_copied,
+        }
+    }
+}
+
+thread_local! {
+    static COUNTERS: Cell<DatapathSnapshot> = const { Cell::new(DatapathSnapshot {
+        allocs: 0,
+        copies: 0,
+        bytes_copied: 0,
+    }) };
+}
+
+/// Records one buffer allocation.
+pub fn note_alloc() {
+    COUNTERS.with(|c| {
+        let mut s = c.get();
+        s.allocs += 1;
+        c.set(s);
+    });
+}
+
+/// Records one payload copy of `bytes` bytes. Zero-byte copies (empty
+/// control payloads) are not counted.
+pub fn note_copy(bytes: usize) {
+    if bytes == 0 {
+        return;
+    }
+    COUNTERS.with(|c| {
+        let mut s = c.get();
+        s.copies += 1;
+        s.bytes_copied += bytes as u64;
+        c.set(s);
+    });
+}
+
+/// Current counter values.
+pub fn snapshot() -> DatapathSnapshot {
+    COUNTERS.with(|c| c.get())
+}
+
+/// Resets all counters to zero.
+pub fn reset() {
+    COUNTERS.with(|c| c.set(DatapathSnapshot::default()));
+}

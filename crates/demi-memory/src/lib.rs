@@ -23,11 +23,13 @@
 //!   region registration (pin accounting, IOMMU-style mapping).
 
 pub mod buffer;
+pub mod counters;
 pub mod manager;
 pub mod pool;
 pub mod registration;
 
-pub use buffer::DemiBuffer;
+pub use buffer::{DemiBuffer, HeadroomError};
+pub use counters::DatapathSnapshot;
 pub use manager::MemoryManager;
-pub use pool::{BufferPool, PoolStats, SIZE_CLASSES};
+pub use pool::{BufferPool, PoolStats, DEFAULT_HEADROOM, SIZE_CLASSES};
 pub use registration::{CountingRegistrar, RegionId, RegionStats, Registrar};

@@ -4,7 +4,8 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::buffer::DemiBuffer;
-use crate::pool::{BufferPool, PoolStats};
+use crate::counters;
+use crate::pool::{BufferPool, PoolStats, DEFAULT_HEADROOM};
 use crate::registration::{CountingRegistrar, RegionStats, Registrar};
 
 /// One memory manager per libOS instance (paper §4.5).
@@ -42,13 +43,24 @@ impl MemoryManager {
     }
 
     /// Allocates an I/O buffer of `len` bytes from registered memory.
+    ///
+    /// [`DEFAULT_HEADROOM`] bytes of prepend room are reserved in front of
+    /// the view, so the net stack can write every protocol header in place
+    /// when this buffer is pushed — the application never sees (or pays
+    /// for) the headroom.
     pub fn alloc(&self, len: usize) -> DemiBuffer {
-        self.pool.alloc(len)
+        self.pool.alloc_with_headroom(DEFAULT_HEADROOM, len)
     }
 
-    /// Allocates and fills a buffer with `data`.
+    /// Allocates with an explicit headroom reservation.
+    pub fn alloc_with_headroom(&self, headroom: usize, len: usize) -> DemiBuffer {
+        self.pool.alloc_with_headroom(headroom, len)
+    }
+
+    /// Allocates and fills a buffer with `data` (a counted payload copy).
     pub fn alloc_from(&self, data: &[u8]) -> DemiBuffer {
-        let mut buf = self.pool.alloc(data.len());
+        let mut buf = self.alloc(data.len());
+        counters::note_copy(data.len());
         buf.try_mut()
             .expect("fresh buffer is exclusively owned")
             .copy_from_slice(data);

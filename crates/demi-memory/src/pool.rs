@@ -15,6 +15,13 @@ pub const SIZE_CLASSES: [usize; 6] = [64, 256, 1024, 4096, 16384, 65536];
 /// How many buffers a class adds each time it grows.
 const GROWTH_BATCH: usize = 64;
 
+/// Default headroom reserved in front of datapath allocations so that every
+/// protocol header on the TX path can be prepended in place. Sized to cover
+/// the net stack's worst case (Ethernet 14 + IPv4 20 + TCP 20 + options),
+/// rounded up; the stack asserts its own `MAX_HEADER_LEN` fits. This crate
+/// cannot depend on the net stack, so the constant lives here.
+pub const DEFAULT_HEADROOM: usize = 64;
+
 /// Aggregate pool counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
@@ -94,16 +101,27 @@ impl BufferPool {
     /// The underlying capacity is the smallest size class ≥ `len`; requests
     /// larger than every class are served as dedicated registered buffers.
     pub fn alloc(&self, len: usize) -> DemiBuffer {
+        self.alloc_with_headroom(0, len)
+    }
+
+    /// Allocates a buffer whose view covers `len` bytes, preceded by
+    /// `headroom` bytes of prepend room.
+    ///
+    /// The underlying capacity is the smallest size class ≥
+    /// `headroom + len`; the view starts at offset `headroom`, so protocol
+    /// headers can be written in place with `DemiBuffer::prepend`.
+    pub fn alloc_with_headroom(&self, headroom: usize, len: usize) -> DemiBuffer {
+        let total = headroom + len;
         let mut inner = self.inner.borrow_mut();
-        let Some(class) = SIZE_CLASSES.iter().position(|&s| s >= len) else {
+        let Some(class) = SIZE_CLASSES.iter().position(|&s| s >= total) else {
             // Oversized: dedicated allocation, registered on its own.
             inner.stats.oversized_allocs += 1;
-            inner.stats.owned_bytes += len as u64;
+            inner.stats.owned_bytes += total as u64;
             if let Some(reg) = &inner.registrar {
-                let _ = reg.register(len);
+                let _ = reg.register(total);
             }
             drop(inner);
-            return DemiBuffer::zeroed(len);
+            return DemiBuffer::zeroed_with_headroom(headroom, len);
         };
 
         if inner.classes[class].free.is_empty() {
@@ -121,7 +139,7 @@ impl BufferPool {
             class,
         };
         drop(inner);
-        DemiBuffer::from_pool(storage, len, home)
+        DemiBuffer::from_pool(storage, headroom, len, home)
     }
 
     fn grow(inner: &mut PoolInner, class: usize) {
@@ -277,6 +295,28 @@ mod tests {
             2 * GROWTH_BATCH,
             "all buffers recycled"
         );
+    }
+
+    #[test]
+    fn alloc_with_headroom_reserves_prepend_room() {
+        let pool = BufferPool::unregistered();
+        let mut b = pool.alloc_with_headroom(crate::pool::DEFAULT_HEADROOM, 100);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.headroom(), DEFAULT_HEADROOM);
+        // Class fits headroom + len: 64 + 100 -> 256.
+        assert_eq!(b.capacity(), 256);
+        assert!(b.prepend(DEFAULT_HEADROOM).is_ok());
+        assert_eq!(b.len(), 100 + DEFAULT_HEADROOM);
+    }
+
+    #[test]
+    fn headroom_buffers_recycle_like_plain_ones() {
+        let pool = BufferPool::unregistered();
+        {
+            let _b = pool.alloc_with_headroom(64, 512);
+        }
+        assert_eq!(pool.stats().recycled, 1);
+        assert_eq!(pool.free_count_for(576).unwrap(), GROWTH_BATCH);
     }
 
     #[test]

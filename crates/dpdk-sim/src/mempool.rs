@@ -2,7 +2,7 @@
 
 use std::rc::Rc;
 
-use demi_memory::{BufferPool, PoolStats, RegionStats, Registrar};
+use demi_memory::{counters, BufferPool, DemiBuffer, PoolStats, RegionStats, Registrar};
 
 use crate::mbuf::Mbuf;
 
@@ -53,14 +53,34 @@ impl Mempool {
         Mbuf::from_data(self.pool.alloc(len))
     }
 
-    /// Allocates an mbuf holding a copy of `frame`.
+    /// Allocates an mbuf holding a copy of `frame` (a counted payload copy
+    /// — the zero-copy path wraps an existing `DemiBuffer` in an
+    /// [`Mbuf`](crate::mbuf::Mbuf) instead).
     pub fn alloc_from(&self, frame: &[u8]) -> Mbuf {
         let mut mbuf = self.alloc(frame.len());
+        counters::note_copy(frame.len());
         mbuf.data
             .try_mut()
             .expect("fresh mbuf is exclusively owned")
             .copy_from_slice(frame);
         mbuf
+    }
+
+    /// Allocates a bare buffer with `headroom` bytes of prepend room — the
+    /// TX-side allocation for control packets whose headers are written in
+    /// place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headroom + len` exceeds the pool's mbuf capacity.
+    pub fn alloc_buffer_with_headroom(&self, headroom: usize, len: usize) -> DemiBuffer {
+        assert!(
+            headroom + len <= self.mbuf_capacity,
+            "frame of {} bytes exceeds mbuf capacity {}",
+            headroom + len,
+            self.mbuf_capacity
+        );
+        self.pool.alloc_with_headroom(headroom, len)
     }
 
     /// Maximum frame bytes an mbuf can hold.

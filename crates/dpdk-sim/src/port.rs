@@ -147,7 +147,9 @@ impl DpdkPort {
                 continue;
             }
             let dst = MacAddress::new([bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]]);
-            inner.endpoint.transmit(dst, bytes.to_vec());
+            // Handle clone, not a byte copy: the fabric carries the very
+            // storage the caller framed.
+            inner.endpoint.transmit(dst, mbuf.data.clone());
             inner.stats.tx_frames += 1;
             inner.stats.tx_bytes += bytes.len() as u64;
             sent += 1;
@@ -214,20 +216,27 @@ impl PortInner {
                 RxDecision::Drop => continue,
                 RxDecision::Accept { queue, frame } => (queue, frame),
             };
-            let bytes: &[u8] = rewritten.as_deref().unwrap_or(&frame.payload);
-            let queue = steered.unwrap_or_else(|| rss_queue(bytes, self.config.num_rx_queues));
+            // Zero-copy RX: the mbuf wraps the very storage the sender
+            // transmitted. Only SmartNIC-rewritten frames take a fresh
+            // buffer (the rewrite produced new bytes anyway).
+            let data = match rewritten {
+                Some(bytes) => demi_memory::DemiBuffer::from(bytes),
+                None => frame.payload,
+            };
+            let queue =
+                steered.unwrap_or_else(|| rss_queue(&data, self.config.num_rx_queues));
             let queue = queue % self.config.num_rx_queues;
             let ring = &mut self.rx_rings[queue as usize];
             if ring.len() >= self.config.rx_ring_size {
                 self.stats.rx_ring_drops += 1;
                 continue;
             }
-            let mut mbuf = self.mempool.alloc_from(bytes);
-            mbuf.rx_timestamp = frame.delivered_at;
-            mbuf.rss_hash = fnv1a(bytes);
-            mbuf.queue = queue;
             self.stats.rx_frames += 1;
-            self.stats.rx_bytes += bytes.len() as u64;
+            self.stats.rx_bytes += data.len() as u64;
+            let mut mbuf = Mbuf::from_data(data);
+            mbuf.rx_timestamp = frame.delivered_at;
+            mbuf.rss_hash = fnv1a(&mbuf.data);
+            mbuf.queue = queue;
             ring.push_back(mbuf);
         }
     }

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use demi_memory::DemiBuffer;
 use sim_fabric::{MacAddress, SimTime};
 
 use crate::types::NetError;
@@ -90,19 +91,20 @@ impl ArpPacket {
 struct InFlight {
     tries_left: u32,
     next_retry: SimTime,
-    /// Serialized IP packets waiting for the MAC.
-    pending: Vec<Vec<u8>>,
+    /// Serialized IP packets waiting for the MAC — buffer handles, so
+    /// queueing while resolution is in flight copies nothing.
+    pending: Vec<DemiBuffer>,
 }
 
 /// What the cache wants the stack to do after a call.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq)]
 pub enum ArpAction {
     /// Transmit this pending packet to the now-resolved MAC.
-    SendPending(MacAddress, Vec<u8>),
+    SendPending(MacAddress, DemiBuffer),
     /// Broadcast an ARP request for this IP.
     SendRequest(Ipv4Addr),
     /// Resolution gave up; drop this packet and surface unreachable.
-    FailPending(Vec<u8>),
+    FailPending(DemiBuffer),
 }
 
 /// The ARP cache plus resolution machinery.
@@ -155,7 +157,7 @@ impl ArpCache {
     pub fn enqueue_pending(
         &mut self,
         ip: Ipv4Addr,
-        packet: Vec<u8>,
+        packet: DemiBuffer,
         now: SimTime,
     ) -> Vec<ArpAction> {
         match self.in_flight.get_mut(&ip) {
@@ -265,9 +267,9 @@ mod tests {
     #[test]
     fn miss_enqueues_and_requests_once() {
         let mut c = cache();
-        let a1 = c.enqueue_pending(ip(2), vec![1], SimTime::ZERO);
+        let a1 = c.enqueue_pending(ip(2), DemiBuffer::from_slice(&[1]), SimTime::ZERO);
         assert_eq!(a1, vec![ArpAction::SendRequest(ip(2))]);
-        let a2 = c.enqueue_pending(ip(2), vec![2], SimTime::ZERO);
+        let a2 = c.enqueue_pending(ip(2), DemiBuffer::from_slice(&[2]), SimTime::ZERO);
         assert!(
             a2.is_empty(),
             "second packet piggybacks on in-flight request"
@@ -277,17 +279,23 @@ mod tests {
     #[test]
     fn reply_flushes_pending_in_order() {
         let mut c = cache();
-        c.enqueue_pending(ip(2), vec![1], SimTime::ZERO);
-        c.enqueue_pending(ip(2), vec![2], SimTime::ZERO);
+        let (p1, p2) = (DemiBuffer::from_slice(&[1]), DemiBuffer::from_slice(&[2]));
+        c.enqueue_pending(ip(2), p1.clone(), SimTime::ZERO);
+        c.enqueue_pending(ip(2), p2.clone(), SimTime::ZERO);
         let mac = MacAddress::from_last_octet(2);
         let actions = c.insert(ip(2), mac, SimTime::ZERO);
         assert_eq!(
             actions,
             vec![
-                ArpAction::SendPending(mac, vec![1]),
-                ArpAction::SendPending(mac, vec![2]),
+                ArpAction::SendPending(mac, p1.clone()),
+                ArpAction::SendPending(mac, p2.clone()),
             ]
         );
+        // Flushing hands back the very same storage that was queued.
+        match &actions[0] {
+            ArpAction::SendPending(_, flushed) => assert!(flushed.same_storage(&p1)),
+            other => panic!("unexpected action {other:?}"),
+        }
         assert_eq!(c.lookup(ip(2), SimTime::ZERO), Some(mac));
     }
 
@@ -303,7 +311,7 @@ mod tests {
     #[test]
     fn retries_then_fails_pending() {
         let mut c = cache();
-        c.enqueue_pending(ip(2), vec![7], SimTime::ZERO);
+        c.enqueue_pending(ip(2), DemiBuffer::from_slice(&[7]), SimTime::ZERO);
         // First retry at 1ms, second at 2ms; failure announced at 3ms.
         assert_eq!(c.poll(MS), vec![ArpAction::SendRequest(ip(2))]);
         assert_eq!(
@@ -311,14 +319,17 @@ mod tests {
             vec![ArpAction::SendRequest(ip(2))]
         );
         let actions = c.poll(MS.saturating_mul(3));
-        assert_eq!(actions, vec![ArpAction::FailPending(vec![7])]);
+        assert_eq!(
+            actions,
+            vec![ArpAction::FailPending(DemiBuffer::from_slice(&[7]))]
+        );
         assert_eq!(c.next_deadline(), None);
     }
 
     #[test]
     fn poll_before_deadline_is_quiet() {
         let mut c = cache();
-        c.enqueue_pending(ip(2), vec![7], SimTime::ZERO);
+        c.enqueue_pending(ip(2), DemiBuffer::from_slice(&[7]), SimTime::ZERO);
         assert!(c.poll(SimTime::from_micros(500)).is_empty());
         assert_eq!(c.next_deadline(), Some(MS));
     }

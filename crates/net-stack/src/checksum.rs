@@ -35,6 +35,70 @@ pub fn verify(data: &[u8]) -> bool {
     internet_checksum(data) == 0
 }
 
+/// A streaming checksum over a sequence of byte fragments (iovecs) —
+/// pseudo-header, transport header, payload — without ever copying them
+/// into one contiguous buffer.
+///
+/// Unlike chaining [`sum_words`] calls, the accumulator tracks byte
+/// *parity* across fragments: an odd-length middle fragment carries its
+/// dangling byte into the next fragment instead of being zero-padded in
+/// place, so the result matches the checksum of the concatenated bytes
+/// exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChecksumAccumulator {
+    acc: u32,
+    /// High byte of a word whose low byte arrives with the next fragment.
+    pending: Option<u8>,
+}
+
+impl ChecksumAccumulator {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one fragment. Fragments may have any length, including zero.
+    pub fn push(&mut self, data: &[u8]) {
+        let data = match self.pending.take() {
+            Some(hi) => {
+                let Some((&lo, rest)) = data.split_first() else {
+                    self.pending = Some(hi);
+                    return;
+                };
+                self.acc += u16::from_be_bytes([hi, lo]) as u32;
+                rest
+            }
+            None => data,
+        };
+        let mut chunks = data.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.acc += u16::from_be_bytes([chunk[0], chunk[1]]) as u32;
+        }
+        if let [last] = chunks.remainder() {
+            self.pending = Some(*last);
+        }
+    }
+
+    /// Folds and complements, zero-padding any dangling odd byte.
+    pub fn finish(self) -> u16 {
+        let mut acc = self.acc;
+        if let Some(hi) = self.pending {
+            acc += (hi as u32) << 8;
+        }
+        finish(acc)
+    }
+}
+
+/// One-shot checksum over a sequence of fragments, as if they were
+/// concatenated.
+pub fn checksum_iovec(fragments: &[&[u8]]) -> u16 {
+    let mut acc = ChecksumAccumulator::new();
+    for f in fragments {
+        acc.push(f);
+    }
+    acc.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +143,46 @@ mod tests {
         let acc = sum_words(&data[..4], 0);
         let acc = sum_words(&data[4..], acc);
         assert_eq!(finish(acc), whole);
+    }
+
+    #[test]
+    fn iovec_matches_contiguous_for_even_splits() {
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(
+            checksum_iovec(&[&data[..2], &data[2..6], &data[6..]]),
+            internet_checksum(&data)
+        );
+    }
+
+    #[test]
+    fn iovec_carries_odd_fragment_boundaries() {
+        // An odd-length *middle* fragment must not be zero-padded: the next
+        // fragment's first byte completes the word. `sum_words` chaining
+        // gets this wrong; the accumulator must not.
+        let data = [0x12u8, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE];
+        let whole = internet_checksum(&data);
+        for split1 in 0..data.len() {
+            for split2 in split1..data.len() {
+                assert_eq!(
+                    checksum_iovec(&[
+                        &data[..split1],
+                        &data[split1..split2],
+                        &data[split2..]
+                    ]),
+                    whole,
+                    "splits at {split1}/{split2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iovec_empty_fragments_are_identity() {
+        let data = [0xABu8, 0xCD, 0xEF];
+        assert_eq!(
+            checksum_iovec(&[&[], &data[..1], &[], &data[1..], &[]]),
+            internet_checksum(&data)
+        );
+        assert_eq!(checksum_iovec(&[]), 0xFFFF);
     }
 }

@@ -1,5 +1,6 @@
 //! Ethernet II framing.
 
+use demi_memory::{DemiBuffer, HeadroomError};
 use sim_fabric::MacAddress;
 
 use crate::types::NetError;
@@ -79,9 +80,23 @@ impl EthHeader {
             &frame[ETH_HEADER_LEN..],
         ))
     }
+
+    /// Writes this header into `packet`'s headroom, turning an IP packet
+    /// (or ARP payload) into a complete frame in place — no allocation, no
+    /// payload copy.
+    pub fn prepend_onto(&self, packet: &mut DemiBuffer) -> Result<(), HeadroomError> {
+        packet
+            .prepend(ETH_HEADER_LEN)?
+            .copy_from_slice(&self.serialize());
+        Ok(())
+    }
 }
 
 /// Builds a complete frame: header + payload.
+///
+/// Legacy copying builder, kept for the E12 A/B benchmark and tests; the
+/// stack's TX path uses [`EthHeader::prepend_onto`].
+#[cfg(any(test, feature = "legacy_copy_path"))]
 pub fn build_frame(header: &EthHeader, payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(ETH_HEADER_LEN + payload.len());
     frame.extend_from_slice(&header.serialize());
@@ -120,6 +135,30 @@ mod tests {
         assert_eq!(EtherType::from_u16(0x0806), EtherType::Arp);
         assert_eq!(EtherType::from_u16(0x86DD), EtherType::Other(0x86DD));
         assert_eq!(EtherType::Other(0x86DD).to_u16(), 0x86DD);
+    }
+
+    #[test]
+    fn prepend_matches_legacy_builder() {
+        let h = EthHeader {
+            dst: MacAddress::from_last_octet(9),
+            src: MacAddress::from_last_octet(3),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut packet = DemiBuffer::zeroed_with_headroom(ETH_HEADER_LEN, 7);
+        packet.try_mut().unwrap().copy_from_slice(b"payload");
+        h.prepend_onto(&mut packet).unwrap();
+        assert_eq!(packet.as_slice(), build_frame(&h, b"payload").as_slice());
+    }
+
+    #[test]
+    fn prepend_without_headroom_fails() {
+        let h = EthHeader {
+            dst: MacAddress::from_last_octet(9),
+            src: MacAddress::from_last_octet(3),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut packet = DemiBuffer::from_slice(b"payload");
+        assert!(h.prepend_onto(&mut packet).is_err());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 
 use std::net::Ipv4Addr;
 
+use demi_memory::{DemiBuffer, HeadroomError};
+
 use crate::checksum::{internet_checksum, verify};
 use crate::types::NetError;
 
@@ -106,9 +108,23 @@ impl Ipv4Header {
         };
         Ok((header, &data[ihl..total_len]))
     }
+
+    /// Writes this header into `payload`'s headroom, turning it into an IP
+    /// packet in place — no allocation, no payload copy.
+    pub fn prepend_onto(&self, payload: &mut DemiBuffer) -> Result<(), HeadroomError> {
+        debug_assert_eq!(self.payload_len, payload.len());
+        payload
+            .prepend(IPV4_HEADER_LEN)?
+            .copy_from_slice(&self.serialize());
+        Ok(())
+    }
 }
 
 /// Builds header + payload into one buffer.
+///
+/// Legacy copying builder, kept for the E12 A/B benchmark and tests; the
+/// stack's TX path uses [`Ipv4Header::prepend_onto`].
+#[cfg(any(test, feature = "legacy_copy_path"))]
 pub fn build_packet(header: &Ipv4Header, payload: &[u8]) -> Vec<u8> {
     debug_assert_eq!(header.payload_len, payload.len());
     let mut packet = Vec::with_capacity(IPV4_HEADER_LEN + payload.len());
@@ -134,6 +150,21 @@ mod tests {
     fn round_trip() {
         let payload = b"datagram";
         let packet = build_packet(&header(payload.len()), payload);
+        let (h, p) = Ipv4Header::parse(&packet).unwrap();
+        assert_eq!(h, header(payload.len()));
+        assert_eq!(p, payload);
+    }
+
+    #[test]
+    fn prepend_matches_legacy_builder() {
+        let payload = b"datagram";
+        let mut packet = DemiBuffer::zeroed_with_headroom(IPV4_HEADER_LEN, payload.len());
+        packet.try_mut().unwrap().copy_from_slice(payload);
+        header(payload.len()).prepend_onto(&mut packet).unwrap();
+        assert_eq!(
+            packet.as_slice(),
+            build_packet(&header(payload.len()), payload).as_slice()
+        );
         let (h, p) = Ipv4Header::parse(&packet).unwrap();
         assert_eq!(h, header(payload.len()));
         assert_eq!(p, payload);

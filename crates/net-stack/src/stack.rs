@@ -14,15 +14,25 @@ use dpdk_sim::{DpdkPort, Mbuf};
 use sim_fabric::{MacAddress, SimClock, SimTime};
 
 use crate::arp::{ArpAction, ArpCache, ArpOp, ArpPacket, ARP_LEN};
-use crate::eth::{build_frame, EthHeader, EtherType, ETH_HEADER_LEN};
+use crate::eth::{EthHeader, EtherType, ETH_HEADER_LEN};
 use crate::icmp::IcmpEcho;
-use crate::ipv4::{build_packet, IpProtocol, Ipv4Header, IPV4_HEADER_LEN};
-use crate::tcp::{ConnId, ListenerId, State, TcpConfig, TcpPeer, TcpStats};
+use crate::ipv4::{IpProtocol, Ipv4Header, IPV4_HEADER_LEN};
+use crate::tcp::{ConnId, ListenerId, State, TcpConfig, TcpPeer, TcpStats, TCP_MAX_HEADER_LEN};
 use crate::types::{NetError, SocketAddr};
 use crate::udp::{UdpHeader, UdpPeer, UdpStats, UDP_HEADER_LEN};
 
 /// Frames pulled from the device per poll pass.
 const RX_BURST: usize = 64;
+
+/// Worst-case bytes of headers the stack prepends below an application
+/// payload: Ethernet + IPv4 + the largest TCP header it emits. A payload
+/// buffer carrying this much headroom travels the whole TX path with zero
+/// copies and zero further allocations.
+pub const MAX_HEADER_LEN: usize = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_MAX_HEADER_LEN;
+
+// Pool buffers reserve `DEFAULT_HEADROOM` by default; the stack's headers
+// must fit in it or the "default allocation ⇒ zero-copy TX" promise breaks.
+const _: () = assert!(MAX_HEADER_LEN <= demi_memory::DEFAULT_HEADROOM);
 
 /// Stack construction parameters.
 #[derive(Debug, Clone)]
@@ -180,10 +190,10 @@ impl NetworkStack {
             is_request: true,
             ident,
             seq,
-            payload: Vec::new(),
+            payload: DemiBuffer::empty(),
         };
-        let bytes = echo.serialize();
-        inner.send_ip(dst, IpProtocol::Icmp, &bytes);
+        let packet = echo.into_packet(IPV4_HEADER_LEN + ETH_HEADER_LEN);
+        inner.send_ip(dst, IpProtocol::Icmp, packet);
     }
 
     /// Pops a received echo reply `(from, ident, seq)`.
@@ -216,13 +226,20 @@ impl NetworkStack {
     }
 
     /// Sends one datagram from `src_port` to `dst`.
+    ///
+    /// Accepts anything convertible into a [`DemiBuffer`]. Passing a buffer
+    /// with [`MAX_HEADER_LEN`] headroom (any pool allocation qualifies)
+    /// sends with zero copies: UDP, IP, and Ethernet headers are prepended
+    /// in place and the same storage reaches the device. Byte slices are
+    /// copied into a fresh buffer first (the POSIX-path baseline).
     pub fn udp_sendto(
         &self,
         src_port: u16,
         dst: SocketAddr,
-        payload: &[u8],
+        payload: impl Into<DemiBuffer>,
     ) -> Result<(), NetError> {
         let mut inner = self.inner.borrow_mut();
+        let payload: DemiBuffer = payload.into();
         let max = inner.config.mtu - IPV4_HEADER_LEN - UDP_HEADER_LEN;
         if payload.len() > max {
             return Err(NetError::MessageTooLong {
@@ -237,8 +254,17 @@ impl NetworkStack {
             src_port,
             dst_port: dst.port,
         };
-        let datagram = header.build_datagram(inner.config.ip, dst.ip, payload);
-        inner.send_ip(dst.ip, IpProtocol::Udp, &datagram);
+        let mut datagram = if payload.can_prepend(UDP_HEADER_LEN + IPV4_HEADER_LEN + ETH_HEADER_LEN)
+        {
+            payload
+        } else {
+            payload.copy_with_headroom(MAX_HEADER_LEN)
+        };
+        let (src_ip, dst_ip) = (inner.config.ip, dst.ip);
+        header
+            .prepend_onto(src_ip, dst_ip, &mut datagram)
+            .expect("headroom ensured above");
+        inner.send_ip(dst.ip, IpProtocol::Udp, datagram);
         Ok(())
     }
 
@@ -359,14 +385,16 @@ impl Inner {
     }
 
     fn handle_frame(&mut self, mbuf: Mbuf) {
-        let frame = mbuf.as_slice();
-        let Ok((eth, _)) = EthHeader::parse(frame) else {
-            self.stats.malformed += 1;
-            return;
+        let ethertype = match EthHeader::parse(mbuf.as_slice()) {
+            Ok((eth, _)) => eth.ethertype,
+            Err(_) => {
+                self.stats.malformed += 1;
+                return;
+            }
         };
-        match eth.ethertype {
-            EtherType::Arp => self.handle_arp(&frame[ETH_HEADER_LEN..]),
-            EtherType::Ipv4 => self.handle_ipv4(&mbuf),
+        match ethertype {
+            EtherType::Arp => self.handle_arp(&mbuf.as_slice()[ETH_HEADER_LEN..]),
+            EtherType::Ipv4 => self.handle_ipv4(mbuf),
             EtherType::Other(_) => self.stats.not_for_us += 1,
         }
     }
@@ -389,60 +417,79 @@ impl Inner {
                 target_ip: pkt.sender_ip,
             };
             self.stats.arp_replies += 1;
-            self.tx_frame(pkt.sender_mac, EtherType::Arp, &reply.serialize());
+            let buf = self.control_buffer(&reply.serialize());
+            self.tx_frame(pkt.sender_mac, EtherType::Arp, buf);
         }
     }
 
-    fn handle_ipv4(&mut self, mbuf: &Mbuf) {
-        let frame = mbuf.as_slice();
-        let ip_bytes = &frame[ETH_HEADER_LEN..];
-        let Ok((ip, payload)) = Ipv4Header::parse(ip_bytes) else {
-            self.stats.malformed += 1;
-            return;
+    fn handle_ipv4(&mut self, mbuf: Mbuf) {
+        // Scalars first, so the borrow of the frame ends before we carve
+        // zero-copy views out of (and possibly drop) the mbuf.
+        let (src, protocol, ip_payload_off, ip_payload_len) = {
+            let frame = mbuf.as_slice();
+            let ip_bytes = &frame[ETH_HEADER_LEN..];
+            let Ok((ip, payload)) = Ipv4Header::parse(ip_bytes) else {
+                self.stats.malformed += 1;
+                return;
+            };
+            if ip.dst != self.config.ip {
+                self.stats.not_for_us += 1;
+                return;
+            }
+            let ihl = ((ip_bytes[0] & 0x0F) as usize) * 4;
+            (ip.src, ip.protocol, ETH_HEADER_LEN + ihl, payload.len())
         };
-        if ip.dst != self.config.ip {
-            self.stats.not_for_us += 1;
-            return;
-        }
-        let ihl = ((ip_bytes[0] & 0x0F) as usize) * 4;
-        let ip_payload_off = ETH_HEADER_LEN + ihl;
-        match ip.protocol {
-            IpProtocol::Icmp => self.handle_icmp(ip.src, payload),
+        match protocol {
+            IpProtocol::Icmp => {
+                let view = mbuf.data.slice(ip_payload_off, ip_payload_off + ip_payload_len);
+                // Drop the full-frame handle: an echo reply can then rewrite
+                // the received buffer's headers in place and send it back.
+                drop(mbuf);
+                self.handle_icmp(src, view);
+            }
             IpProtocol::Udp => {
-                let Ok((udp, payload_len)) = UdpHeader::parse(ip.src, ip.dst, payload) else {
+                let payload = &mbuf.as_slice()[ip_payload_off..][..ip_payload_len];
+                let Ok((udp, payload_len)) = UdpHeader::parse(src, self.config.ip, payload)
+                else {
                     self.stats.malformed += 1;
                     return;
                 };
                 let start = ip_payload_off + UDP_HEADER_LEN;
                 let view = mbuf.data.slice(start, start + payload_len);
-                let from = SocketAddr::new(ip.src, udp.src_port);
+                let from = SocketAddr::new(src, udp.src_port);
                 self.udp.deliver(from, udp.dst_port, view);
             }
             IpProtocol::Tcp => {
-                let Ok((tcp, data_off)) = crate::tcp::TcpHeader::parse(ip.src, ip.dst, payload)
+                let payload = &mbuf.as_slice()[ip_payload_off..][..ip_payload_len];
+                let Ok((tcp, data_off)) = crate::tcp::TcpHeader::parse(src, self.config.ip, payload)
                 else {
                     self.stats.malformed += 1;
                     return;
                 };
                 let start = ip_payload_off + data_off;
-                let end = ip_payload_off + payload.len();
+                let end = ip_payload_off + ip_payload_len;
                 let view = mbuf.data.slice(start, end);
                 let now = self.clock.now();
-                self.tcp.on_segment(ip.src, &tcp, view, now);
+                self.tcp.on_segment(src, &tcp, view, now);
             }
             IpProtocol::Other(_) => self.stats.not_for_us += 1,
         }
     }
 
-    fn handle_icmp(&mut self, src: Ipv4Addr, payload: &[u8]) {
-        let Ok(echo) = IcmpEcho::parse(payload) else {
+    fn handle_icmp(&mut self, src: Ipv4Addr, packet: DemiBuffer) {
+        let Ok(echo) = IcmpEcho::parse(&packet) else {
             self.stats.malformed += 1;
             return;
         };
         if echo.is_request {
             self.stats.icmp_replies += 1;
-            let bytes = echo.reply().serialize();
-            self.send_ip(src, IpProtocol::Icmp, &bytes);
+            // Release our view of the request packet; `echo.payload` is the
+            // only surviving handle, so `into_packet` can reuse the RX
+            // buffer for the reply (its trimmed headers are exactly the
+            // headroom the reply needs).
+            drop(packet);
+            let reply = echo.reply().into_packet(IPV4_HEADER_LEN + ETH_HEADER_LEN);
+            self.send_ip(src, IpProtocol::Icmp, reply);
         } else {
             self.pongs.push((src, echo.ident, echo.seq));
         }
@@ -457,30 +504,48 @@ impl Inner {
 
     fn flush_tcp(&mut self) {
         for (dst_ip, seg) in self.tcp.take_segments() {
-            let segment = seg
-                .header
-                .build_segment(self.config.ip, dst_ip, seg.payload.as_slice());
-            self.send_ip(dst_ip, IpProtocol::Tcp, &segment);
+            // The retransmission queue keeps clones *at the same offset*, so
+            // prepending below them is legal; a previous transmission of
+            // this very segment still in flight holds a view *below* and
+            // forces a (counted) copy instead of corrupting it.
+            let mut segment =
+                if seg.payload.can_prepend(TCP_MAX_HEADER_LEN + IPV4_HEADER_LEN + ETH_HEADER_LEN) {
+                    seg.payload
+                } else {
+                    seg.payload.copy_with_headroom(MAX_HEADER_LEN)
+                };
+            let src_ip = self.config.ip;
+            seg.header
+                .prepend_onto(src_ip, dst_ip, &mut segment)
+                .expect("headroom ensured above");
+            self.send_ip(dst_ip, IpProtocol::Tcp, segment);
         }
     }
 
-    /// Wraps `payload` in IP and resolves the next hop, queueing on ARP
-    /// misses.
-    fn send_ip(&mut self, dst: Ipv4Addr, protocol: IpProtocol, payload: &[u8]) {
+    /// Prepends an IPv4 header onto `packet` in place and resolves the next
+    /// hop, queueing the buffer handle on ARP misses.
+    fn send_ip(&mut self, dst: Ipv4Addr, protocol: IpProtocol, packet: DemiBuffer) {
         debug_assert!(
-            IPV4_HEADER_LEN + payload.len() <= self.config.mtu,
+            IPV4_HEADER_LEN + packet.len() <= self.config.mtu,
             "IP packet exceeds MTU"
         );
         let header = Ipv4Header {
             src: self.config.ip,
             dst,
             protocol,
-            payload_len: payload.len(),
+            payload_len: packet.len(),
         };
-        let packet = build_packet(&header, payload);
+        let mut packet = if packet.can_prepend(IPV4_HEADER_LEN + ETH_HEADER_LEN) {
+            packet
+        } else {
+            packet.copy_with_headroom(IPV4_HEADER_LEN + ETH_HEADER_LEN)
+        };
+        header
+            .prepend_onto(&mut packet)
+            .expect("headroom ensured above");
         let now = self.clock.now();
         match self.arp.lookup(dst, now) {
-            Some(mac) => self.tx_frame(mac, EtherType::Ipv4, &packet),
+            Some(mac) => self.tx_frame(mac, EtherType::Ipv4, packet),
             None => {
                 let actions = self.arp.enqueue_pending(dst, packet, now);
                 self.run_arp_actions(actions);
@@ -492,7 +557,7 @@ impl Inner {
         for action in actions {
             match action {
                 ArpAction::SendPending(mac, packet) => {
-                    self.tx_frame(mac, EtherType::Ipv4, &packet);
+                    self.tx_frame(mac, EtherType::Ipv4, packet);
                 }
                 ArpAction::SendRequest(ip) => {
                     self.stats.arp_requests += 1;
@@ -503,8 +568,8 @@ impl Inner {
                         target_mac: MacAddress::new([0; 6]),
                         target_ip: ip,
                     };
-                    debug_assert_eq!(request.serialize().len(), ARP_LEN);
-                    self.tx_frame(MacAddress::BROADCAST, EtherType::Arp, &request.serialize());
+                    let buf = self.control_buffer(&request.serialize());
+                    self.tx_frame(MacAddress::BROADCAST, EtherType::Arp, buf);
                 }
                 ArpAction::FailPending(_) => {
                     self.stats.unreachable_drops += 1;
@@ -513,16 +578,36 @@ impl Inner {
         }
     }
 
-    fn tx_frame(&mut self, dst: MacAddress, ethertype: EtherType, payload: &[u8]) {
+    /// Allocates a pool buffer holding `bytes` with Ethernet headroom, for
+    /// small control packets (ARP) the stack originates itself.
+    fn control_buffer(&self, bytes: &[u8]) -> DemiBuffer {
+        debug_assert_eq!(bytes.len(), ARP_LEN);
+        let mut buf = self
+            .port
+            .mempool()
+            .alloc_buffer_with_headroom(ETH_HEADER_LEN, bytes.len());
+        buf.try_mut()
+            .expect("freshly allocated buffer is exclusive")
+            .copy_from_slice(bytes);
+        buf
+    }
+
+    /// Prepends the Ethernet header in place and hands the same buffer to
+    /// the device — the zero-copy tail of every TX path.
+    fn tx_frame(&mut self, dst: MacAddress, ethertype: EtherType, payload: DemiBuffer) {
         let eth = EthHeader {
             dst,
             src: self.port.mac(),
             ethertype,
         };
-        let frame = build_frame(&eth, payload);
-        let mbuf = self.port.mempool().alloc_from(&frame);
+        let mut frame = if payload.can_prepend(ETH_HEADER_LEN) {
+            payload
+        } else {
+            payload.copy_with_headroom(ETH_HEADER_LEN)
+        };
+        eth.prepend_onto(&mut frame).expect("headroom ensured above");
         self.stats.tx_frames += 1;
-        self.port.tx_burst(&[mbuf]);
+        self.port.tx_burst(&[Mbuf::from_data(frame)]);
     }
 }
 

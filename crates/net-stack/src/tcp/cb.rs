@@ -358,7 +358,7 @@ impl ControlBlock {
             self.emit(
                 TcpFlags::RST_ACK,
                 self.snd_nxt,
-                DemiBuffer::from_slice(b""),
+                DemiBuffer::empty(),
                 None,
             );
         }
@@ -721,14 +721,14 @@ impl ControlBlock {
             self.fin_pending = false;
             self.retx.push_back(TxSeg {
                 seq,
-                data: DemiBuffer::from_slice(b""),
+                data: DemiBuffer::empty(),
                 syn: false,
                 fin: true,
                 tx_time: now,
                 retransmitted: false,
             });
             self.snd_nxt += 1;
-            self.emit(TcpFlags::FIN_ACK, seq, DemiBuffer::from_slice(b""), None);
+            self.emit(TcpFlags::FIN_ACK, seq, DemiBuffer::empty(), None);
             if self.rto_deadline.is_none() {
                 self.rto_deadline = Some(now.saturating_add(self.rtt.rto()));
             }
@@ -757,7 +757,7 @@ impl ControlBlock {
         let seq = self.snd_nxt;
         self.retx.push_back(TxSeg {
             seq,
-            data: DemiBuffer::from_slice(b""),
+            data: DemiBuffer::empty(),
             syn,
             fin: false,
             tx_time: now,
@@ -772,7 +772,7 @@ impl ControlBlock {
         self.emit(
             flags,
             seq,
-            DemiBuffer::from_slice(b""),
+            DemiBuffer::empty(),
             Some(self.config.mss as u16),
         );
         self.rto_deadline = Some(now.saturating_add(self.rtt.rto()));
@@ -806,7 +806,7 @@ impl ControlBlock {
         self.emit(
             TcpFlags::ACK,
             self.snd_nxt,
-            DemiBuffer::from_slice(b""),
+            DemiBuffer::empty(),
             None,
         );
     }

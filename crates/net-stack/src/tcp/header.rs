@@ -2,7 +2,9 @@
 
 use std::net::Ipv4Addr;
 
-use crate::checksum::{finish, sum_words};
+use demi_memory::{DemiBuffer, HeadroomError};
+
+use crate::checksum::{finish, sum_words, ChecksumAccumulator};
 use crate::ipv4::IpProtocol;
 use crate::types::NetError;
 
@@ -10,6 +12,10 @@ use super::seq::SeqNum;
 
 /// Minimum TCP header length (no options).
 pub const TCP_HEADER_LEN: usize = 20;
+
+/// Longest TCP header the stack emits: base header plus the 4-byte MSS
+/// option (the only option it generates, on SYN segments).
+pub const TCP_MAX_HEADER_LEN: usize = TCP_HEADER_LEN + 4;
 
 /// TCP flag bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,8 +106,60 @@ pub struct TcpHeader {
 }
 
 impl TcpHeader {
+    /// Serializes this header (checksum field zeroed) into `out`; returns
+    /// the header length written.
+    fn write_header(&self, out: &mut [u8]) -> usize {
+        let options_len = if self.mss.is_some() { 4 } else { 0 };
+        let header_len = TCP_HEADER_LEN + options_len;
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.0.to_be_bytes());
+        out[8..12].copy_from_slice(&self.ack.0.to_be_bytes());
+        out[12] = ((header_len / 4) as u8) << 4;
+        out[13] = self.flags.to_byte();
+        out[14..16].copy_from_slice(&self.window.to_be_bytes());
+        out[16..20].fill(0); // Checksum placeholder + urgent pointer.
+        if let Some(mss) = self.mss {
+            out[20] = 2; // Kind: MSS.
+            out[21] = 4; // Length.
+            out[22..24].copy_from_slice(&mss.to_be_bytes());
+        }
+        header_len
+    }
+
+    /// Writes this header into `payload`'s headroom, turning it into a
+    /// complete segment in place. The checksum is a single pass over the
+    /// (pseudo-header, header, payload) iovecs — the payload is never
+    /// copied to be checksummed.
+    pub fn prepend_onto(
+        &self,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        payload: &mut DemiBuffer,
+    ) -> Result<(), HeadroomError> {
+        let mut hdr = [0u8; TCP_MAX_HEADER_LEN];
+        let header_len = self.write_header(&mut hdr);
+        let hdr = &mut hdr[..header_len];
+        let mut acc = ChecksumAccumulator::new();
+        acc.push(&tcp_pseudo_header(
+            src_ip,
+            dst_ip,
+            header_len + payload.len(),
+        ));
+        acc.push(hdr);
+        acc.push(payload.as_slice());
+        let ck = acc.finish();
+        hdr[16..18].copy_from_slice(&ck.to_be_bytes());
+        payload.prepend(header_len)?.copy_from_slice(hdr);
+        Ok(())
+    }
+
     /// Serializes the header (with MSS option if set) plus `payload` into a
     /// complete segment with checksum.
+    ///
+    /// Legacy copying builder, kept for the E12 A/B benchmark and tests;
+    /// the stack's TX path uses [`TcpHeader::prepend_onto`].
+    #[cfg(any(test, feature = "legacy_copy_path"))]
     pub fn build_segment(&self, src_ip: Ipv4Addr, dst_ip: Ipv4Addr, payload: &[u8]) -> Vec<u8> {
         let options_len = if self.mss.is_some() { 4 } else { 0 };
         let header_len = TCP_HEADER_LEN + options_len;
@@ -185,13 +243,19 @@ impl TcpHeader {
     }
 }
 
-/// TCP checksum over the IPv4 pseudo-header and the full segment.
-fn tcp_checksum(src: Ipv4Addr, dst: Ipv4Addr, segment: &[u8]) -> u16 {
+/// The 12-byte IPv4 pseudo-header TCP checksums are computed over.
+fn tcp_pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, segment_len: usize) -> [u8; 12] {
     let mut pseudo = [0u8; 12];
     pseudo[0..4].copy_from_slice(&src.octets());
     pseudo[4..8].copy_from_slice(&dst.octets());
     pseudo[9] = IpProtocol::Tcp.to_u8();
-    pseudo[10..12].copy_from_slice(&(segment.len() as u16).to_be_bytes());
+    pseudo[10..12].copy_from_slice(&(segment_len as u16).to_be_bytes());
+    pseudo
+}
+
+/// TCP checksum over the IPv4 pseudo-header and the full segment.
+fn tcp_checksum(src: Ipv4Addr, dst: Ipv4Addr, segment: &[u8]) -> u16 {
+    let pseudo = tcp_pseudo_header(src, dst, segment.len());
     finish(sum_words(segment, sum_words(&pseudo, 0)))
 }
 
@@ -235,6 +299,34 @@ mod tests {
         let (parsed, off) = TcpHeader::parse(ip(1), ip(2), &seg).unwrap();
         assert_eq!(parsed.mss, Some(1460));
         assert_eq!(off, 24);
+    }
+
+    #[test]
+    fn prepend_matches_legacy_builder() {
+        for h in [
+            header(),
+            TcpHeader {
+                flags: TcpFlags::SYN,
+                mss: Some(1460),
+                ..header()
+            },
+        ] {
+            for body in [&b""[..], b"body", b"odd"] {
+                let mut seg =
+                    DemiBuffer::zeroed_with_headroom(TCP_MAX_HEADER_LEN, body.len());
+                if !body.is_empty() {
+                    seg.try_mut().unwrap().copy_from_slice(body);
+                }
+                h.prepend_onto(ip(1), ip(2), &mut seg).unwrap();
+                assert_eq!(
+                    seg.as_slice(),
+                    h.build_segment(ip(1), ip(2), body).as_slice()
+                );
+                let (parsed, off) = TcpHeader::parse(ip(1), ip(2), &seg).unwrap();
+                assert_eq!(parsed, h);
+                assert_eq!(&seg[off..], body);
+            }
+        }
     }
 
     #[test]

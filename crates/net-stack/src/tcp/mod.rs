@@ -30,7 +30,7 @@ pub mod rto;
 pub mod seq;
 
 pub use cb::{ControlBlock, State, TcpSegmentOut};
-pub use header::{TcpFlags, TcpHeader};
+pub use header::{TcpFlags, TcpHeader, TCP_MAX_HEADER_LEN};
 pub use peer::{ConnId, ListenerId, TcpPeer, TcpStats};
 pub use seq::SeqNum;
 

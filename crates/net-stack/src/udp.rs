@@ -7,9 +7,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
-use demi_memory::DemiBuffer;
+use demi_memory::{DemiBuffer, HeadroomError};
 
-use crate::checksum::{finish, sum_words};
+use crate::checksum::{finish, sum_words, ChecksumAccumulator};
 use crate::ipv4::IpProtocol;
 use crate::types::{NetError, SocketAddr};
 
@@ -28,13 +28,19 @@ pub struct UdpHeader {
     pub dst_port: u16,
 }
 
-/// Computes the UDP checksum over the IPv4 pseudo-header plus the datagram.
-pub fn udp_checksum(src: Ipv4Addr, dst: Ipv4Addr, datagram: &[u8]) -> u16 {
+/// The 12-byte IPv4 pseudo-header UDP checksums are computed over.
+fn pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, datagram_len: usize) -> [u8; 12] {
     let mut pseudo = [0u8; 12];
     pseudo[0..4].copy_from_slice(&src.octets());
     pseudo[4..8].copy_from_slice(&dst.octets());
     pseudo[9] = IpProtocol::Udp.to_u8();
-    pseudo[10..12].copy_from_slice(&(datagram.len() as u16).to_be_bytes());
+    pseudo[10..12].copy_from_slice(&(datagram_len as u16).to_be_bytes());
+    pseudo
+}
+
+/// Computes the UDP checksum over the IPv4 pseudo-header plus the datagram.
+pub fn udp_checksum(src: Ipv4Addr, dst: Ipv4Addr, datagram: &[u8]) -> u16 {
+    let pseudo = pseudo_header(src, dst, datagram.len());
     let acc = sum_words(&pseudo, 0);
     let ck = finish(sum_words(datagram, acc));
     // All-zero checksum means "no checksum" on the wire; transmit 0xFFFF.
@@ -47,6 +53,10 @@ pub fn udp_checksum(src: Ipv4Addr, dst: Ipv4Addr, datagram: &[u8]) -> u16 {
 
 impl UdpHeader {
     /// Builds a complete datagram (header + payload) with checksum.
+    ///
+    /// Legacy copying builder, kept for the E12 A/B benchmark and tests;
+    /// the stack's TX path uses [`UdpHeader::prepend_onto`].
+    #[cfg(any(test, feature = "legacy_copy_path"))]
     pub fn build_datagram(&self, src_ip: Ipv4Addr, dst_ip: Ipv4Addr, payload: &[u8]) -> Vec<u8> {
         let len = (UDP_HEADER_LEN + payload.len()) as u16;
         let mut out = Vec::with_capacity(len as usize);
@@ -58,6 +68,35 @@ impl UdpHeader {
         let ck = udp_checksum(src_ip, dst_ip, &out);
         out[6..8].copy_from_slice(&ck.to_be_bytes());
         out
+    }
+
+    /// Writes this header into `payload`'s headroom, turning it into a
+    /// complete datagram in place. The checksum is a single pass over the
+    /// (pseudo-header, header, payload) iovecs — the payload is neither
+    /// copied nor concatenated with the header to checksum it.
+    pub fn prepend_onto(
+        &self,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        payload: &mut DemiBuffer,
+    ) -> Result<(), HeadroomError> {
+        let len = (UDP_HEADER_LEN + payload.len()) as u16;
+        let mut hdr = [0u8; UDP_HEADER_LEN];
+        hdr[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        hdr[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        hdr[4..6].copy_from_slice(&len.to_be_bytes());
+        let mut acc = ChecksumAccumulator::new();
+        acc.push(&pseudo_header(src_ip, dst_ip, len as usize));
+        acc.push(&hdr);
+        acc.push(payload.as_slice());
+        let ck = match acc.finish() {
+            // All-zero means "no checksum" on the wire; transmit 0xFFFF.
+            0 => 0xFFFF,
+            ck => ck,
+        };
+        hdr[6..8].copy_from_slice(&ck.to_be_bytes());
+        payload.prepend(UDP_HEADER_LEN)?.copy_from_slice(&hdr);
+        Ok(())
     }
 
     /// Parses and validates a datagram; returns the header and payload
@@ -237,6 +276,44 @@ mod tests {
             &dgram[UDP_HEADER_LEN..UDP_HEADER_LEN + payload_len],
             b"hello"
         );
+    }
+
+    #[test]
+    fn prepend_matches_legacy_builder() {
+        let h = UdpHeader {
+            src_port: 1111,
+            dst_port: 2222,
+        };
+        let mut dgram = DemiBuffer::zeroed_with_headroom(UDP_HEADER_LEN, 5);
+        dgram.try_mut().unwrap().copy_from_slice(b"hello");
+        h.prepend_onto(ip(1), ip(2), &mut dgram).unwrap();
+        assert_eq!(
+            dgram.as_slice(),
+            h.build_datagram(ip(1), ip(2), b"hello").as_slice()
+        );
+        let (parsed, payload_len) = UdpHeader::parse(ip(1), ip(2), &dgram).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(payload_len, 5);
+    }
+
+    #[test]
+    fn prepend_checksums_odd_length_payloads() {
+        let h = UdpHeader {
+            src_port: 7,
+            dst_port: 9,
+        };
+        for len in [0usize, 1, 3, 7, 100, 101] {
+            let body: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut dgram = DemiBuffer::zeroed_with_headroom(UDP_HEADER_LEN, len);
+            if len > 0 {
+                dgram.try_mut().unwrap().copy_from_slice(&body);
+            }
+            h.prepend_onto(ip(1), ip(2), &mut dgram).unwrap();
+            assert!(
+                UdpHeader::parse(ip(1), ip(2), &dgram).is_ok(),
+                "len {len}"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
+use demi_memory::DemiBuffer;
+
 use crate::clock::{SimClock, SimTime};
 use crate::rng::SimRng;
 use crate::trace::{TraceEvent, Tracer};
@@ -64,7 +66,11 @@ pub struct Frame {
     /// Destination endpoint as addressed by the sender (may be broadcast).
     pub dst: MacAddress,
     /// Opaque payload bytes (for NIC simulators, a full Ethernet frame).
-    pub payload: Vec<u8>,
+    ///
+    /// Carried as a [`DemiBuffer`] handle: the fabric never copies payload
+    /// bytes — the receiver reads the very storage the sender transmitted
+    /// (zero-copy end to end). Broadcast clones the handle per receiver.
+    pub payload: DemiBuffer,
     /// Virtual instant at which the frame reached the receiver's mailbox.
     pub delivered_at: SimTime,
 }
@@ -188,7 +194,7 @@ impl FabricInner {
         self.partitions.contains(&(a, b)) || self.partitions.contains(&(b, a))
     }
 
-    fn enqueue_unicast(&mut self, src: MacAddress, dst: MacAddress, payload: &[u8]) {
+    fn enqueue_unicast(&mut self, src: MacAddress, dst: MacAddress, payload: DemiBuffer) {
         let now = self.clock.now();
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += payload.len() as u64;
@@ -233,7 +239,7 @@ impl FabricInner {
             frame: Frame {
                 src,
                 dst,
-                payload: payload.to_vec(),
+                payload,
                 delivered_at: deliver_at,
             },
         }));
@@ -391,7 +397,12 @@ impl Fabric {
     }
 
     /// Transmits `payload` from `src` to `dst` (which may be broadcast).
-    pub fn transmit(&self, src: MacAddress, dst: MacAddress, payload: &[u8]) {
+    ///
+    /// Accepts anything convertible into a [`DemiBuffer`] — a `Vec<u8>`
+    /// converts by taking ownership of its storage, a `DemiBuffer` passes
+    /// straight through (the zero-copy path), and a `&[u8]` is copied.
+    pub fn transmit(&self, src: MacAddress, dst: MacAddress, payload: impl Into<DemiBuffer>) {
+        let payload = payload.into();
         let mut inner = self.inner.borrow_mut();
         if dst.is_broadcast() {
             let receivers: Vec<MacAddress> = inner
@@ -401,7 +412,8 @@ impl Fabric {
                 .filter(|&m| m != src)
                 .collect();
             for r in receivers {
-                inner.enqueue_unicast(src, r, payload);
+                // Handle clone: every receiver reads the same storage.
+                inner.enqueue_unicast(src, r, payload.clone());
             }
         } else {
             inner.enqueue_unicast(src, dst, payload);
@@ -477,15 +489,15 @@ impl Endpoint {
         &self.fabric
     }
 
-    /// Transmits a frame to `dst`.
-    pub fn transmit(&self, dst: MacAddress, payload: Vec<u8>) {
-        self.fabric.transmit(self.mac, dst, &payload);
+    /// Transmits a frame to `dst` (zero-copy when given a [`DemiBuffer`]).
+    pub fn transmit(&self, dst: MacAddress, payload: impl Into<DemiBuffer>) {
+        self.fabric.transmit(self.mac, dst, payload);
     }
 
     /// Transmits a broadcast frame.
-    pub fn broadcast(&self, payload: Vec<u8>) {
+    pub fn broadcast(&self, payload: impl Into<DemiBuffer>) {
         self.fabric
-            .transmit(self.mac, MacAddress::BROADCAST, &payload);
+            .transmit(self.mac, MacAddress::BROADCAST, payload);
     }
 
     /// Dequeues the next delivered frame, if any. Does not advance time.

@@ -1,17 +1,26 @@
 # Developer entry points. `just verify` is the pre-merge gate.
 
-# Build, test, and lint — everything CI would reject.
+# Build, test, and lint — everything CI would reject. The release-mode
+# zero_copy_memory run asserts the datapath counter invariants (1 alloc,
+# 0 payload copies per packet) under the same optimization level E12 uses.
 verify:
     cargo build --release
     cargo test -q
+    cargo test --release -q --test zero_copy_memory
     cargo clippy -- -D warnings
 
 # Everything `verify` checks, across the whole workspace.
 verify-all:
     cargo build --workspace --release
     cargo test --workspace -q
+    cargo test --release -q --test zero_copy_memory
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Regenerate every experiment table (E1–E11).
+# Regenerate every experiment table (E1–E12).
 experiments:
     cargo bench -p demi-bench
+
+# The zero-copy datapath experiment alone: asserted per-packet
+# alloc/copy counters plus the prepend-vs-legacy-builders criterion A/B.
+bench-datapath:
+    cargo bench -p demi-bench --bench e12_datapath_copies

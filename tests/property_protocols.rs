@@ -121,7 +121,7 @@ proptest! {
         let _ = net_stack::eth::EthHeader::parse(&bytes);
         let _ = net_stack::ipv4::Ipv4Header::parse(&bytes);
         let _ = net_stack::arp::ArpPacket::parse(&bytes);
-        let _ = net_stack::icmp::IcmpEcho::parse(&bytes);
+        let _ = net_stack::icmp::IcmpEcho::parse(&demi_memory::DemiBuffer::from_slice(&bytes));
         let _ = net_stack::udp::UdpHeader::parse(ip_a, ip_b, &bytes);
         let _ = net_stack::tcp::TcpHeader::parse(ip_a, ip_b, &bytes);
         let _ = rdma_sim::wire::WireMsg::parse(&bytes);

@@ -80,12 +80,20 @@ impl Catnip {
         port_config: PortConfig,
         ip: Ipv4Addr,
     ) -> Self {
+        Self::with_stack_config(runtime, fabric, port_config, StackConfig::new(ip))
+    }
+
+    /// Creates a catnip instance with explicit stack tunables — the
+    /// batching experiments (E13) build unbatched baselines by turning
+    /// `tx_coalesce`/`delayed_acks` off.
+    pub fn with_stack_config(
+        runtime: &Runtime,
+        fabric: &Fabric,
+        port_config: PortConfig,
+        config: StackConfig,
+    ) -> Self {
         let port = DpdkPort::new(fabric, port_config);
-        let stack = Rc::new(NetworkStack::new(
-            port.clone(),
-            fabric.clock(),
-            StackConfig::new(ip),
-        ));
+        let stack = Rc::new(NetworkStack::new(port.clone(), fabric.clock(), config));
         // The libOS polls its device on every scheduler pass, and exposes
         // its protocol timers for clock advancement.
         let poll_stack = stack.clone();

@@ -10,6 +10,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use demi_memory::DatapathSnapshot;
+use dpdk_sim::counters::TxBatchSnapshot;
+use net_stack::counters::BatchSnapshot;
 
 /// Shared counter block (cheap to clone; one per libOS instance).
 #[derive(Clone, Default)]
@@ -57,13 +59,32 @@ pub struct MetricsSnapshot {
     pub buffer_copies: u64,
     /// Bytes moved by those copies.
     pub buffer_bytes_copied: u64,
+    /// Completed-token lookups performed by `wait_any`/`wait_all` loops.
+    /// With the completion ring this is O(tokens) once per call plus O(1)
+    /// per arrival — it no longer multiplies by the number of pump passes
+    /// (E13's O(1) completion-delivery claim).
+    pub completion_checks: u64,
+    /// `tx_burst` device handoffs since the last reset, from the dpdk-sim
+    /// counters (E13). Thread-wide, like the buffer counters.
+    pub tx_burst_calls: u64,
+    /// Histogram of frames per `tx_burst` call: buckets for 1, 2–7, 8–31,
+    /// and ≥32 frames (`dpdk_sim::counters::BURST_BUCKET_LABELS`).
+    pub tx_frames_per_burst: [u64; dpdk_sim::counters::BURST_BUCKETS],
+    /// Pure-ACK frames avoided by TCP delayed-ACK coalescing since the
+    /// last reset, from the net-stack counters (E13).
+    pub acks_coalesced: u64,
+    /// Poll passes that exhausted their RX budget with device frames still
+    /// pending (same source).
+    pub rx_budget_exhausted: u64,
 }
 
 struct MetricsInner {
     snap: MetricsSnapshot,
-    /// demi-memory counter reading at construction/reset; `snapshot()`
-    /// reports movement since then.
+    /// Thread-local counter readings at construction/reset; `snapshot()`
+    /// reports movement since then (the baseline-delta pattern).
     buffer_baseline: DatapathSnapshot,
+    tx_batch_baseline: TxBatchSnapshot,
+    stack_batch_baseline: BatchSnapshot,
 }
 
 impl Default for MetricsInner {
@@ -71,6 +92,8 @@ impl Default for MetricsInner {
         MetricsInner {
             snap: MetricsSnapshot::default(),
             buffer_baseline: demi_memory::counters::snapshot(),
+            tx_batch_baseline: dpdk_sim::counters::snapshot(),
+            stack_batch_baseline: net_stack::counters::snapshot(),
         }
     }
 }
@@ -125,7 +148,13 @@ impl Metrics {
         inner.snap.wait_polls += polls;
     }
 
-    /// Snapshot, folding in the demi-memory datapath counters.
+    /// Records `checks` completed-token lookups made by a wait loop.
+    pub fn count_completion_checks(&self, checks: u64) {
+        self.inner.borrow_mut().snap.completion_checks += checks;
+    }
+
+    /// Snapshot, folding in the thread-local datapath and batching
+    /// counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.borrow();
         let mut snap = inner.snap;
@@ -133,6 +162,12 @@ impl Metrics {
         snap.buffer_allocs = buffers.allocs;
         snap.buffer_copies = buffers.copies;
         snap.buffer_bytes_copied = buffers.bytes_copied;
+        let tx = dpdk_sim::counters::snapshot().delta(&inner.tx_batch_baseline);
+        snap.tx_burst_calls = tx.tx_burst_calls;
+        snap.tx_frames_per_burst = tx.frames_per_burst;
+        let batch = net_stack::counters::snapshot().delta(&inner.stack_batch_baseline);
+        snap.acks_coalesced = batch.acks_coalesced;
+        snap.rx_budget_exhausted = batch.rx_budget_exhausted;
         snap
     }
 
@@ -141,6 +176,8 @@ impl Metrics {
         let mut inner = self.inner.borrow_mut();
         inner.snap = MetricsSnapshot::default();
         inner.buffer_baseline = demi_memory::counters::snapshot();
+        inner.tx_batch_baseline = dpdk_sim::counters::snapshot();
+        inner.stack_batch_baseline = net_stack::counters::snapshot();
     }
 }
 

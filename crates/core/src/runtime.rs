@@ -29,7 +29,7 @@
 //! deadlocked.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::future::Future;
 use std::rc::Rc;
 
@@ -56,6 +56,31 @@ struct PumpReport {
     external: usize,
 }
 
+/// Completion delivery for `wait_any`/`wait_all`: operations push their
+/// token here as their coroutine's last act, so waiters learn of
+/// completions in arrival order instead of rescanning every waited token
+/// each pump pass.
+///
+/// `ready` is the record of truth — the set of completed-but-unconsumed
+/// tokens. `arrivals` is only a conduit: a waiter pops it, skips entries
+/// already consumed elsewhere (`wait`/`await_op`), and leaves tokens it is
+/// not waiting on in `ready` for their own waiter's entry scan.
+#[derive(Default)]
+struct CompletionRing {
+    arrivals: VecDeque<QToken>,
+    ready: HashSet<QToken>,
+}
+
+/// What one `drive_wait` step did with the arrivals it consumed.
+enum WaitStep<T> {
+    /// The wait is satisfied; return this value.
+    Done(T),
+    /// Arrivals were consumed but the wait wants more.
+    Progress,
+    /// Nothing relevant arrived this pass.
+    Idle,
+}
+
 struct Inner {
     scheduler: Scheduler,
     clock: SimClock,
@@ -64,6 +89,7 @@ struct Inner {
     pollers: RefCell<Vec<Poller>>,
     deadline_sources: RefCell<Vec<DeadlineSource>>,
     qts: RefCell<HashMap<QToken, TaskHandle<OperationResult>>>,
+    completions: RefCell<CompletionRing>,
     next_qt: Cell<u64>,
     metrics: Metrics,
     /// The activity gate: notified whenever external progress happens, so
@@ -118,6 +144,7 @@ impl Runtime {
                 pollers: RefCell::new(Vec::new()),
                 deadline_sources: RefCell::new(Vec::new()),
                 qts: RefCell::new(HashMap::new()),
+                completions: RefCell::new(CompletionRing::default()),
                 next_qt: Cell::new(1),
                 metrics: Metrics::new(),
                 activity: Notify::new(),
@@ -176,13 +203,29 @@ impl Runtime {
     }
 
     /// Spawns a queue-operation coroutine and returns its qtoken.
+    ///
+    /// The coroutine's last act is pushing its token onto the completion
+    /// ring, which is how `wait_any`/`wait_all` learn of completions in
+    /// O(1) instead of rescanning every waited token each pump pass. The
+    /// wrapper holds the runtime weakly — a strong `Runtime` inside a
+    /// spawned task would close an Rc cycle and leak the world (the same
+    /// ownership rule as [`OpFuture`]).
     pub fn spawn_op<F>(&self, name: &'static str, op: F) -> QToken
     where
         F: Future<Output = OperationResult> + 'static,
     {
         let qt = QToken(self.inner.next_qt.get());
         self.inner.next_qt.set(qt.0 + 1);
-        let handle = self.inner.scheduler.spawn(name, op);
+        let ring = Rc::downgrade(&self.inner);
+        let handle = self.inner.scheduler.spawn(name, async move {
+            let result = op.await;
+            if let Some(inner) = ring.upgrade() {
+                let mut completions = inner.completions.borrow_mut();
+                completions.arrivals.push_back(qt);
+                completions.ready.insert(qt);
+            }
+            result
+        });
         self.inner.qts.borrow_mut().insert(qt, handle);
         qt
     }
@@ -303,64 +346,100 @@ impl Runtime {
         report.completed > 0 || self.inner.scheduler.has_runnable()
     }
 
+    /// Consumes `qt` if its operation has completed. The ready set is the
+    /// only source of truth: a token appears there the instant its
+    /// coroutine finishes (the `spawn_op` wrapper), so this is a set probe,
+    /// not a handle poll.
     fn take_if_complete(&self, qt: QToken) -> Option<OperationResult> {
-        let mut qts = self.inner.qts.borrow_mut();
-        let handle = qts.get(&qt)?;
-        if !handle.is_complete() {
-            return None;
+        {
+            let mut completions = self.inner.completions.borrow_mut();
+            if !completions.ready.remove(&qt) {
+                return None;
+            }
         }
-        let handle = qts.remove(&qt).expect("checked present");
-        handle.take_result()
+        let handle = self
+            .inner
+            .qts
+            .borrow_mut()
+            .remove(&qt)
+            .expect("ready token is spawned");
+        Some(handle.take_result().expect("ready token is complete"))
+    }
+
+    /// Consumes a token known to be ready and records the wakeup.
+    fn finish(&self, qt: QToken) -> OperationResult {
+        let result = self
+            .take_if_complete(qt)
+            .expect("caller checked the ready set");
+        self.inner
+            .metrics
+            .count_wakeup(matches!(result, OperationResult::Pop { .. }));
+        result
+    }
+
+    /// Entry scan: which of `wanted` completed before the wait began?
+    /// O(tokens), run exactly once per `wait_*` call — the steady-state
+    /// loop reads only the arrival conduit.
+    fn scan_ready(&self, wanted: &HashMap<QToken, usize>) -> Vec<(usize, QToken)> {
+        self.inner
+            .metrics
+            .count_completion_checks(wanted.len() as u64);
+        let completions = self.inner.completions.borrow();
+        wanted
+            .iter()
+            .filter(|(qt, _)| completions.ready.contains(qt))
+            .map(|(&qt, &i)| (i, qt))
+            .collect()
+    }
+
+    /// Pops arrivals off the conduit until one of `wanted` turns up (or the
+    /// conduit drains). Stale entries — tokens already consumed through
+    /// `wait`/`await_op` — are discarded; tokens some *other* waiter wants
+    /// come off the conduit too but stay in the ready set, where that
+    /// waiter's entry scan finds them. Cost is O(arrivals since the last
+    /// call), independent of how many tokens this wait covers.
+    fn next_arrival(&self, wanted: &HashMap<QToken, usize>) -> Option<(usize, QToken)> {
+        let mut completions = self.inner.completions.borrow_mut();
+        let mut checks = 0u64;
+        let mut hit = None;
+        while let Some(qt) = completions.arrivals.pop_front() {
+            if !completions.ready.contains(&qt) {
+                continue;
+            }
+            checks += 1;
+            if let Some(&i) = wanted.get(&qt) {
+                hit = Some((i, qt));
+                break;
+            }
+        }
+        drop(completions);
+        if checks > 0 {
+            self.inner.metrics.count_completion_checks(checks);
+        }
+        hit
     }
 
     fn known(&self, qt: QToken) -> bool {
         self.inner.qts.borrow().contains_key(&qt)
     }
 
-    /// Blocks (cooperatively) until the operation named by `qt` completes.
-    ///
-    /// Returns the operation's result *with its data* — no follow-up call
-    /// is needed. `timeout` of `None` waits forever (bounded by deadlock
-    /// detection).
-    pub fn wait(&self, qt: QToken, timeout: Option<SimTime>) -> Result<OperationResult, DemiError> {
-        match self.wait_any(&[qt], timeout) {
-            Ok((0, result)) => Ok(result),
-            Ok(_) => unreachable!("single-token wait resolves index 0"),
-            Err(e) => Err(e),
-        }
-    }
-
-    /// Waits for the first of `qts` to complete; returns its index and
-    /// result (the paper's improved epoll, §4.4). Completed tokens are
-    /// consumed; the rest stay valid.
-    ///
-    /// The wait loop is event-driven, not spin-bounded: every iteration
-    /// either ran woken tasks, absorbed external work, or advanced virtual
-    /// time. When none of those is possible the world is quiescent; after
-    /// a fruitless rescue sweep the wait reports [`DemiError::Deadlock`]
-    /// deterministically.
-    pub fn wait_any(
+    /// The shared blocking loop under `wait_any`/`wait_all`: pump the
+    /// world, let the caller consume arrivals, and otherwise advance
+    /// virtual time — declaring deadlock only when a quiescent pass
+    /// survives a rescue sweep.
+    fn drive_wait<T>(
         &self,
-        qts: &[QToken],
-        timeout: Option<SimTime>,
-    ) -> Result<(usize, OperationResult), DemiError> {
-        for &qt in qts {
-            if !self.known(qt) {
-                return Err(DemiError::BadQToken);
-            }
-        }
-        let deadline = timeout.map(|d| self.now().saturating_add(d));
+        deadline: Option<SimTime>,
+        mut step: impl FnMut() -> WaitStep<T>,
+    ) -> Result<T, DemiError> {
         loop {
             let report = self.pump_report();
             self.inner.metrics.count_wait_pass(report.polled as u64);
-            for (i, &qt) in qts.iter().enumerate() {
-                if let Some(result) = self.take_if_complete(qt) {
-                    self.inner
-                        .metrics
-                        .count_wakeup(matches!(result, OperationResult::Pop { .. }));
-                    return Ok((i, result));
-                }
-            }
+            let consumed = match step() {
+                WaitStep::Done(value) => return Ok(value),
+                WaitStep::Progress => true,
+                WaitStep::Idle => false,
+            };
             if let Some(deadline) = deadline {
                 if self.now() >= deadline {
                     return Err(DemiError::Timeout);
@@ -373,7 +452,12 @@ impl Runtime {
             } else {
                 false
             };
-            if report.completed > 0 || report.polled > 0 || report.external > 0 || advanced {
+            if consumed
+                || report.completed > 0
+                || report.polled > 0
+                || report.external > 0
+                || advanced
+            {
                 continue;
             }
             // Quiescent: no woken tasks, no external work, no time to
@@ -393,27 +477,107 @@ impl Runtime {
         }
     }
 
+    /// Blocks (cooperatively) until the operation named by `qt` completes.
+    ///
+    /// Returns the operation's result *with its data* — no follow-up call
+    /// is needed. `timeout` of `None` waits forever (bounded by deadlock
+    /// detection).
+    pub fn wait(&self, qt: QToken, timeout: Option<SimTime>) -> Result<OperationResult, DemiError> {
+        match self.wait_any(&[qt], timeout) {
+            Ok((0, result)) => Ok(result),
+            Ok(_) => unreachable!("single-token wait resolves index 0"),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Waits for the first of `qts` to complete; returns its index and
+    /// result (the paper's improved epoll, §4.4). Completed tokens are
+    /// consumed; the rest stay valid.
+    ///
+    /// Completion delivery is O(1) per pump pass: one entry scan over the
+    /// tokens up front, then the loop only pops the completion-ring
+    /// conduit — the per-pass cost no longer multiplies by how many tokens
+    /// the call watches (E13).
+    ///
+    /// The wait loop is event-driven, not spin-bounded: every iteration
+    /// either ran woken tasks, absorbed external work, or advanced virtual
+    /// time. When none of those is possible the world is quiescent; after
+    /// a fruitless rescue sweep the wait reports [`DemiError::Deadlock`]
+    /// deterministically.
+    pub fn wait_any(
+        &self,
+        qts: &[QToken],
+        timeout: Option<SimTime>,
+    ) -> Result<(usize, OperationResult), DemiError> {
+        let mut wanted: HashMap<QToken, usize> = HashMap::with_capacity(qts.len());
+        for (i, &qt) in qts.iter().enumerate() {
+            if !self.known(qt) {
+                return Err(DemiError::BadQToken);
+            }
+            // A duplicated token resolves at its first occurrence, like
+            // the historical linear scan did.
+            wanted.entry(qt).or_insert(i);
+        }
+        // A token may have completed before this wait began (e.g., consumed
+        // pumps from an earlier wait). Lowest caller index wins, as the
+        // linear scan's iteration order used to guarantee.
+        if let Some((i, qt)) = self
+            .scan_ready(&wanted)
+            .into_iter()
+            .min_by_key(|&(i, _)| i)
+        {
+            return Ok((i, self.finish(qt)));
+        }
+        let deadline = timeout.map(|d| self.now().saturating_add(d));
+        self.drive_wait(deadline, || match self.next_arrival(&wanted) {
+            Some((i, qt)) => WaitStep::Done((i, self.finish(qt))),
+            None => WaitStep::Idle,
+        })
+    }
+
     /// Waits until *all* of `qts` complete (or the timeout expires).
     /// Results are returned in token order.
+    ///
+    /// Drives one wait loop consuming completions as they arrive — not a
+    /// `wait_any` per token, which rebuilt the token slice and rescanned
+    /// the survivors after every completion (O(n²) over the batch).
     pub fn wait_all(
         &self,
         qts: &[QToken],
         timeout: Option<SimTime>,
     ) -> Result<Vec<OperationResult>, DemiError> {
-        let deadline = timeout.map(|d| self.now().saturating_add(d));
-        let mut results: Vec<Option<OperationResult>> = vec![None; qts.len()];
-        let mut remaining: Vec<(usize, QToken)> = qts.iter().copied().enumerate().collect();
-        while !remaining.is_empty() {
-            let tokens: Vec<QToken> = remaining.iter().map(|&(_, qt)| qt).collect();
-            let left = deadline.map(|d| d.saturating_since(self.now()));
-            if let Some(l) = left {
-                if l == SimTime::ZERO {
-                    return Err(DemiError::Timeout);
-                }
+        let mut wanted: HashMap<QToken, usize> = HashMap::with_capacity(qts.len());
+        for (i, &qt) in qts.iter().enumerate() {
+            if !self.known(qt) || wanted.insert(qt, i).is_some() {
+                // A duplicate can only resolve once; reject it like an
+                // already-consumed token rather than hanging.
+                return Err(DemiError::BadQToken);
             }
-            let (idx, result) = self.wait_any(&tokens, left)?;
-            let (orig, _) = remaining.remove(idx);
-            results[orig] = Some(result);
+        }
+        let mut results: Vec<Option<OperationResult>> = Vec::with_capacity(qts.len());
+        results.resize_with(qts.len(), || None);
+        let mut missing = qts.len();
+        for (i, qt) in self.scan_ready(&wanted) {
+            results[i] = Some(self.finish(qt));
+            missing -= 1;
+        }
+        if missing > 0 {
+            let deadline = timeout.map(|d| self.now().saturating_add(d));
+            self.drive_wait(deadline, || {
+                let mut consumed = false;
+                while let Some((i, qt)) = self.next_arrival(&wanted) {
+                    results[i] = Some(self.finish(qt));
+                    missing -= 1;
+                    consumed = true;
+                }
+                if missing == 0 {
+                    WaitStep::Done(())
+                } else if consumed {
+                    WaitStep::Progress
+                } else {
+                    WaitStep::Idle
+                }
+            })?;
         }
         Ok(results
             .into_iter()

@@ -6,6 +6,8 @@
 
 use std::net::Ipv4Addr;
 
+use dpdk_sim::PortConfig;
+use net_stack::StackConfig;
 use sim_fabric::{Fabric, MacAddress};
 use spdk_sim::nvme::{NvmeConfig, NvmeDevice};
 
@@ -32,6 +34,29 @@ pub fn catnip_pair(seed: u64) -> (Runtime, Fabric, Catnip, Catnip) {
     let rt = Runtime::with_fabric(fabric.clone());
     let client = Catnip::new(&rt, &fabric, host_mac(1), host_ip(1));
     let server = Catnip::new(&rt, &fabric, host_mac(2), host_ip(2));
+    (rt, fabric, client, server)
+}
+
+/// Two catnip hosts with caller-tuned stack tunables (the closure edits
+/// each host's default config — the E13 A/B turns batching knobs off).
+pub fn catnip_pair_with(
+    seed: u64,
+    tune: impl Fn(StackConfig) -> StackConfig,
+) -> (Runtime, Fabric, Catnip, Catnip) {
+    let fabric = Fabric::new(seed);
+    let rt = Runtime::with_fabric(fabric.clone());
+    let client = Catnip::with_stack_config(
+        &rt,
+        &fabric,
+        PortConfig::basic(host_mac(1)),
+        tune(StackConfig::new(host_ip(1))),
+    );
+    let server = Catnip::with_stack_config(
+        &rt,
+        &fabric,
+        PortConfig::basic(host_mac(2)),
+        tune(StackConfig::new(host_ip(2))),
+    );
     (rt, fabric, client, server)
 }
 

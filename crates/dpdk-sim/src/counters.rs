@@ -1,0 +1,102 @@
+//! Device-handoff accounting for the batching experiments.
+//!
+//! Every `tx_burst` is one host→device handoff: a doorbell ring on real
+//! hardware, a PCIe transaction, the thing DPDK exists to amortize. The
+//! batching work (E13) claims the stack hands the device *bursts*, not
+//! single frames — which is only honest if the handoffs themselves are
+//! counted, per call and by burst size, not inferred from frame totals.
+//!
+//! Counters are thread-local (the simulation is single-threaded); consumers
+//! snapshot before and after a window of work and take the delta, the same
+//! pattern as `demi_memory::counters`.
+
+use std::cell::Cell;
+
+/// Number of `frames_per_burst` histogram buckets.
+pub const BURST_BUCKETS: usize = 4;
+
+/// Human-readable labels for the histogram buckets.
+pub const BURST_BUCKET_LABELS: [&str; BURST_BUCKETS] = ["1", "2-7", "8-31", "32+"];
+
+/// A point-in-time reading of the device-handoff counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxBatchSnapshot {
+    /// `tx_burst` invocations (each is one device handoff).
+    pub tx_burst_calls: u64,
+    /// Histogram of frames handed over per call: buckets for 1, 2–7, 8–31,
+    /// and ≥32 frames (see [`BURST_BUCKET_LABELS`]).
+    pub frames_per_burst: [u64; BURST_BUCKETS],
+}
+
+impl TxBatchSnapshot {
+    /// Counter movement since `earlier`.
+    pub fn delta(&self, earlier: &TxBatchSnapshot) -> TxBatchSnapshot {
+        let mut frames_per_burst = [0u64; BURST_BUCKETS];
+        for (i, slot) in frames_per_burst.iter_mut().enumerate() {
+            *slot = self.frames_per_burst[i] - earlier.frames_per_burst[i];
+        }
+        TxBatchSnapshot {
+            tx_burst_calls: self.tx_burst_calls - earlier.tx_burst_calls,
+            frames_per_burst,
+        }
+    }
+}
+
+/// The histogram bucket a burst of `frames` falls in.
+fn bucket(frames: usize) -> usize {
+    match frames {
+        0..=1 => 0,
+        2..=7 => 1,
+        8..=31 => 2,
+        _ => 3,
+    }
+}
+
+thread_local! {
+    static COUNTERS: Cell<TxBatchSnapshot> = const {
+        Cell::new(TxBatchSnapshot {
+            tx_burst_calls: 0,
+            frames_per_burst: [0; BURST_BUCKETS],
+        })
+    };
+}
+
+/// Records one `tx_burst` call handing over `frames` frames.
+pub fn note_tx_burst(frames: usize) {
+    COUNTERS.with(|c| {
+        let mut s = c.get();
+        s.tx_burst_calls += 1;
+        s.frames_per_burst[bucket(frames)] += 1;
+        c.set(s);
+    });
+}
+
+/// Current counter values.
+pub fn snapshot() -> TxBatchSnapshot {
+    COUNTERS.with(|c| c.get())
+}
+
+/// Resets all counters to zero.
+pub fn reset() {
+    COUNTERS.with(|c| c.set(TxBatchSnapshot::default()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursts_land_in_the_right_buckets() {
+        let before = snapshot();
+        note_tx_burst(1);
+        note_tx_burst(2);
+        note_tx_burst(7);
+        note_tx_burst(8);
+        note_tx_burst(31);
+        note_tx_burst(32);
+        note_tx_burst(400);
+        let d = snapshot().delta(&before);
+        assert_eq!(d.tx_burst_calls, 7);
+        assert_eq!(d.frames_per_burst, [1, 2, 2, 2]);
+    }
+}

@@ -50,6 +50,9 @@ impl PortConfig {
 /// Port counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PortStats {
+    /// `tx_burst` invocations — device handoffs (doorbell rings). The
+    /// batching experiment's headline ratio is `tx_frames / tx_burst_calls`.
+    pub tx_burst_calls: u64,
     /// Frames handed to the fabric.
     pub tx_frames: u64,
     /// Payload bytes transmitted.
@@ -140,6 +143,8 @@ impl DpdkPort {
     /// (not transmitted), mirroring hardware minimum-frame rules.
     pub fn tx_burst(&self, frames: &[Mbuf]) -> usize {
         let mut inner = self.inner.borrow_mut();
+        inner.stats.tx_burst_calls += 1;
+        crate::counters::note_tx_burst(frames.len());
         let mut sent = 0;
         for mbuf in frames {
             let bytes = mbuf.as_slice();

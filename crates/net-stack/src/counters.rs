@@ -1,0 +1,75 @@
+//! Stack-level batching accounting for the E13 experiment.
+//!
+//! Two of the batching claims live above the device: ACK coalescing (a
+//! streamed transfer should *not* emit one pure-ACK frame per data
+//! segment) and the bounded RX budget (a flood must not let `rx_pass`
+//! monopolize the poll loop). Both are counted here so the experiment
+//! asserts them instead of printing them.
+//!
+//! Counters are thread-local (the simulation is single-threaded); consumers
+//! snapshot before and after a window of work and take the delta, the same
+//! pattern as `demi_memory::counters`.
+
+use std::cell::Cell;
+
+/// A point-in-time reading of the stack batching counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchSnapshot {
+    /// Pure-ACK frames avoided by delayed-ACK coalescing: each count is a
+    /// received segment whose acknowledgment rode on another segment
+    /// (outgoing data, a FIN, or a shared every-2nd-segment ACK) instead of
+    /// costing its own frame.
+    pub acks_coalesced: u64,
+    /// Poll passes that hit the RX budget with frames still pending in the
+    /// device ring (the backlog is reported as remaining work, not drained
+    /// in one pass).
+    pub rx_budget_exhausted: u64,
+}
+
+impl BatchSnapshot {
+    /// Counter movement since `earlier`.
+    pub fn delta(&self, earlier: &BatchSnapshot) -> BatchSnapshot {
+        BatchSnapshot {
+            acks_coalesced: self.acks_coalesced - earlier.acks_coalesced,
+            rx_budget_exhausted: self.rx_budget_exhausted - earlier.rx_budget_exhausted,
+        }
+    }
+}
+
+thread_local! {
+    static COUNTERS: Cell<BatchSnapshot> = const {
+        Cell::new(BatchSnapshot {
+            acks_coalesced: 0,
+            rx_budget_exhausted: 0,
+        })
+    };
+}
+
+/// Records one coalesced acknowledgment (a pure-ACK frame that never hit
+/// the wire).
+pub fn note_ack_coalesced() {
+    COUNTERS.with(|c| {
+        let mut s = c.get();
+        s.acks_coalesced += 1;
+        c.set(s);
+    });
+}
+
+/// Records one poll pass that exhausted its RX budget with work left over.
+pub fn note_rx_budget_exhausted() {
+    COUNTERS.with(|c| {
+        let mut s = c.get();
+        s.rx_budget_exhausted += 1;
+        c.set(s);
+    });
+}
+
+/// Current counter values.
+pub fn snapshot() -> BatchSnapshot {
+    COUNTERS.with(|c| c.get())
+}
+
+/// Resets all counters to zero.
+pub fn reset() {
+    COUNTERS.with(|c| c.set(BatchSnapshot::default()));
+}

@@ -29,6 +29,7 @@
 
 pub mod arp;
 pub mod checksum;
+pub mod counters;
 pub mod eth;
 pub mod framing;
 pub mod icmp;

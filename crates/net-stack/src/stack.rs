@@ -21,7 +21,8 @@ use crate::tcp::{ConnId, ListenerId, State, TcpConfig, TcpPeer, TcpStats, TCP_MA
 use crate::types::{NetError, SocketAddr};
 use crate::udp::{UdpHeader, UdpPeer, UdpStats, UDP_HEADER_LEN};
 
-/// Frames pulled from the device per poll pass.
+/// Frames pulled from the device per `rx_burst` call (ring-drain chunk;
+/// the per-poll cap is [`StackConfig::rx_budget`]).
 const RX_BURST: usize = 64;
 
 /// Worst-case bytes of headers the stack prepends below an application
@@ -49,6 +50,15 @@ pub struct StackConfig {
     pub arp_tries: u32,
     /// Per-UDP-socket receive queue depth.
     pub udp_queue_depth: usize,
+    /// Maximum frames processed from the device per poll pass. Under a
+    /// flood the leftover backlog is reported as remaining work instead of
+    /// being drained in one unbounded loop that would starve timers and
+    /// the other pollers sharing the scheduler pass.
+    pub rx_budget: usize,
+    /// Coalesce outgoing frames into one `tx_burst` per poll pass (the
+    /// batched default). `false` restores one device handoff per frame —
+    /// the unbatched baseline the E13 A/B measures against.
+    pub tx_coalesce: bool,
     /// TCP tunables.
     pub tcp: TcpConfig,
 }
@@ -63,6 +73,8 @@ impl StackConfig {
             arp_retry: SimTime::from_millis(1),
             arp_tries: 3,
             udp_queue_depth: 1024,
+            rx_budget: 64,
+            tx_coalesce: true,
             tcp: TcpConfig::default(),
         }
     }
@@ -97,6 +109,9 @@ struct Inner {
     udp: UdpPeer,
     tcp: TcpPeer,
     pongs: Vec<(Ipv4Addr, u16, u16)>,
+    /// TX coalescing ring: fully framed mbufs accumulate here in enqueue
+    /// order and leave in a single `tx_burst` at the end of each poll pass.
+    tx_ring: Vec<Mbuf>,
     stats: StackStats,
 }
 
@@ -114,6 +129,7 @@ impl NetworkStack {
                 udp: UdpPeer::new(config.udp_queue_depth),
                 tcp: TcpPeer::new(config.ip, config.tcp),
                 pongs: Vec::new(),
+                tx_ring: Vec::new(),
                 port,
                 clock,
                 config,
@@ -137,21 +153,25 @@ impl NetworkStack {
         self.inner.borrow().config.mtu - IPV4_HEADER_LEN - UDP_HEADER_LEN
     }
 
-    /// One poll pass: drain device RX, advance protocol timers, flush TX.
-    /// Returns how many work items the pass processed — frames moved
-    /// (RX + TX), plus frameless state transitions (ARP give-up drops, TCP
+    /// One poll pass: drain device RX (up to [`StackConfig::rx_budget`]
+    /// frames), advance protocol timers, then hand every coalesced outgoing
+    /// frame to the device in one burst. Returns how many work items the
+    /// pass processed — frames moved (RX + TX), RX backlog left beyond the
+    /// budget, plus frameless state transitions (ARP give-up drops, TCP
     /// timer events) — so callers can tell a productive pass from an idle
-    /// one. A connection declared unreachable emits no frame, but a caller
-    /// parked on its state still needs to hear about it.
+    /// one. A connection declared unreachable emits no frame, and a
+    /// budget-exhausted pass leaves frames in the device ring, but a caller
+    /// parked on either still needs to hear that there is work.
     pub fn poll(&self) -> usize {
         let mut inner = self.inner.borrow_mut();
         let before =
             inner.stats.rx_frames + inner.stats.tx_frames + inner.stats.unreachable_drops;
-        inner.rx_pass();
+        let backlog = inner.rx_pass();
         let timer_events = inner.timer_pass();
         inner.flush_tcp();
         let after = inner.stats.rx_frames + inner.stats.tx_frames + inner.stats.unreachable_drops;
-        (after - before) as usize + timer_events
+        inner.flush_tx();
+        (after - before) as usize + timer_events + backlog
     }
 
     /// Earliest protocol timer deadline (ARP retry, TCP RTO/persist/
@@ -371,20 +391,36 @@ impl NetworkStack {
 }
 
 impl Inner {
-    fn rx_pass(&mut self) {
-        loop {
-            let burst = self.port.rx_burst(0, RX_BURST);
+    /// Drains up to `rx_budget` frames from the device and dispatches them.
+    /// Returns the backlog still pending in the device ring afterwards —
+    /// remaining work the caller reports so the scheduler's activity gate
+    /// keeps seeing progress under a flood without this pass starving
+    /// timers or the other pollers.
+    fn rx_pass(&mut self) -> usize {
+        let budget = self.config.rx_budget;
+        // One clock read per pass, not per frame: every per-frame handler
+        // below receives the hoisted timestamp.
+        let now = self.clock.now();
+        let mut processed = 0;
+        while processed < budget {
+            let burst = self.port.rx_burst(0, (budget - processed).min(RX_BURST));
             if burst.is_empty() {
-                return;
+                return 0;
             }
+            processed += burst.len();
             for mbuf in burst {
                 self.stats.rx_frames += 1;
-                self.handle_frame(mbuf);
+                self.handle_frame(mbuf, now);
             }
         }
+        let backlog = self.port.rx_pending(0);
+        if backlog > 0 {
+            crate::counters::note_rx_budget_exhausted();
+        }
+        backlog
     }
 
-    fn handle_frame(&mut self, mbuf: Mbuf) {
+    fn handle_frame(&mut self, mbuf: Mbuf, now: SimTime) {
         let ethertype = match EthHeader::parse(mbuf.as_slice()) {
             Ok((eth, _)) => eth.ethertype,
             Err(_) => {
@@ -393,18 +429,17 @@ impl Inner {
             }
         };
         match ethertype {
-            EtherType::Arp => self.handle_arp(&mbuf.as_slice()[ETH_HEADER_LEN..]),
-            EtherType::Ipv4 => self.handle_ipv4(mbuf),
+            EtherType::Arp => self.handle_arp(&mbuf.as_slice()[ETH_HEADER_LEN..], now),
+            EtherType::Ipv4 => self.handle_ipv4(mbuf, now),
             EtherType::Other(_) => self.stats.not_for_us += 1,
         }
     }
 
-    fn handle_arp(&mut self, payload: &[u8]) {
+    fn handle_arp(&mut self, payload: &[u8], now: SimTime) {
         let Ok(pkt) = ArpPacket::parse(payload) else {
             self.stats.malformed += 1;
             return;
         };
-        let now = self.clock.now();
         // Opportunistically learn the sender's binding either way.
         let actions = self.arp.insert(pkt.sender_ip, pkt.sender_mac, now);
         self.run_arp_actions(actions);
@@ -422,7 +457,7 @@ impl Inner {
         }
     }
 
-    fn handle_ipv4(&mut self, mbuf: Mbuf) {
+    fn handle_ipv4(&mut self, mbuf: Mbuf, now: SimTime) {
         // Scalars first, so the borrow of the frame ends before we carve
         // zero-copy views out of (and possibly drop) the mbuf.
         let (src, protocol, ip_payload_off, ip_payload_len) = {
@@ -469,7 +504,6 @@ impl Inner {
                 let start = ip_payload_off + data_off;
                 let end = ip_payload_off + ip_payload_len;
                 let view = mbuf.data.slice(start, end);
-                let now = self.clock.now();
                 self.tcp.on_segment(src, &tcp, view, now);
             }
             IpProtocol::Other(_) => self.stats.not_for_us += 1,
@@ -592,8 +626,10 @@ impl Inner {
         buf
     }
 
-    /// Prepends the Ethernet header in place and hands the same buffer to
-    /// the device — the zero-copy tail of every TX path.
+    /// Prepends the Ethernet header in place and enqueues the same buffer
+    /// on the TX coalescing ring — the zero-copy tail of every TX path.
+    /// With coalescing disabled the frame is handed over immediately (one
+    /// `tx_burst` per frame, the unbatched baseline).
     fn tx_frame(&mut self, dst: MacAddress, ethertype: EtherType, payload: DemiBuffer) {
         let eth = EthHeader {
             dst,
@@ -607,7 +643,23 @@ impl Inner {
         };
         eth.prepend_onto(&mut frame).expect("headroom ensured above");
         self.stats.tx_frames += 1;
-        self.port.tx_burst(&[Mbuf::from_data(frame)]);
+        self.tx_ring.push(Mbuf::from_data(frame));
+        if !self.config.tx_coalesce {
+            self.flush_tx();
+        }
+    }
+
+    /// Hands the whole TX ring to the device in one burst, preserving
+    /// enqueue order. Runs at the end of every poll pass — and every
+    /// blocking wait pumps the pollers before advancing virtual time, so
+    /// coalescing never holds a frame across a wait: latency is not traded
+    /// for throughput.
+    fn flush_tx(&mut self) {
+        if self.tx_ring.is_empty() {
+            return;
+        }
+        self.port.tx_burst(&self.tx_ring);
+        self.tx_ring.clear();
     }
 }
 

@@ -89,6 +89,10 @@ pub struct CbStats {
     pub out_of_order_segments: u64,
     /// Pure ACKs sent.
     pub acks_sent: u64,
+    /// Pure-ACK frames avoided by delayed-ACK coalescing: in-order
+    /// segments whose acknowledgment rode on another segment instead of
+    /// costing its own frame.
+    pub acks_coalesced: u64,
     /// Zero-window probes sent.
     pub persist_probes: u64,
 }
@@ -128,6 +132,12 @@ pub struct ControlBlock {
     ready_bytes: usize,
     fin_received: bool,
     last_advertised_window: usize,
+    /// Delayed-ACK state (RFC 1122 §4.2.3.2): set when one in-order
+    /// segment awaits acknowledgment. A second in-order segment, any
+    /// outgoing ACK-bearing frame, or the `delayed_ack_deadline` timer
+    /// resolves it.
+    delayed_ack_pending: bool,
+    delayed_ack_deadline: Option<SimTime>,
 
     // Lifecycle.
     timewait_deadline: Option<SimTime>,
@@ -203,6 +213,8 @@ impl ControlBlock {
             ready_bytes: 0,
             fin_received: false,
             last_advertised_window: config.recv_capacity.min(65_535),
+            delayed_ack_pending: false,
+            delayed_ack_deadline: None,
             timewait_deadline: None,
             error: None,
             outbox: Vec::new(),
@@ -279,6 +291,7 @@ impl ControlBlock {
             self.rto_deadline,
             self.persist_deadline,
             self.timewait_deadline,
+            self.delayed_ack_deadline,
         ]
         .into_iter()
         .flatten()
@@ -593,26 +606,38 @@ impl ControlBlock {
                     seg_seq = self.rcv_nxt;
                 }
                 let window = self.recv_window();
-                if seg_seq == self.rcv_nxt {
-                    if payload.len() <= window {
-                        self.stats.in_order_segments += 1;
-                        self.rcv_nxt += payload.len() as u32;
-                        self.ready_bytes += payload.len();
-                        self.ready.push_back(payload);
-                        self.drain_ooo();
+                if seg_seq == self.rcv_nxt && payload.len() <= window {
+                    self.stats.in_order_segments += 1;
+                    let filled_hole = !self.ooo.is_empty();
+                    self.rcv_nxt += payload.len() as u32;
+                    self.ready_bytes += payload.len();
+                    self.ready.push_back(payload);
+                    self.drain_ooo();
+                    if filled_hole {
+                        // A reassembly hole just closed: ACK immediately
+                        // (RFC 1122) — the sender is waiting on this
+                        // cumulative ACK to exit loss recovery.
+                        self.send_ack();
+                    } else {
+                        self.schedule_ack(now);
                     }
-                    // Else: no buffer space; drop and re-ACK rcv_nxt below.
-                } else if seg_seq.gt(self.rcv_nxt) && seg_seq.since(self.rcv_nxt) as usize <= window
-                {
-                    // Out of order, within the window: buffer for later.
-                    let key = seg_seq.since(self.irs);
-                    if !self.ooo.contains_key(&key) {
-                        self.stats.out_of_order_segments += 1;
-                        self.ooo_bytes += payload.len();
-                        self.ooo.insert(key, payload);
+                } else {
+                    if seg_seq.gt(self.rcv_nxt)
+                        && seg_seq.since(self.rcv_nxt) as usize <= window
+                    {
+                        // Out of order, within the window: buffer for later.
+                        let key = seg_seq.since(self.irs);
+                        if !self.ooo.contains_key(&key) {
+                            self.stats.out_of_order_segments += 1;
+                            self.ooo_bytes += payload.len();
+                            self.ooo.insert(key, payload);
+                        }
                     }
+                    // Out-of-order, overlapping, or window-overflow data is
+                    // never delayed: the immediate ACK is what produces the
+                    // duplicate-ACK train fast retransmit depends on.
+                    self.send_ack();
                 }
-                self.send_ack();
             }
         }
 
@@ -801,6 +826,25 @@ impl ControlBlock {
         self.emit(flags, seq, data, mss);
     }
 
+    /// Acknowledges one in-order segment, RFC 1122-style (§4.2.3.2): the
+    /// first pending segment arms the delayed-ACK timer; a second forces
+    /// the shared pure ACK out immediately. Any ACK-bearing transmission in
+    /// between absorbs the pending acknowledgment for free (see
+    /// [`ControlBlock::emit`]).
+    fn schedule_ack(&mut self, now: SimTime) {
+        if !self.config.delayed_acks {
+            self.send_ack();
+            return;
+        }
+        if self.delayed_ack_pending {
+            // Second unacknowledged segment: one pure ACK covers both.
+            self.send_ack();
+        } else {
+            self.delayed_ack_pending = true;
+            self.delayed_ack_deadline = Some(now.saturating_add(self.config.ack_delay));
+        }
+    }
+
     fn send_ack(&mut self) {
         self.stats.acks_sent += 1;
         self.emit(
@@ -815,6 +859,14 @@ impl ControlBlock {
         let window = self.recv_window();
         self.last_advertised_window = window;
         let ack_valid = flags.ack;
+        if ack_valid && self.delayed_ack_pending {
+            // This segment's ACK field covers the segment whose pure ACK
+            // was being delayed: one frame fewer on the wire.
+            self.delayed_ack_pending = false;
+            self.delayed_ack_deadline = None;
+            self.stats.acks_coalesced += 1;
+            crate::counters::note_ack_coalesced();
+        }
         self.outbox.push(TcpSegmentOut {
             header: TcpHeader {
                 src_port: self.local.port,
@@ -882,6 +934,19 @@ impl ControlBlock {
                 self.persist_probe(now);
             }
         }
+
+        if let Some(deadline) = self.delayed_ack_deadline {
+            if now >= deadline {
+                // The second segment never arrived and nothing piggybacked:
+                // pay the ACK out. Clearing the pending flag *first* keeps
+                // this out of the coalescing count — it is exactly the frame
+                // the undelayed path would have sent, just later.
+                self.delayed_ack_deadline = None;
+                self.delayed_ack_pending = false;
+                events += 1;
+                self.send_ack();
+            }
+        }
         events
     }
 
@@ -908,12 +973,16 @@ impl ControlBlock {
         self.timewait_deadline = Some(now.saturating_add(self.config.msl.saturating_mul(2)));
         self.rto_deadline = None;
         self.persist_deadline = None;
+        self.delayed_ack_deadline = None;
+        self.delayed_ack_pending = false;
     }
 
     fn clear_timers(&mut self) {
         self.rto_deadline = None;
         self.persist_deadline = None;
         self.timewait_deadline = None;
+        self.delayed_ack_deadline = None;
+        self.delayed_ack_pending = false;
     }
 }
 

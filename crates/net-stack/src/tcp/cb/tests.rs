@@ -386,6 +386,11 @@ fn rtt_estimator_receives_samples_from_transfer() {
     c.send(DemiBuffer::from_slice(b"ping"), now).unwrap();
     now = now.saturating_add(SimTime::from_micros(50));
     pump(&mut c, &mut s, now);
+    // The receiver is sitting on a delayed ACK; fire its timer so the
+    // transfer fully quiesces before checking deadline bookkeeping.
+    now = now.saturating_add(SimTime::from_micros(100));
+    s.on_tick(now);
+    pump(&mut c, &mut s, now);
     // Deadline bookkeeping exists only while data is in flight.
     assert_eq!(c.next_deadline(), None);
     c.send(DemiBuffer::from_slice(b"pong"), now).unwrap();

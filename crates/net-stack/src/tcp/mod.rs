@@ -59,6 +59,15 @@ pub struct TcpConfig {
     pub syn_retries: u32,
     /// Listener accept-backlog bound.
     pub backlog: usize,
+    /// Coalesce acknowledgments RFC 1122-style (§4.2.3.2): in-order data
+    /// is acked every second segment, or after [`TcpConfig::ack_delay`] if
+    /// the second segment never arrives; outgoing data piggybacks any
+    /// pending ACK. `false` acks every segment immediately — the unbatched
+    /// baseline the E13 A/B measures against.
+    pub delayed_acks: bool,
+    /// Delayed-ACK timer. Must stay well below `rto_min`, or coalescing
+    /// would masquerade as loss and trigger spurious retransmissions.
+    pub ack_delay: SimTime,
 }
 
 impl Default for TcpConfig {
@@ -73,6 +82,8 @@ impl Default for TcpConfig {
             persist_interval: SimTime::from_millis(1),
             syn_retries: 5,
             backlog: 128,
+            delayed_acks: true,
+            ack_delay: SimTime::from_micros(50),
         }
     }
 }

@@ -2,11 +2,15 @@
 
 # Build, test, and lint — everything CI would reject. The release-mode
 # zero_copy_memory run asserts the datapath counter invariants (1 alloc,
-# 0 payload copies per packet) under the same optimization level E12 uses.
+# 0 payload copies per packet) under the same optimization level E12 uses;
+# the release-mode batching run asserts the E13 counter invariants the
+# same way (single-doorbell TX bursts, delayed-ACK timing, O(1)
+# completion delivery).
 verify:
     cargo build --release
     cargo test -q
     cargo test --release -q --test zero_copy_memory
+    cargo test --release -q --test batching
     cargo clippy -- -D warnings
 
 # Everything `verify` checks, across the whole workspace.
@@ -14,9 +18,10 @@ verify-all:
     cargo build --workspace --release
     cargo test --workspace -q
     cargo test --release -q --test zero_copy_memory
+    cargo test --release -q --test batching
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Regenerate every experiment table (E1–E12).
+# Regenerate every experiment table (E1–E13).
 experiments:
     cargo bench -p demi-bench
 
@@ -24,3 +29,8 @@ experiments:
 # alloc/copy counters plus the prepend-vs-legacy-builders criterion A/B.
 bench-datapath:
     cargo bench -p demi-bench --bench e12_datapath_copies
+
+# The batching experiment alone: the coalesced-vs-per-frame A/B with its
+# asserted handoff-amortization, ACK-coalescing, and latency bounds.
+bench-batching:
+    cargo bench -p demi-bench --bench e13_batching

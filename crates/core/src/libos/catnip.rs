@@ -94,10 +94,14 @@ impl Catnip {
     ) -> Self {
         let port = DpdkPort::new(fabric, port_config);
         let stack = Rc::new(NetworkStack::new(port.clone(), fabric.clock(), config));
-        // The libOS polls its device on every scheduler pass, and exposes
-        // its protocol timers for clock advancement.
-        let poll_stack = stack.clone();
-        runtime.register_poller(move || poll_stack.poll());
+        // The libOS polls its device on every scheduler pass — one poller
+        // per stack shard, so each shard's RX queue, timers, and TX ring
+        // advance as an independently-reported unit of work. It also
+        // exposes its protocol timers for clock advancement.
+        for shard in 0..stack.num_shards() {
+            let poll_stack = stack.clone();
+            runtime.register_poller(move || poll_stack.poll_shard(shard));
+        }
         // Stack progress (frames in/out) is reported by that poller, so
         // every blocking loop below parks on the runtime's activity gate
         // rather than re-polling the stack each pass.

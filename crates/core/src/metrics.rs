@@ -10,8 +10,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use demi_memory::DatapathSnapshot;
-use dpdk_sim::counters::TxBatchSnapshot;
-use net_stack::counters::BatchSnapshot;
+use dpdk_sim::counters::{RxQueueSnapshot, TxBatchSnapshot, RX_QUEUE_SLOTS};
+use net_stack::counters::{BatchSnapshot, ShardSnapshot};
 
 /// Shared counter block (cheap to clone; one per libOS instance).
 #[derive(Clone, Default)]
@@ -76,6 +76,22 @@ pub struct MetricsSnapshot {
     /// Poll passes that exhausted their RX budget with device frames still
     /// pending (same source).
     pub rx_budget_exhausted: u64,
+    /// Frames accepted per device RX queue since the last reset, from the
+    /// dpdk-sim per-queue counters (E14). Queues beyond
+    /// `RX_QUEUE_SLOTS - 1` share the last slot.
+    pub rx_queue_enqueued: [u64; RX_QUEUE_SLOTS],
+    /// Frames tail-dropped per device RX queue since the last reset.
+    pub rx_queue_dropped: [u64; RX_QUEUE_SLOTS],
+    /// Frames that arrived on a queue whose shard does not own their flow
+    /// and were handed off, from the net-stack sharding counters (E14).
+    /// Zero whenever device RSS and the stack's `shard_for` agree.
+    pub steering_mismatches: u64,
+    /// Timer entries scheduled on the timing wheels since the last reset.
+    pub timers_scheduled: u64,
+    /// Wheel entries that fired live (their connection was ticked).
+    pub timers_fired: u64,
+    /// Wheel entries discarded as lazily cancelled.
+    pub timers_stale: u64,
 }
 
 struct MetricsInner {
@@ -85,6 +101,8 @@ struct MetricsInner {
     buffer_baseline: DatapathSnapshot,
     tx_batch_baseline: TxBatchSnapshot,
     stack_batch_baseline: BatchSnapshot,
+    rx_queue_baseline: RxQueueSnapshot,
+    shard_baseline: ShardSnapshot,
 }
 
 impl Default for MetricsInner {
@@ -94,6 +112,8 @@ impl Default for MetricsInner {
             buffer_baseline: demi_memory::counters::snapshot(),
             tx_batch_baseline: dpdk_sim::counters::snapshot(),
             stack_batch_baseline: net_stack::counters::snapshot(),
+            rx_queue_baseline: dpdk_sim::counters::rx_queue_snapshot(),
+            shard_baseline: net_stack::counters::shard_snapshot(),
         }
     }
 }
@@ -168,6 +188,14 @@ impl Metrics {
         let batch = net_stack::counters::snapshot().delta(&inner.stack_batch_baseline);
         snap.acks_coalesced = batch.acks_coalesced;
         snap.rx_budget_exhausted = batch.rx_budget_exhausted;
+        let rx_queues = dpdk_sim::counters::rx_queue_snapshot().delta(&inner.rx_queue_baseline);
+        snap.rx_queue_enqueued = rx_queues.enqueued;
+        snap.rx_queue_dropped = rx_queues.dropped;
+        let shard = net_stack::counters::shard_snapshot().delta(&inner.shard_baseline);
+        snap.steering_mismatches = shard.steering_mismatches;
+        snap.timers_scheduled = shard.timers_scheduled;
+        snap.timers_fired = shard.timers_fired;
+        snap.timers_stale = shard.timers_stale;
         snap
     }
 
@@ -178,6 +206,8 @@ impl Metrics {
         inner.buffer_baseline = demi_memory::counters::snapshot();
         inner.tx_batch_baseline = dpdk_sim::counters::snapshot();
         inner.stack_batch_baseline = net_stack::counters::snapshot();
+        inner.rx_queue_baseline = dpdk_sim::counters::rx_queue_snapshot();
+        inner.shard_baseline = net_stack::counters::shard_snapshot();
     }
 }
 

@@ -60,6 +60,36 @@ pub fn catnip_pair_with(
     (rt, fabric, client, server)
 }
 
+/// Two catnip hosts on multi-queue devices: `queues` RX queues per port,
+/// one stack shard per queue (the E14 sharded configuration). The closure
+/// tunes each host's stack config — set `sharded: false` for the
+/// single-shard baseline over the same multi-queue device.
+pub fn catnip_pair_sharded(
+    seed: u64,
+    queues: u16,
+    tune: impl Fn(StackConfig) -> StackConfig,
+) -> (Runtime, Fabric, Catnip, Catnip) {
+    let fabric = Fabric::new(seed);
+    let rt = Runtime::with_fabric(fabric.clone());
+    let port = |n: u8| PortConfig {
+        num_rx_queues: queues,
+        ..PortConfig::basic(host_mac(n))
+    };
+    let client = Catnip::with_stack_config(
+        &rt,
+        &fabric,
+        port(1),
+        tune(StackConfig::new(host_ip(1))),
+    );
+    let server = Catnip::with_stack_config(
+        &rt,
+        &fabric,
+        port(2),
+        tune(StackConfig::new(host_ip(2))),
+    );
+    (rt, fabric, client, server)
+}
+
 /// Two catnap (kernel-baseline) hosts on a fresh fabric.
 pub fn catnap_pair(seed: u64) -> (Runtime, Fabric, Catnap, Catnap) {
     let fabric = Fabric::new(seed);

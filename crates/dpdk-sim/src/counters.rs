@@ -79,6 +79,71 @@ pub fn snapshot() -> TxBatchSnapshot {
 /// Resets all counters to zero.
 pub fn reset() {
     COUNTERS.with(|c| c.set(TxBatchSnapshot::default()));
+    RX_QUEUE.with(|c| c.set(RxQueueSnapshot::default()));
+}
+
+/// Per-queue RX accounting tracks up to this many queues; higher queue
+/// indices fold into the last slot (ports in this simulation use ≤ 8).
+pub const RX_QUEUE_SLOTS: usize = 8;
+
+/// A point-in-time reading of the per-RX-queue steering counters.
+///
+/// RSS steering (E14) is only honest if the *device-side* spread is
+/// counted: these tally, per RX queue, the frames the port accepted into
+/// each descriptor ring and the frames it tail-dropped when a ring was
+/// full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RxQueueSnapshot {
+    /// Frames accepted into each RX ring.
+    pub enqueued: [u64; RX_QUEUE_SLOTS],
+    /// Frames tail-dropped per full RX ring.
+    pub dropped: [u64; RX_QUEUE_SLOTS],
+}
+
+impl RxQueueSnapshot {
+    /// Counter movement since `earlier`.
+    pub fn delta(&self, earlier: &RxQueueSnapshot) -> RxQueueSnapshot {
+        let mut d = RxQueueSnapshot::default();
+        for i in 0..RX_QUEUE_SLOTS {
+            d.enqueued[i] = self.enqueued[i] - earlier.enqueued[i];
+            d.dropped[i] = self.dropped[i] - earlier.dropped[i];
+        }
+        d
+    }
+}
+
+thread_local! {
+    static RX_QUEUE: Cell<RxQueueSnapshot> = const { Cell::new(RxQueueSnapshot {
+        enqueued: [0; RX_QUEUE_SLOTS],
+        dropped: [0; RX_QUEUE_SLOTS],
+    }) };
+}
+
+fn queue_slot(queue: u16) -> usize {
+    (queue as usize).min(RX_QUEUE_SLOTS - 1)
+}
+
+/// Records one frame accepted into RX ring `queue`.
+pub fn note_rx_enqueued(queue: u16) {
+    RX_QUEUE.with(|c| {
+        let mut s = c.get();
+        s.enqueued[queue_slot(queue)] += 1;
+        c.set(s);
+    });
+}
+
+/// Records one frame tail-dropped at RX ring `queue`.
+pub fn note_rx_dropped(queue: u16) {
+    RX_QUEUE.with(|c| {
+        let mut s = c.get();
+        s.dropped[queue_slot(queue)] += 1;
+        c.set(s);
+    });
+}
+
+/// Current per-queue RX counter values.
+pub fn rx_queue_snapshot() -> RxQueueSnapshot {
+    RX_QUEUE.with(|c| c.get())
 }
 
 #[cfg(test)]

@@ -25,11 +25,12 @@ pub mod counters;
 pub mod mbuf;
 pub mod mempool;
 pub mod port;
+pub mod rss;
 pub mod smartnic;
 
 pub use mbuf::Mbuf;
 pub use mempool::Mempool;
-pub use port::{DpdkPort, PortConfig, PortStats};
+pub use port::{DpdkPort, PortConfig, PortQueueStats, PortStats};
 pub use smartnic::{NicProgram, ProgramSlot, SmartNic, SmartNicStats};
 
 use sim_fabric::{DeviceCaps, DeviceCategory};

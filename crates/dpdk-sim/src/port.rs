@@ -47,6 +47,19 @@ impl PortConfig {
     }
 }
 
+/// Per-RX-queue counters — the device-side view of RSS steering. A
+/// sharded host reads these to verify each shard's queue actually carries
+/// its share of the load (E14).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortQueueStats {
+    /// Frames currently waiting in the queue's descriptor ring.
+    pub depth: usize,
+    /// Frames ever accepted into this ring.
+    pub enqueued: u64,
+    /// Frames tail-dropped because this ring was full.
+    pub dropped: u64,
+}
+
 /// Port counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PortStats {
@@ -70,6 +83,7 @@ struct PortInner {
     config: PortConfig,
     mempool: Mempool,
     rx_rings: Vec<VecDeque<Mbuf>>,
+    queue_stats: Vec<PortQueueStats>,
     smartnic: SmartNic,
     stats: PortStats,
 }
@@ -104,6 +118,7 @@ impl DpdkPort {
             inner: Rc::new(RefCell::new(PortInner {
                 endpoint,
                 rx_rings: (0..config.num_rx_queues).map(|_| VecDeque::new()).collect(),
+                queue_stats: vec![PortQueueStats::default(); config.num_rx_queues as usize],
                 smartnic: SmartNic::new(config.smartnic_slots),
                 config,
                 mempool,
@@ -206,6 +221,23 @@ impl DpdkPort {
         self.inner.borrow().stats
     }
 
+    /// Per-RX-queue counters (after pumping arrivals, so `depth` reflects
+    /// everything the fabric has delivered).
+    pub fn queue_stats(&self) -> Vec<PortQueueStats> {
+        let mut inner = self.inner.borrow_mut();
+        inner.pump();
+        let inner = &*inner;
+        inner
+            .queue_stats
+            .iter()
+            .zip(&inner.rx_rings)
+            .map(|(qs, ring)| PortQueueStats {
+                depth: ring.len(),
+                ..*qs
+            })
+            .collect()
+    }
+
     /// Device-side program-execution counters.
     pub fn smartnic_stats(&self) -> SmartNicStats {
         self.inner.borrow().smartnic.stats()
@@ -228,37 +260,29 @@ impl PortInner {
                 Some(bytes) => demi_memory::DemiBuffer::from(bytes),
                 None => frame.payload,
             };
-            let queue =
-                steered.unwrap_or_else(|| rss_queue(&data, self.config.num_rx_queues));
+            // Toeplitz-style RSS: symmetric 4-tuple hash picks the queue
+            // unless a SmartNIC steering program already chose one.
+            let hash = crate::rss::hash_frame(&data);
+            let queue = steered.unwrap_or((hash % self.config.num_rx_queues as u32) as u16);
             let queue = queue % self.config.num_rx_queues;
             let ring = &mut self.rx_rings[queue as usize];
             if ring.len() >= self.config.rx_ring_size {
                 self.stats.rx_ring_drops += 1;
+                self.queue_stats[queue as usize].dropped += 1;
+                crate::counters::note_rx_dropped(queue);
                 continue;
             }
             self.stats.rx_frames += 1;
             self.stats.rx_bytes += data.len() as u64;
+            self.queue_stats[queue as usize].enqueued += 1;
+            crate::counters::note_rx_enqueued(queue);
             let mut mbuf = Mbuf::from_data(data);
             mbuf.rx_timestamp = frame.delivered_at;
-            mbuf.rss_hash = fnv1a(&mbuf.data);
+            mbuf.rss_hash = hash;
             mbuf.queue = queue;
             ring.push_back(mbuf);
         }
     }
-}
-
-/// FNV-1a over the first bytes of the frame (headers), the RSS stand-in.
-fn fnv1a(bytes: &[u8]) -> u32 {
-    let mut hash: u32 = 0x811C_9DC5;
-    for &b in bytes.iter().take(42) {
-        hash ^= b as u32;
-        hash = hash.wrapping_mul(0x0100_0193);
-    }
-    hash
-}
-
-fn rss_queue(bytes: &[u8], queues: u16) -> u16 {
-    (fnv1a(bytes) % queues as u32) as u16
 }
 
 impl fmt::Debug for DpdkPort {
@@ -350,6 +374,25 @@ mod tests {
         assert_eq!(b.stats().rx_ring_drops, 2);
     }
 
+    /// A minimal IPv4/UDP frame: the sender's last MAC octet doubles as its
+    /// IP last octet (10.0.0.n), and varying the ports varies the flow.
+    fn udp_flow_frame(dst: MacAddress, src: MacAddress, src_port: u16, dst_port: u16) -> Vec<u8> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&dst.octets());
+        f.extend_from_slice(&src.octets());
+        f.extend_from_slice(&[0x08, 0x00]);
+        let mut ip = [0u8; 20];
+        ip[0] = 0x45;
+        ip[9] = 17;
+        ip[12..16].copy_from_slice(&[10, 0, 0, src.octets()[5]]);
+        ip[16..20].copy_from_slice(&[10, 0, 0, dst.octets()[5]]);
+        f.extend_from_slice(&ip);
+        f.extend_from_slice(&src_port.to_be_bytes());
+        f.extend_from_slice(&dst_port.to_be_bytes());
+        f.extend_from_slice(&[0u8; 8]);
+        f
+    }
+
     #[test]
     fn rss_spreads_flows_across_queues() {
         let fabric = Fabric::new(1);
@@ -364,9 +407,9 @@ mod tests {
                 smartnic_slots: 0,
             },
         );
-        // Many distinct "flows" (varying bodies vary the hashed header area).
-        for i in 0..64u8 {
-            let f = eth_frame(b.mac(), a.mac(), &[i, i ^ 0x5A, 3, 4]);
+        // 64 distinct flows (varying source ports).
+        for i in 0..64u16 {
+            let f = udp_flow_frame(b.mac(), a.mac(), 32_768 + i, 80);
             a.tx_burst(&[a.mempool().alloc_from(&f)]);
         }
         fabric.deliver_due();
@@ -374,6 +417,40 @@ mod tests {
         assert_eq!(counts.iter().sum::<usize>(), 64);
         let nonempty = counts.iter().filter(|&&c| c > 0).count();
         assert!(nonempty >= 2, "RSS should spread flows: {counts:?}");
+        // One flow's frames all land on one queue, both directions.
+        let q_fwd = crate::rss::queue_for_frame(&udp_flow_frame(b.mac(), a.mac(), 32_768, 80), 4);
+        let q_rev = crate::rss::queue_for_frame(&udp_flow_frame(a.mac(), b.mac(), 80, 32_768), 4);
+        assert_eq!(q_fwd, q_rev, "RSS must be symmetric");
+    }
+
+    #[test]
+    fn per_queue_stats_track_enqueues_and_drops() {
+        let fabric = Fabric::new(1);
+        fabric.set_default_link(LinkConfig::ideal());
+        let a = DpdkPort::new(&fabric, PortConfig::basic(MacAddress::from_last_octet(1)));
+        let b = DpdkPort::new(
+            &fabric,
+            PortConfig {
+                mac: MacAddress::from_last_octet(2),
+                num_rx_queues: 2,
+                rx_ring_size: 4,
+                smartnic_slots: 0,
+            },
+        );
+        // One flow: every frame targets the same queue; 6 arrivals into a
+        // 4-deep ring drop the last 2.
+        for _ in 0..6 {
+            let f = udp_flow_frame(b.mac(), a.mac(), 40_000, 80);
+            a.tx_burst(&[a.mempool().alloc_from(&f)]);
+        }
+        fabric.deliver_due();
+        let qs = b.queue_stats();
+        let q = crate::rss::queue_for_frame(&udp_flow_frame(b.mac(), a.mac(), 40_000, 80), 2);
+        assert_eq!(qs[q as usize].enqueued, 4);
+        assert_eq!(qs[q as usize].dropped, 2);
+        assert_eq!(qs[q as usize].depth, 4);
+        let other = 1 - q as usize;
+        assert_eq!(qs[other], PortQueueStats::default());
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Deterministic, symmetric Toeplitz-style RSS.
+//!
+//! Receive-side scaling is the hardware half of the paper's scaling story
+//! (§4.2): the NIC hashes each arriving frame's flow identity and steers it
+//! to one of N RX queues, so the host never funnels every flow through one
+//! serialized demux point. Two properties matter for a sharded stack built
+//! on top:
+//!
+//! * **Determinism** — the same flow always lands on the same queue, so a
+//!   shard can own a flow's state outright (no migration, no locking).
+//! * **Symmetry** — both directions of a flow hash identically. The hash
+//!   sorts the two `(ip, port)` endpoints into a canonical order before
+//!   hashing, so `hash(a→b) == hash(b→a)` on every host. A server's shard
+//!   for an accepted connection is therefore the same shard whose queue the
+//!   client's segments arrive on, *by construction* (real NICs achieve this
+//!   with symmetric Toeplitz keys; canonicalizing the input is the
+//!   simulation-friendly equivalent).
+//!
+//! The stack's `shard_for(flow)` calls [`queue_for_tuple`] with the shard
+//! count; when shards == RX queues the two mappings agree bit for bit.
+//!
+//! Non-IP frames (ARP, control ethertypes) fall back to hashing the source
+//! MAC + ethertype: all such frames from one host serialize onto one queue,
+//! which is exactly what a real NIC's "no parseable L3/L4" path does.
+
+use std::net::Ipv4Addr;
+
+/// The well-known 40-byte Microsoft RSS key. The specific constants do not
+/// matter for the simulation (symmetry comes from canonicalization, not the
+/// key), but using the standard key keeps the hash recognizably Toeplitz.
+const KEY: [u8; 40] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
+    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+];
+
+/// Toeplitz hash of `data` under [`KEY`]: for every set bit of the input,
+/// XOR in the 32-bit key window starting at that bit position.
+fn toeplitz(data: &[u8]) -> u32 {
+    let mut hash = 0u32;
+    for (i, &byte) in data.iter().enumerate() {
+        if byte == 0 {
+            continue;
+        }
+        // 40 bits of key starting at bit 8*i (bytes wrap like hardware
+        // shift registers do for long inputs).
+        let mut window = 0u64;
+        for k in 0..5 {
+            window = (window << 8) | KEY[(i + k) % KEY.len()] as u64;
+        }
+        for bit in 0..8 {
+            if byte & (0x80 >> bit) != 0 {
+                hash ^= ((window >> (8 - bit)) & 0xFFFF_FFFF) as u32;
+            }
+        }
+    }
+    hash
+}
+
+/// Symmetric flow hash over a 4-tuple.
+///
+/// The two `(ip, port)` endpoints are sorted numerically before hashing, so
+/// the result is independent of direction *and* of which host computes it.
+/// The IP protocol is deliberately not mixed in: ICMP echoes (ports 0/0)
+/// and the TCP/UDP tuples hash through the same code path.
+pub fn hash_tuple(a_ip: Ipv4Addr, a_port: u16, b_ip: Ipv4Addr, b_port: u16) -> u32 {
+    let a = (u32::from(a_ip), a_port);
+    let b = (u32::from(b_ip), b_port);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut data = [0u8; 12];
+    data[0..4].copy_from_slice(&lo.0.to_be_bytes());
+    data[4..6].copy_from_slice(&lo.1.to_be_bytes());
+    data[6..10].copy_from_slice(&hi.0.to_be_bytes());
+    data[10..12].copy_from_slice(&hi.1.to_be_bytes());
+    toeplitz(&data)
+}
+
+/// RSS hash of a raw Ethernet frame.
+///
+/// IPv4 frames hash their 4-tuple (TCP/UDP ports; other IP protocols use
+/// ports 0/0, which keeps an ICMP exchange on one queue). Anything else —
+/// ARP, truncated IP, unknown ethertypes — hashes source MAC + ethertype.
+pub fn hash_frame(frame: &[u8]) -> u32 {
+    if let Some(hash) = ipv4_tuple_hash(frame) {
+        return hash;
+    }
+    if frame.len() >= 14 {
+        let mut data = [0u8; 8];
+        data[0..6].copy_from_slice(&frame[6..12]);
+        data[6..8].copy_from_slice(&frame[12..14]);
+        toeplitz(&data)
+    } else {
+        toeplitz(frame)
+    }
+}
+
+fn ipv4_tuple_hash(frame: &[u8]) -> Option<u32> {
+    if frame.len() < 14 + 20 || frame[12..14] != [0x08, 0x00] {
+        return None;
+    }
+    let ip = &frame[14..];
+    if ip[0] >> 4 != 4 {
+        return None;
+    }
+    let ihl = ((ip[0] & 0x0F) as usize) * 4;
+    if ihl < 20 || ip.len() < ihl {
+        return None;
+    }
+    let src = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
+    let dst = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
+    let (src_port, dst_port) = match ip[9] {
+        // TCP and UDP start with src/dst ports; everything else (ICMP, ...)
+        // hashes as a host pair.
+        6 | 17 => {
+            let l4 = ip.get(ihl..ihl + 4)?;
+            (
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+            )
+        }
+        _ => (0, 0),
+    };
+    Some(hash_tuple(src, src_port, dst, dst_port))
+}
+
+/// The RX queue (out of `queues`) a 4-tuple steers to.
+pub fn queue_for_tuple(a_ip: Ipv4Addr, a_port: u16, b_ip: Ipv4Addr, b_port: u16, queues: u16) -> u16 {
+    assert!(queues > 0, "RSS needs at least one queue");
+    (hash_tuple(a_ip, a_port, b_ip, b_port) % queues as u32) as u16
+}
+
+/// The RX queue (out of `queues`) a raw frame steers to.
+pub fn queue_for_frame(frame: &[u8], queues: u16) -> u16 {
+    assert!(queues > 0, "RSS needs at least one queue");
+    (hash_frame(frame) % queues as u32) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    /// dst_mac(6) src_mac(6) ethertype(2) + IPv4(20, no options) + L4.
+    fn ipv4_frame(proto: u8, src: Ipv4Addr, dst: Ipv4Addr, l4: &[u8]) -> Vec<u8> {
+        let mut f = vec![0u8; 14];
+        f[12] = 0x08;
+        let mut ip_hdr = [0u8; 20];
+        ip_hdr[0] = 0x45;
+        ip_hdr[9] = proto;
+        ip_hdr[12..16].copy_from_slice(&src.octets());
+        ip_hdr[16..20].copy_from_slice(&dst.octets());
+        f.extend_from_slice(&ip_hdr);
+        f.extend_from_slice(l4);
+        f
+    }
+
+    fn ports(src: u16, dst: u16) -> Vec<u8> {
+        let mut l4 = Vec::new();
+        l4.extend_from_slice(&src.to_be_bytes());
+        l4.extend_from_slice(&dst.to_be_bytes());
+        l4.extend_from_slice(&[0u8; 16]);
+        l4
+    }
+
+    #[test]
+    fn tuple_hash_is_symmetric() {
+        let h1 = hash_tuple(ip(1), 40_000, ip(2), 80);
+        let h2 = hash_tuple(ip(2), 80, ip(1), 40_000);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn frame_hash_matches_tuple_hash_both_directions() {
+        let fwd = ipv4_frame(6, ip(1), ip(2), &ports(40_000, 80));
+        let rev = ipv4_frame(6, ip(2), ip(1), &ports(80, 40_000));
+        let tuple = hash_tuple(ip(1), 40_000, ip(2), 80);
+        assert_eq!(hash_frame(&fwd), tuple);
+        assert_eq!(hash_frame(&rev), tuple);
+    }
+
+    #[test]
+    fn icmp_frames_hash_as_host_pairs() {
+        let fwd = ipv4_frame(1, ip(1), ip(2), &[8, 0, 0, 0]);
+        let rev = ipv4_frame(1, ip(2), ip(1), &[0, 0, 0, 0]);
+        assert_eq!(hash_frame(&fwd), hash_frame(&rev));
+        assert_eq!(hash_frame(&fwd), hash_tuple(ip(1), 0, ip(2), 0));
+    }
+
+    #[test]
+    fn non_ip_frames_fall_back_to_src_mac() {
+        let mut arp = vec![0u8; 14 + 28];
+        arp[6..12].copy_from_slice(&[2, 0, 0, 0, 0, 7]);
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        let mut arp2 = arp.clone();
+        arp2[20] = 0xFF; // Different body, same source: same queue.
+        assert_eq!(hash_frame(&arp), hash_frame(&arp2));
+        let mut other_src = arp.clone();
+        other_src[11] = 9;
+        assert_ne!(hash_frame(&arp), hash_frame(&other_src));
+    }
+
+    #[test]
+    fn distinct_flows_spread_across_queues() {
+        let mut hit = [false; 4];
+        for port in 0..64u16 {
+            let q = queue_for_tuple(ip(1), 32_768 + port, ip(2), 80, 4);
+            hit[q as usize] = true;
+        }
+        assert_eq!(hit, [true; 4], "64 flows should hit all 4 queues");
+    }
+}

@@ -72,4 +72,88 @@ pub fn snapshot() -> BatchSnapshot {
 /// Resets all counters to zero.
 pub fn reset() {
     COUNTERS.with(|c| c.set(BatchSnapshot::default()));
+    SHARD.with(|c| c.set(ShardSnapshot::default()));
+}
+
+/// A point-in-time reading of the sharding and timer-wheel counters (E14).
+///
+/// The sharded stack's two structural claims are counted here: frames stay
+/// on the shard their flow hashes to (`steering_mismatches` stays zero when
+/// RSS and `shard_for` agree), and timer work scales with *firing* timers,
+/// not resident connections (`timers_fired` + `timers_stale` bound the
+/// per-poll timer cost; idle connections contribute to neither).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Frames that arrived on a queue whose shard does not own their flow
+    /// (SmartNIC steering programs can override RSS); each was handed off
+    /// to the owning shard.
+    pub steering_mismatches: u64,
+    /// Timer entries scheduled on a wheel.
+    pub timers_scheduled: u64,
+    /// Wheel entries that fired live (their connection was then ticked).
+    pub timers_fired: u64,
+    /// Wheel entries discarded as lazily-cancelled (superseded generation).
+    pub timers_stale: u64,
+}
+
+impl ShardSnapshot {
+    /// Counter movement since `earlier`.
+    pub fn delta(&self, earlier: &ShardSnapshot) -> ShardSnapshot {
+        ShardSnapshot {
+            steering_mismatches: self.steering_mismatches - earlier.steering_mismatches,
+            timers_scheduled: self.timers_scheduled - earlier.timers_scheduled,
+            timers_fired: self.timers_fired - earlier.timers_fired,
+            timers_stale: self.timers_stale - earlier.timers_stale,
+        }
+    }
+}
+
+thread_local! {
+    static SHARD: Cell<ShardSnapshot> = const { Cell::new(ShardSnapshot {
+        steering_mismatches: 0,
+        timers_scheduled: 0,
+        timers_fired: 0,
+        timers_stale: 0,
+    }) };
+}
+
+/// Records one frame handed off to the shard owning its flow.
+pub fn note_steering_mismatch() {
+    SHARD.with(|c| {
+        let mut s = c.get();
+        s.steering_mismatches += 1;
+        c.set(s);
+    });
+}
+
+/// Records one timer entry scheduled on a wheel.
+pub fn note_timer_scheduled() {
+    SHARD.with(|c| {
+        let mut s = c.get();
+        s.timers_scheduled += 1;
+        c.set(s);
+    });
+}
+
+/// Records one wheel entry firing live.
+pub fn note_timer_fired() {
+    SHARD.with(|c| {
+        let mut s = c.get();
+        s.timers_fired += 1;
+        c.set(s);
+    });
+}
+
+/// Records one lazily-cancelled wheel entry being discarded.
+pub fn note_timer_stale() {
+    SHARD.with(|c| {
+        let mut s = c.get();
+        s.timers_stale += 1;
+        c.set(s);
+    });
+}
+
+/// Current sharding/timer counter values.
+pub fn shard_snapshot() -> ShardSnapshot {
+    SHARD.with(|c| c.get())
 }

@@ -39,5 +39,5 @@ pub mod tcp;
 pub mod types;
 pub mod udp;
 
-pub use stack::{NetworkStack, StackConfig, StackStats};
+pub use stack::{NetworkStack, ShardStats, StackConfig, StackStats};
 pub use types::{NetError, SocketAddr};

@@ -5,12 +5,31 @@
 //! calls [`NetworkStack::poll`] each pass, then checks handle-based socket
 //! APIs for completions. Received payloads are delivered as zero-copy
 //! [`DemiBuffer`] views into the device's mbufs.
+//!
+//! # Sharding
+//!
+//! When the device has N RX queues (and [`StackConfig::sharded`] is set,
+//! the default), the stack splits into N [`Shard`]s, one per queue. Each
+//! shard owns a *complete* protocol instance — its own TCP peer and demux
+//! table, UDP peer, ARP view, and TX coalescing ring — and polls only its
+//! own queue. The shard a flow lives on is decided by the same symmetric
+//! RSS hash the device uses ([`dpdk_sim::rss`]), so a connection's frames
+//! arrive on the queue of the shard that owns its control block *by
+//! construction*: no cross-shard locking, no `Rc`s shared between shards,
+//! and the steering-mismatch counter stays zero unless a SmartNIC program
+//! deliberately overrides RSS. Mismatched frames are handed off to the
+//! owning shard through a per-shard handoff queue (counted, never dropped).
+//!
+//! With `sharded: false` a single shard owns *all* RX queues and drains
+//! them round-robin — the pre-sharding behavior, kept as the A/B baseline
+//! (and fixing the historical bug where only queue 0 was ever drained).
 
 use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
 
 use demi_memory::DemiBuffer;
-use dpdk_sim::{DpdkPort, Mbuf};
+use dpdk_sim::{rss, DpdkPort, Mbuf};
 use sim_fabric::{MacAddress, SimClock, SimTime};
 
 use crate::arp::{ArpAction, ArpCache, ArpOp, ArpPacket, ARP_LEN};
@@ -50,15 +69,19 @@ pub struct StackConfig {
     pub arp_tries: u32,
     /// Per-UDP-socket receive queue depth.
     pub udp_queue_depth: usize,
-    /// Maximum frames processed from the device per poll pass. Under a
-    /// flood the leftover backlog is reported as remaining work instead of
-    /// being drained in one unbounded loop that would starve timers and
-    /// the other pollers sharing the scheduler pass.
+    /// Maximum frames processed from the device per poll pass *per shard*.
+    /// Under a flood the leftover backlog is reported as remaining work
+    /// instead of being drained in one unbounded loop that would starve
+    /// timers and the other pollers sharing the scheduler pass.
     pub rx_budget: usize,
     /// Coalesce outgoing frames into one `tx_burst` per poll pass (the
     /// batched default). `false` restores one device handoff per frame —
     /// the unbatched baseline the E13 A/B measures against.
     pub tx_coalesce: bool,
+    /// One shard per device RX queue (the default). `false` runs a single
+    /// shard that drains every queue round-robin — the serialized baseline
+    /// the E14 A/B measures against.
+    pub sharded: bool,
     /// TCP tunables.
     pub tcp: TcpConfig,
 }
@@ -75,12 +98,13 @@ impl StackConfig {
             udp_queue_depth: 1024,
             rx_budget: 64,
             tx_coalesce: true,
+            sharded: true,
             tcp: TcpConfig::default(),
         }
     }
 }
 
-/// Stack-level counters.
+/// Stack-level counters (summed across shards by [`NetworkStack::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StackStats {
     /// Frames processed from the device.
@@ -101,102 +125,239 @@ pub struct StackStats {
     pub unreachable_drops: u64,
 }
 
-struct Inner {
-    port: DpdkPort,
-    clock: SimClock,
-    config: StackConfig,
-    arp: ArpCache,
-    udp: UdpPeer,
-    tcp: TcpPeer,
-    pongs: Vec<(Ipv4Addr, u16, u16)>,
-    /// TX coalescing ring: fully framed mbufs accumulate here in enqueue
-    /// order and leave in a single `tx_burst` at the end of each poll pass.
-    tx_ring: Vec<Mbuf>,
-    stats: StackStats,
+/// Per-shard counters for the sharding experiment (E14).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Frames that arrived on this shard's queue but belong to another
+    /// shard's flow (only a SmartNIC steering override can cause this when
+    /// the device hashes with the same function as `shard_for`).
+    pub steering_mismatches: u64,
+    /// Frames received through the handoff queue from other shards.
+    pub handoffs_in: u64,
+    /// TCP timer events fired on this shard.
+    pub timer_events: u64,
+    /// Frames this shard processed from its own queues.
+    pub rx_frames: u64,
+}
+
+/// Facade-level bookkeeping shared across shards: TCP port-space ownership
+/// and listener replication. Ports are allocated here (one namespace per
+/// host) and then bound on the shard — or shards — that own them.
+struct Control {
+    /// Facade listener handle → (port, per-shard inner listener ids).
+    listeners: HashMap<u32, (u16, Vec<ListenerId>)>,
+    next_listener: u32,
+    /// Every TCP port in use on this host: listeners and connection locals.
+    tcp_ports: HashSet<u16>,
+    next_ephemeral: u16,
 }
 
 /// One host's user-level network stack bound to one device port.
 pub struct NetworkStack {
-    inner: RefCell<Inner>,
+    shards: Vec<RefCell<Shard>>,
+    ctrl: RefCell<Control>,
+    config: StackConfig,
+    num_shards: usize,
 }
 
 impl NetworkStack {
     /// Builds a stack on `port`, sharing the simulation `clock`.
     pub fn new(port: DpdkPort, clock: SimClock, config: StackConfig) -> Self {
+        let num_queues = port.num_rx_queues().max(1);
+        let num_shards = if config.sharded {
+            num_queues as usize
+        } else {
+            1
+        };
+        let shards = (0..num_shards)
+            .map(|i| {
+                let queues: Vec<u16> = if config.sharded {
+                    vec![i as u16]
+                } else {
+                    (0..num_queues).collect()
+                };
+                RefCell::new(Shard {
+                    index: i,
+                    num_shards,
+                    queues,
+                    rr_next: 0,
+                    arp: ArpCache::new(config.arp_ttl, config.arp_retry, config.arp_tries),
+                    udp: UdpPeer::new(config.udp_queue_depth),
+                    tcp: TcpPeer::with_id_space(
+                        config.ip,
+                        config.tcp,
+                        i as u32,
+                        num_shards as u32,
+                    ),
+                    pongs: Vec::new(),
+                    tx_ring: Vec::new(),
+                    handoff: VecDeque::new(),
+                    forwards: Vec::new(),
+                    learned: Vec::new(),
+                    port: port.clone(),
+                    clock: clock.clone(),
+                    config: config.clone(),
+                    stats: StackStats::default(),
+                    shard_stats: ShardStats::default(),
+                })
+            })
+            .collect();
         NetworkStack {
-            inner: RefCell::new(Inner {
-                arp: ArpCache::new(config.arp_ttl, config.arp_retry, config.arp_tries),
-                udp: UdpPeer::new(config.udp_queue_depth),
-                tcp: TcpPeer::new(config.ip, config.tcp),
-                pongs: Vec::new(),
-                tx_ring: Vec::new(),
-                port,
-                clock,
-                config,
-                stats: StackStats::default(),
+            shards,
+            ctrl: RefCell::new(Control {
+                listeners: HashMap::new(),
+                next_listener: 0,
+                tcp_ports: HashSet::new(),
+                next_ephemeral: 32_768,
             }),
+            config,
+            num_shards,
         }
     }
 
     /// This host's IPv4 address.
     pub fn local_ip(&self) -> Ipv4Addr {
-        self.inner.borrow().config.ip
+        self.config.ip
     }
 
     /// This host's hardware address.
     pub fn mac(&self) -> MacAddress {
-        self.inner.borrow().port.mac()
+        self.shards[0].borrow().port.mac()
     }
 
     /// Largest UDP payload the MTU allows.
     pub fn max_udp_payload(&self) -> usize {
-        self.inner.borrow().config.mtu - IPV4_HEADER_LEN - UDP_HEADER_LEN
+        self.config.mtu - IPV4_HEADER_LEN - UDP_HEADER_LEN
     }
 
-    /// One poll pass: drain device RX (up to [`StackConfig::rx_budget`]
-    /// frames), advance protocol timers, then hand every coalesced outgoing
-    /// frame to the device in one burst. Returns how many work items the
-    /// pass processed — frames moved (RX + TX), RX backlog left beyond the
-    /// budget, plus frameless state transitions (ARP give-up drops, TCP
-    /// timer events) — so callers can tell a productive pass from an idle
-    /// one. A connection declared unreachable emits no frame, and a
-    /// budget-exhausted pass leaves frames in the device ring, but a caller
-    /// parked on either still needs to hear that there is work.
+    /// Number of shards this stack runs (1 unless the device is
+    /// multi-queue and [`StackConfig::sharded`] is set).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard that owns the flow `(local_port, remote)` — the same
+    /// symmetric hash the device's RSS uses, so ownership and steering
+    /// agree by construction.
+    pub fn shard_for(&self, local_port: u16, remote: SocketAddr) -> usize {
+        rss::queue_for_tuple(
+            self.config.ip,
+            local_port,
+            remote.ip,
+            remote.port,
+            self.num_shards as u16,
+        ) as usize
+    }
+
+    /// One poll pass over every shard. Returns how many work items the
+    /// pass processed — frames moved (RX + TX + handoffs), RX backlog left
+    /// beyond the budget, plus frameless state transitions (ARP give-up
+    /// drops, TCP timer events) — so callers can tell a productive pass
+    /// from an idle one.
     pub fn poll(&self) -> usize {
-        let mut inner = self.inner.borrow_mut();
-        let before =
-            inner.stats.rx_frames + inner.stats.tx_frames + inner.stats.unreachable_drops;
-        let backlog = inner.rx_pass();
-        let timer_events = inner.timer_pass();
-        inner.flush_tcp();
-        let after = inner.stats.rx_frames + inner.stats.tx_frames + inner.stats.unreachable_drops;
-        inner.flush_tx();
-        (after - before) as usize + timer_events + backlog
+        (0..self.num_shards).map(|i| self.poll_shard(i)).sum()
+    }
+
+    /// One poll pass over a single shard: drain its RX queue(s) and
+    /// handoffs (up to [`StackConfig::rx_budget`] frames), advance its
+    /// protocol timers, hand its coalesced outgoing frames to the device
+    /// in one burst, then distribute any frames and ARP bindings staged
+    /// for other shards. This is the unit the runtime registers one poller
+    /// per shard for.
+    pub fn poll_shard(&self, index: usize) -> usize {
+        let (mut work, forwards, learned) = {
+            let mut shard = self.shards[index].borrow_mut();
+            let work = shard.poll_pass();
+            (
+                work,
+                std::mem::take(&mut shard.forwards),
+                std::mem::take(&mut shard.learned),
+            )
+        };
+        // Mis-steered frames go to their owning shard's handoff queue;
+        // processing them is counted there (`handoffs_in`), not here.
+        for (target, mbuf) in forwards {
+            self.shards[target].borrow_mut().handoff.push_back(mbuf);
+        }
+        // ARP bindings learned on one shard serve the whole host: another
+        // shard may be the one holding packets queued on that resolution.
+        for (ip, mac) in learned {
+            for (j, other) in self.shards.iter().enumerate() {
+                if j != index {
+                    work += other.borrow_mut().arp_learn(ip, mac);
+                }
+            }
+        }
+        work
     }
 
     /// Earliest protocol timer deadline (ARP retry, TCP RTO/persist/
-    /// TIME_WAIT), for runtime clock advancement.
+    /// TIME_WAIT/delayed-ACK) across all shards, for runtime clock
+    /// advancement.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        let inner = self.inner.borrow();
-        [inner.arp.next_deadline(), inner.tcp.next_deadline()]
-            .into_iter()
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                let mut shard = s.borrow_mut();
+                let tcp = shard.tcp.next_deadline();
+                [shard.arp.next_deadline(), tcp]
+            })
             .flatten()
             .min()
     }
 
-    /// Stack counters.
+    /// Stack counters, summed across shards.
     pub fn stats(&self) -> StackStats {
-        self.inner.borrow().stats
+        let mut total = StackStats::default();
+        for s in &self.shards {
+            let st = s.borrow().stats;
+            total.rx_frames += st.rx_frames;
+            total.tx_frames += st.tx_frames;
+            total.malformed += st.malformed;
+            total.not_for_us += st.not_for_us;
+            total.arp_requests += st.arp_requests;
+            total.arp_replies += st.arp_replies;
+            total.icmp_replies += st.icmp_replies;
+            total.unreachable_drops += st.unreachable_drops;
+        }
+        total
     }
 
-    /// UDP layer counters.
+    /// Per-shard counters (E14 reads these to prove flows stay home).
+    pub fn shard_stats(&self, index: usize) -> ShardStats {
+        self.shards[index].borrow().shard_stats
+    }
+
+    /// UDP layer counters, summed across shards.
     pub fn udp_stats(&self) -> UdpStats {
-        self.inner.borrow().udp.stats()
+        let mut total = UdpStats::default();
+        for s in &self.shards {
+            let st = s.borrow().udp.stats();
+            total.delivered += st.delivered;
+            total.no_listener += st.no_listener;
+            total.queue_drops += st.queue_drops;
+        }
+        total
     }
 
-    /// TCP layer counters.
+    /// TCP layer counters, summed across shards.
     pub fn tcp_stats(&self) -> TcpStats {
-        self.inner.borrow().tcp.stats()
+        let mut total = TcpStats::default();
+        for s in &self.shards {
+            let st = s.borrow().tcp.stats();
+            total.demuxed += st.demuxed;
+            total.syns_accepted += st.syns_accepted;
+            total.syns_dropped_backlog += st.syns_dropped_backlog;
+            total.resets_sent += st.resets_sent;
+            total.unmatched += st.unmatched;
+        }
+        total
+    }
+
+    /// The shard owning connection `conn` — recoverable from the id alone
+    /// because shard *i* allocates ids `i, i+N, i+2N, …`.
+    fn conn_shard(&self, conn: ConnId) -> &RefCell<Shard> {
+        &self.shards[conn.0 as usize % self.num_shards]
     }
 
     // ------------------------------------------------------------------
@@ -205,7 +366,10 @@ impl NetworkStack {
 
     /// Sends an ICMP echo request.
     pub fn ping(&self, dst: Ipv4Addr, ident: u16, seq: u16) {
-        let mut inner = self.inner.borrow_mut();
+        // ICMP has no ports; RSS hashes it as the host pair, so the owning
+        // shard is the (0, 0)-port flow's shard.
+        let owner = self.shard_for(0, SocketAddr::new(dst, 0));
+        let mut shard = self.shards[owner].borrow_mut();
         let echo = IcmpEcho {
             is_request: true,
             ident,
@@ -213,36 +377,59 @@ impl NetworkStack {
             payload: DemiBuffer::empty(),
         };
         let packet = echo.into_packet(IPV4_HEADER_LEN + ETH_HEADER_LEN);
-        inner.send_ip(dst, IpProtocol::Icmp, packet);
+        shard.send_ip(dst, IpProtocol::Icmp, packet);
     }
 
     /// Pops a received echo reply `(from, ident, seq)`.
     pub fn recv_pong(&self) -> Option<(Ipv4Addr, u16, u16)> {
-        let mut inner = self.inner.borrow_mut();
-        if inner.pongs.is_empty() {
-            None
-        } else {
-            Some(inner.pongs.remove(0))
+        for s in &self.shards {
+            let mut shard = s.borrow_mut();
+            if !shard.pongs.is_empty() {
+                return Some(shard.pongs.remove(0));
+            }
         }
+        None
     }
 
     // ------------------------------------------------------------------
     // UDP.
     // ------------------------------------------------------------------
+    //
+    // A UDP port receives from *any* remote, and the remote half of the
+    // tuple picks the RX queue — so one bound port's datagrams arrive on
+    // every shard. Binds are therefore replicated across shards
+    // (SO_REUSEPORT-style), each shard delivering the flows RSS steers to
+    // it; receive-side accessors aggregate.
 
     /// Binds a UDP port.
     pub fn udp_bind(&self, port: u16) -> Result<(), NetError> {
-        self.inner.borrow_mut().udp.bind(port)
+        self.shards[0].borrow_mut().udp.bind(port)?;
+        for s in &self.shards[1..] {
+            s.borrow_mut()
+                .udp
+                .bind(port)
+                .expect("shards' UDP port spaces stay in sync");
+        }
+        Ok(())
     }
 
     /// Binds an ephemeral UDP port and returns it.
     pub fn udp_bind_ephemeral(&self) -> Result<u16, NetError> {
-        self.inner.borrow_mut().udp.bind_ephemeral()
+        let port = self.shards[0].borrow_mut().udp.bind_ephemeral()?;
+        for s in &self.shards[1..] {
+            s.borrow_mut()
+                .udp
+                .bind(port)
+                .expect("shards' UDP port spaces stay in sync");
+        }
+        Ok(port)
     }
 
     /// Closes a UDP port.
     pub fn udp_close(&self, port: u16) {
-        self.inner.borrow_mut().udp.close(port);
+        for s in &self.shards {
+            s.borrow_mut().udp.close(port);
+        }
     }
 
     /// Sends one datagram from `src_port` to `dst`.
@@ -258,16 +445,19 @@ impl NetworkStack {
         dst: SocketAddr,
         payload: impl Into<DemiBuffer>,
     ) -> Result<(), NetError> {
-        let mut inner = self.inner.borrow_mut();
         let payload: DemiBuffer = payload.into();
-        let max = inner.config.mtu - IPV4_HEADER_LEN - UDP_HEADER_LEN;
+        let max = self.config.mtu - IPV4_HEADER_LEN - UDP_HEADER_LEN;
         if payload.len() > max {
             return Err(NetError::MessageTooLong {
                 len: payload.len(),
                 max,
             });
         }
-        if !inner.udp.is_bound(src_port) {
+        // The flow's owning shard transmits, keeping its ARP view and TX
+        // ring the only state this datagram touches.
+        let owner = self.shard_for(src_port, dst);
+        let mut shard = self.shards[owner].borrow_mut();
+        if !shard.udp.is_bound(src_port) {
             return Err(NetError::BadHandle);
         }
         let header = UdpHeader {
@@ -280,122 +470,235 @@ impl NetworkStack {
         } else {
             payload.copy_with_headroom(MAX_HEADER_LEN)
         };
-        let (src_ip, dst_ip) = (inner.config.ip, dst.ip);
+        let (src_ip, dst_ip) = (self.config.ip, dst.ip);
         header
             .prepend_onto(src_ip, dst_ip, &mut datagram)
             .expect("headroom ensured above");
-        inner.send_ip(dst.ip, IpProtocol::Udp, datagram);
+        shard.send_ip(dst.ip, IpProtocol::Udp, datagram);
         Ok(())
     }
 
-    /// Pops a received datagram on `port` (zero-copy payload).
+    /// Pops a received datagram on `port` (zero-copy payload). Per-flow
+    /// order is preserved (a flow lives on one shard); order *between*
+    /// remotes on different shards is not, exactly like hardware RSS.
     pub fn udp_recv_from(&self, port: u16) -> Option<(SocketAddr, DemiBuffer)> {
-        self.inner.borrow_mut().udp.recv_from(port)
+        for s in &self.shards {
+            if let Some(got) = s.borrow_mut().udp.recv_from(port) {
+                return Some(got);
+            }
+        }
+        None
     }
 
-    /// Datagrams queued on `port`.
+    /// Datagrams queued on `port` across all shards.
     pub fn udp_pending(&self, port: u16) -> usize {
-        self.inner.borrow().udp.pending(port)
+        self.shards
+            .iter()
+            .map(|s| s.borrow().udp.pending(port))
+            .sum()
     }
 
     // ------------------------------------------------------------------
     // TCP.
     // ------------------------------------------------------------------
 
-    /// Starts listening on a TCP port.
+    /// Starts listening on a TCP port. The listener is replicated on every
+    /// shard (SO_REUSEPORT-style): each shard accepts the handshakes RSS
+    /// steers to it into its own backlog, and [`NetworkStack::tcp_accept`]
+    /// drains them all.
     pub fn tcp_listen(&self, port: u16, backlog: usize) -> Result<ListenerId, NetError> {
-        self.inner.borrow_mut().tcp.listen(port, backlog)
+        let mut ctrl = self.ctrl.borrow_mut();
+        if ctrl.tcp_ports.contains(&port) {
+            return Err(NetError::AddrInUse(port));
+        }
+        let inner: Vec<ListenerId> = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.borrow_mut()
+                    .tcp
+                    .listen(port, backlog)
+                    .expect("facade owns the port namespace")
+            })
+            .collect();
+        ctrl.tcp_ports.insert(port);
+        let id = ctrl.next_listener;
+        ctrl.next_listener += 1;
+        ctrl.listeners.insert(id, (port, inner));
+        Ok(ListenerId(id))
     }
 
-    /// Pops an established connection from a listener backlog.
+    /// Pops an established connection from a listener backlog (any shard).
     pub fn tcp_accept(&self, listener: ListenerId) -> Result<Option<ConnId>, NetError> {
-        self.inner.borrow_mut().tcp.accept(listener)
+        let ctrl = self.ctrl.borrow();
+        let (_, inner) = ctrl.listeners.get(&listener.0).ok_or(NetError::BadHandle)?;
+        for (shard, &lid) in self.shards.iter().zip(inner) {
+            if let Some(conn) = shard.borrow_mut().tcp.accept(lid)? {
+                return Ok(Some(conn));
+            }
+        }
+        Ok(None)
     }
 
     /// Stops listening; pending unaccepted connections are aborted.
     pub fn tcp_close_listener(&self, listener: ListenerId) {
-        let mut inner = self.inner.borrow_mut();
-        inner.tcp.close_listener(listener);
-        inner.flush_tcp();
+        let mut ctrl = self.ctrl.borrow_mut();
+        let Some((port, inner)) = ctrl.listeners.remove(&listener.0) else {
+            return;
+        };
+        ctrl.tcp_ports.remove(&port);
+        for (shard, lid) in self.shards.iter().zip(inner) {
+            let mut shard = shard.borrow_mut();
+            shard.tcp.close_listener(lid);
+            shard.flush_tcp();
+        }
     }
 
     /// Starts an active open; poll [`NetworkStack::tcp_state`] until
-    /// `Established` (or an error).
+    /// `Established` (or an error). The local port is drawn from the
+    /// host-wide ephemeral range, and the connection is placed on the
+    /// shard its 4-tuple hashes to — the shard whose RX queue the
+    /// handshake replies will arrive on.
     pub fn tcp_connect(&self, remote: SocketAddr) -> Result<ConnId, NetError> {
-        let mut inner = self.inner.borrow_mut();
-        let now = inner.clock.now();
-        let conn = inner.tcp.connect(remote, now)?;
-        inner.flush_tcp();
+        let port = {
+            let mut ctrl = self.ctrl.borrow_mut();
+            let mut found = None;
+            for _ in 0..=u16::MAX as u32 {
+                let candidate = ctrl.next_ephemeral;
+                ctrl.next_ephemeral = ctrl.next_ephemeral.checked_add(1).unwrap_or(32_768);
+                if !ctrl.tcp_ports.contains(&candidate) {
+                    ctrl.tcp_ports.insert(candidate);
+                    found = Some(candidate);
+                    break;
+                }
+            }
+            found.ok_or(NetError::EphemeralPortsExhausted)?
+        };
+        let owner = self.shard_for(port, remote);
+        let mut shard = self.shards[owner].borrow_mut();
+        let now = shard.clock.now();
+        let conn = shard.tcp.connect_bound(port, remote, now);
+        shard.flush_tcp();
         Ok(conn)
     }
 
     /// Connection state.
     pub fn tcp_state(&self, conn: ConnId) -> Result<State, NetError> {
-        self.inner.borrow().tcp.state(conn)
+        self.conn_shard(conn).borrow().tcp.state(conn)
     }
 
     /// Connection failure, if any.
     pub fn tcp_error(&self, conn: ConnId) -> Option<NetError> {
-        self.inner.borrow().tcp.error(conn)
+        self.conn_shard(conn).borrow().tcp.error(conn)
     }
 
     /// Queues stream data (zero-copy) for transmission.
     pub fn tcp_send(&self, conn: ConnId, data: DemiBuffer) -> Result<(), NetError> {
-        let mut inner = self.inner.borrow_mut();
-        let now = inner.clock.now();
-        inner.tcp.send(conn, data, now)?;
-        inner.flush_tcp();
+        let mut shard = self.conn_shard(conn).borrow_mut();
+        let now = shard.clock.now();
+        shard.tcp.send(conn, data, now)?;
+        shard.flush_tcp();
         Ok(())
     }
 
     /// Pops received stream data (ordered chunks).
     pub fn tcp_recv(&self, conn: ConnId) -> Result<Option<DemiBuffer>, NetError> {
-        let mut inner = self.inner.borrow_mut();
-        let r = inner.tcp.recv(conn)?;
+        let mut shard = self.conn_shard(conn).borrow_mut();
+        let r = shard.tcp.recv(conn)?;
         // recv may emit a window update.
-        inner.flush_tcp();
+        shard.flush_tcp();
         Ok(r)
     }
 
     /// Whether the connection has data or EOF to read.
     pub fn tcp_readable(&self, conn: ConnId) -> bool {
-        self.inner.borrow().tcp.is_readable(conn)
+        self.conn_shard(conn).borrow().tcp.is_readable(conn)
     }
 
     /// Whether the peer closed and all data was drained.
     pub fn tcp_eof(&self, conn: ConnId) -> bool {
-        self.inner.borrow().tcp.at_eof(conn)
+        self.conn_shard(conn).borrow().tcp.at_eof(conn)
     }
 
     /// Graceful close.
     pub fn tcp_close(&self, conn: ConnId) -> Result<(), NetError> {
-        let mut inner = self.inner.borrow_mut();
-        let now = inner.clock.now();
-        inner.tcp.close(conn, now)?;
-        inner.flush_tcp();
+        let mut shard = self.conn_shard(conn).borrow_mut();
+        let now = shard.clock.now();
+        shard.tcp.close(conn, now)?;
+        shard.flush_tcp();
         Ok(())
     }
 
     /// Abortive close.
     pub fn tcp_abort(&self, conn: ConnId) -> Result<(), NetError> {
-        let mut inner = self.inner.borrow_mut();
-        inner.tcp.abort(conn)?;
-        inner.flush_tcp();
+        let mut shard = self.conn_shard(conn).borrow_mut();
+        shard.tcp.abort(conn)?;
+        shard.flush_tcp();
         Ok(())
     }
 
     /// Per-connection protocol counters.
     pub fn tcp_conn_stats(&self, conn: ConnId) -> Result<crate::tcp::cb::CbStats, NetError> {
-        self.inner.borrow().tcp.conn_stats(conn)
+        self.conn_shard(conn).borrow().tcp.conn_stats(conn)
     }
 }
 
-impl Inner {
-    /// Drains up to `rx_budget` frames from the device and dispatches them.
-    /// Returns the backlog still pending in the device ring afterwards —
-    /// remaining work the caller reports so the scheduler's activity gate
-    /// keeps seeing progress under a flood without this pass starving
-    /// timers or the other pollers.
+/// One shard: a complete protocol instance bound to a subset of the
+/// device's RX queues (exactly one when sharded; all of them in the
+/// single-shard baseline).
+struct Shard {
+    index: usize,
+    num_shards: usize,
+    /// RX queues this shard drains.
+    queues: Vec<u16>,
+    /// Round-robin cursor over `queues` (multi-queue single-shard mode).
+    rr_next: usize,
+    port: DpdkPort,
+    clock: SimClock,
+    config: StackConfig,
+    arp: ArpCache,
+    udp: UdpPeer,
+    tcp: TcpPeer,
+    pongs: Vec<(Ipv4Addr, u16, u16)>,
+    /// TX coalescing ring: fully framed mbufs accumulate here in enqueue
+    /// order and leave in a single `tx_burst` at the end of each poll pass.
+    tx_ring: Vec<Mbuf>,
+    /// Frames other shards received but this shard owns (RSS overridden by
+    /// a steering program). Drained before the device queues each pass.
+    handoff: VecDeque<Mbuf>,
+    /// Frames this shard received but another owns, staged for the facade
+    /// to distribute after this shard's pass: `(owning shard, frame)`.
+    forwards: Vec<(usize, Mbuf)>,
+    /// ARP bindings learned this pass, staged for the facade to teach the
+    /// other shards (resolution benefits the whole host).
+    learned: Vec<(Ipv4Addr, MacAddress)>,
+    stats: StackStats,
+    shard_stats: ShardStats,
+}
+
+impl Shard {
+    /// One full pass: RX (handoffs, then own queues), timers, TCP flush,
+    /// TX flush. Returns the work-item count for the scheduler's activity
+    /// gate; handed-off frames count here (their arrival moved no stack
+    /// counter, but a caller parked on the delivered data must wake).
+    fn poll_pass(&mut self) -> usize {
+        let before = self.stats.rx_frames + self.stats.tx_frames + self.stats.unreachable_drops;
+        let handoffs_before = self.shard_stats.handoffs_in;
+        let backlog = self.rx_pass();
+        let timer_events = self.timer_pass();
+        self.shard_stats.timer_events += timer_events as u64;
+        self.flush_tcp();
+        let after = self.stats.rx_frames + self.stats.tx_frames + self.stats.unreachable_drops;
+        self.flush_tx();
+        let handoffs = (self.shard_stats.handoffs_in - handoffs_before) as usize;
+        (after - before) as usize + handoffs + timer_events + backlog
+    }
+
+    /// Drains up to `rx_budget` frames — handoffs from other shards first,
+    /// then this shard's device queues round-robin. Returns the backlog
+    /// still pending afterwards — remaining work the caller reports so the
+    /// scheduler's activity gate keeps seeing progress under a flood
+    /// without this pass starving timers or the other pollers.
     fn rx_pass(&mut self) -> usize {
         let budget = self.config.rx_budget;
         // One clock read per pass, not per frame: every per-frame handler
@@ -403,24 +706,61 @@ impl Inner {
         let now = self.clock.now();
         let mut processed = 0;
         while processed < budget {
-            let burst = self.port.rx_burst(0, (budget - processed).min(RX_BURST));
+            let Some(mbuf) = self.handoff.pop_front() else {
+                break;
+            };
+            processed += 1;
+            self.shard_stats.handoffs_in += 1;
+            // Already steered here by the owning check — dispatch directly.
+            self.dispatch_frame(mbuf, now);
+        }
+        let nq = self.queues.len();
+        let mut idle_queues = 0;
+        while processed < budget && idle_queues < nq {
+            let queue = self.queues[self.rr_next];
+            self.rr_next = (self.rr_next + 1) % nq;
+            let burst = self.port.rx_burst(queue, (budget - processed).min(RX_BURST));
             if burst.is_empty() {
-                return 0;
+                idle_queues += 1;
+                continue;
             }
+            idle_queues = 0;
             processed += burst.len();
             for mbuf in burst {
                 self.stats.rx_frames += 1;
+                self.shard_stats.rx_frames += 1;
                 self.handle_frame(mbuf, now);
             }
         }
-        let backlog = self.port.rx_pending(0);
-        if backlog > 0 {
+        let backlog: usize = self.handoff.len()
+            + self
+                .queues
+                .iter()
+                .map(|&q| self.port.rx_pending(q))
+                .sum::<usize>();
+        if processed >= budget && backlog > 0 {
             crate::counters::note_rx_budget_exhausted();
         }
         backlog
     }
 
+    /// First touch of a frame pulled from this shard's own queue: check it
+    /// actually belongs here (a SmartNIC steering program can override the
+    /// RSS hash), forwarding strays to their owner.
     fn handle_frame(&mut self, mbuf: Mbuf, now: SimTime) {
+        if self.num_shards > 1 {
+            let owner = rss::queue_for_frame(mbuf.as_slice(), self.num_shards as u16) as usize;
+            if owner != self.index {
+                self.shard_stats.steering_mismatches += 1;
+                crate::counters::note_steering_mismatch();
+                self.forwards.push((owner, mbuf));
+                return;
+            }
+        }
+        self.dispatch_frame(mbuf, now);
+    }
+
+    fn dispatch_frame(&mut self, mbuf: Mbuf, now: SimTime) {
         let ethertype = match EthHeader::parse(mbuf.as_slice()) {
             Ok((eth, _)) => eth.ethertype,
             Err(_) => {
@@ -443,6 +783,11 @@ impl Inner {
         // Opportunistically learn the sender's binding either way.
         let actions = self.arp.insert(pkt.sender_ip, pkt.sender_mac, now);
         self.run_arp_actions(actions);
+        if self.num_shards > 1 {
+            // An ARP reply is RSS-steered by source MAC, not by the flow
+            // that asked — the shard waiting on it may be another one.
+            self.learned.push((pkt.sender_ip, pkt.sender_mac));
+        }
         if pkt.op == ArpOp::Request && pkt.target_ip == self.config.ip {
             let reply = ArpPacket {
                 op: ArpOp::Reply,
@@ -455,6 +800,18 @@ impl Inner {
             let buf = self.control_buffer(&reply.serialize());
             self.tx_frame(pkt.sender_mac, EtherType::Arp, buf);
         }
+    }
+
+    /// Learns an ARP binding discovered by another shard; flushes anything
+    /// this shard had queued on that resolution. Returns the work done
+    /// (frames sent plus unreachable drops), for the activity gate.
+    fn arp_learn(&mut self, ip: Ipv4Addr, mac: MacAddress) -> usize {
+        let now = self.clock.now();
+        let before = self.stats.tx_frames + self.stats.unreachable_drops;
+        let actions = self.arp.insert(ip, mac, now);
+        self.run_arp_actions(actions);
+        self.flush_tx();
+        (self.stats.tx_frames + self.stats.unreachable_drops - before) as usize
     }
 
     fn handle_ipv4(&mut self, mbuf: Mbuf, now: SimTime) {

@@ -287,15 +287,25 @@ impl ControlBlock {
 
     /// Earliest timer deadline, for runtime clock advancement.
     pub fn next_deadline(&self) -> Option<SimTime> {
+        self.timer_deadlines().into_iter().flatten().min()
+    }
+
+    /// All four timer deadlines, indexed RTO / persist / TIME_WAIT /
+    /// delayed-ACK — the peer's timing wheel diffs this array after every
+    /// control-block touch to schedule or lazily cancel wheel entries.
+    pub fn timer_deadlines(&self) -> [Option<SimTime>; 4] {
         [
             self.rto_deadline,
             self.persist_deadline,
             self.timewait_deadline,
             self.delayed_ack_deadline,
         ]
-        .into_iter()
-        .flatten()
-        .min()
+    }
+
+    /// Whether segments are waiting in the outbox (drives the peer's
+    /// active-output list, so flushing scales with active connections).
+    pub fn has_outbox(&self) -> bool {
+        !self.outbox.is_empty()
     }
 
     // ------------------------------------------------------------------

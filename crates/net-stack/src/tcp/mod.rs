@@ -28,6 +28,7 @@ pub mod header;
 pub mod peer;
 pub mod rto;
 pub mod seq;
+pub mod wheel;
 
 pub use cb::{ControlBlock, State, TcpSegmentOut};
 pub use header::{TcpFlags, TcpHeader, TCP_MAX_HEADER_LEN};

@@ -5,12 +5,15 @@
 # 0 payload copies per packet) under the same optimization level E12 uses;
 # the release-mode batching run asserts the E13 counter invariants the
 # same way (single-doorbell TX bursts, delayed-ACK timing, O(1)
-# completion delivery).
+# completion delivery); the release-mode sharding run asserts the E14
+# invariants (symmetric RSS, wheel-vs-linear timer equivalence, zero
+# cross-shard traffic, silent timers for idle connections).
 verify:
     cargo build --release
     cargo test -q
     cargo test --release -q --test zero_copy_memory
     cargo test --release -q --test batching
+    cargo test --release -q --test sharding
     cargo clippy -- -D warnings
 
 # Everything `verify` checks, across the whole workspace.
@@ -19,9 +22,10 @@ verify-all:
     cargo test --workspace -q
     cargo test --release -q --test zero_copy_memory
     cargo test --release -q --test batching
+    cargo test --release -q --test sharding
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Regenerate every experiment table (E1–E13).
+# Regenerate every experiment table (E1–E14).
 experiments:
     cargo bench -p demi-bench
 
@@ -34,3 +38,8 @@ bench-datapath:
 # asserted handoff-amortization, ACK-coalescing, and latency bounds.
 bench-batching:
     cargo bench -p demi-bench --bench e13_batching
+
+# The sharding experiment alone: RSS flow affinity, idle-connection
+# timer cost, and the 4-vs-1 shard makespan A/B with asserted bounds.
+bench-sharding:
+    cargo bench -p demi-bench --bench e14_sharding

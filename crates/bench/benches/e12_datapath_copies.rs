@@ -107,19 +107,23 @@ fn bench(c: &mut Criterion) {
         let data = vec![0xA5u8; size];
         group.throughput(Throughput::Bytes(size as u64));
         // Legacy: three Vec builders, three payload copies per frame.
-        group.bench_with_input(BenchmarkId::new("legacy_vec_builders", size), &size, |b, _| {
-            b.iter(|| {
-                let dg = udp.build_datagram(src_ip, dst_ip, criterion::black_box(&data));
-                let ip = Ipv4Header {
-                    src: src_ip,
-                    dst: dst_ip,
-                    protocol: IpProtocol::Udp,
-                    payload_len: dg.len(),
-                };
-                let pkt = build_packet(&ip, &dg);
-                criterion::black_box(build_frame(&eth, &pkt))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("legacy_vec_builders", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    let dg = udp.build_datagram(src_ip, dst_ip, criterion::black_box(&data));
+                    let ip = Ipv4Header {
+                        src: src_ip,
+                        dst: dst_ip,
+                        protocol: IpProtocol::Udp,
+                        payload_len: dg.len(),
+                    };
+                    let pkt = build_packet(&ip, &dg);
+                    criterion::black_box(build_frame(&eth, &pkt))
+                })
+            },
+        );
         // Zero-copy: prepend headers into headroom, trim back to reuse the
         // same buffer (steady-state mbuf behavior: no allocation at all).
         let mut buf = DemiBuffer::zeroed_with_headroom(MAX_HEADER_LEN, size);

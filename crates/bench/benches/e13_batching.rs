@@ -106,7 +106,10 @@ fn burst_echo(seed: u64, depth: usize, rounds: u32, batched: bool) -> BurstStats
 fn tcp_stream_acks(seed: u64, chunks: usize, delayed: bool) -> (u64, u64, u64) {
     let fabric = Fabric::new(seed);
     let mk = |last: u8| {
-        let port = DpdkPort::new(&fabric, PortConfig::basic(MacAddress::from_last_octet(last)));
+        let port = DpdkPort::new(
+            &fabric,
+            PortConfig::basic(MacAddress::from_last_octet(last)),
+        );
         let mut cfg = StackConfig::new(host_ip(last));
         cfg.tcp.delayed_acks = delayed;
         NetworkStack::new(port, fabric.clock(), cfg)
@@ -159,7 +162,8 @@ fn tcp_stream_acks(seed: u64, chunks: usize, delayed: bool) -> (u64, u64, u64) {
             while let Ok(Some(buf)) = b.tcp_recv(sconn) {
                 got += buf.len();
             }
-            got > 0 && b.tcp_conn_stats(sconn).unwrap().in_order_segments * mss as u64 >= drained as u64
+            got > 0
+                && b.tcp_conn_stats(sconn).unwrap().in_order_segments * mss as u64 >= drained as u64
         });
     }
     let sender = a.tcp_conn_stats(conn).unwrap();
@@ -257,9 +261,7 @@ fn experiment_table() {
         per_seg_i >= 0.9,
         "the baseline should ack roughly every segment, got {per_seg_i:.3}"
     );
-    println!(
-        "paper check: {per_seg_d:.3} ACK frames/segment delayed vs {per_seg_i:.3} baseline\n"
-    );
+    println!("paper check: {per_seg_d:.3} ACK frames/segment delayed vs {per_seg_i:.3} baseline\n");
 }
 
 fn bench(c: &mut Criterion) {

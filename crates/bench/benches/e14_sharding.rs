@@ -92,7 +92,9 @@ fn flow_affinity_table() {
         .map(|_| a.tcp_connect(SocketAddr::new(ip(2), 80)).unwrap())
         .collect();
     settle(&fabric, &[&a, &b], || {
-        conns.iter().all(|&c| a.tcp_state(c) == Ok(State::Established))
+        conns
+            .iter()
+            .all(|&c| a.tcp_state(c) == Ok(State::Established))
     });
     let mut accepted = Vec::new();
     settle(&fabric, &[&a, &b], || {
@@ -103,7 +105,8 @@ fn flow_affinity_table() {
     });
 
     for &conn in &conns {
-        a.tcp_send(conn, DemiBuffer::from_slice(&[0xA5; PAYLOAD])).unwrap();
+        a.tcp_send(conn, DemiBuffer::from_slice(&[0xA5; PAYLOAD]))
+            .unwrap();
     }
     let mut echoed = 0;
     settle(&fabric, &[&a, &b], || {
@@ -192,7 +195,9 @@ fn echo_rtt_with_idle(idle: usize, rounds: u32, trials: u32) -> IdleStats {
                 .collect();
             opened += batch;
             settle(&fabric, &[&a, &b], || {
-                conns.iter().all(|&c| a.tcp_state(c) == Ok(State::Established))
+                conns
+                    .iter()
+                    .all(|&c| a.tcp_state(c) == Ok(State::Established))
             });
             settle(&fabric, &[&a, &b], || {
                 while let Ok(Some(_)) = b.tcp_accept(lid) {
@@ -242,7 +247,12 @@ fn idle_cost_table() {
 
     let mut table = Table::new(
         "E14: 1-flow UDP echo RTT with parked TCP connections resident",
-        &["idle conns", "wall ns/round (best)", "virtual RTT", "timers fired"],
+        &[
+            "idle conns",
+            "wall ns/round (best)",
+            "virtual RTT",
+            "timers fired",
+        ],
     );
     for (label, s) in [("0", unloaded), ("10000", loaded)] {
         table.row(&[
@@ -377,7 +387,13 @@ fn scaling_table() {
 
     let mut table = Table::new(
         "E14: uniform 64-flow echo workload, server frames by shard (makespan model)",
-        &["shards", "ops", "frames/shard", "busiest", "ops per unit work"],
+        &[
+            "shards",
+            "ops",
+            "frames/shard",
+            "busiest",
+            "ops per unit work",
+        ],
     );
     for (label, load) in [("1", &one), ("4", &four)] {
         table.row(&[

@@ -9,6 +9,7 @@
 pub mod cachesim;
 pub mod echo;
 pub mod httpframe;
+pub mod loadgen;
 pub mod table;
 pub mod workload;
 
@@ -16,5 +17,6 @@ pub use cachesim::{CoreCaches, SteeringPolicy};
 pub use echo::{
     catnap_udp_echo, catnap_udp_echo_with_cost, catnip_udp_echo, mtcp_echo_world, EchoStats,
 };
+pub use loadgen::{closed_loop, open_loop, open_loop_point, LoadResult};
 pub use table::Table;
 pub use workload::ZipfKeys;

@@ -1,0 +1,276 @@
+//! Closed- and open-loop load generators for E15 (tail latency).
+//!
+//! Both drivers run a UDP echo workload on virtual time and record
+//! per-request latency into a `demi_telemetry` histogram. The closed
+//! loop keeps a fixed number of outstanding requests (each worker fires
+//! its next request only after its reply lands) and measures RTT. The
+//! open loop schedules Poisson arrivals up front and measures *sojourn*
+//! time from the scheduled arrival instant — not from the send — so a
+//! request delayed behind a queue is charged for its wait (no
+//! coordinated omission).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use demi_telemetry::hist::Histogram;
+use demi_telemetry::loadgen::{poisson_schedule, CurvePoint};
+use demikernel::libos::{LibOs, SocketKind};
+use demikernel::runtime::Runtime;
+use demikernel::testing::host_ip;
+use demikernel::types::{OperationResult, Sga};
+use net_stack::types::SocketAddr;
+use sim_fabric::SimTime;
+
+/// UDP port the echo server listens on.
+pub const ECHO_PORT: u16 = 7;
+/// First client port used by closed-loop workers.
+const CLOSED_BASE_PORT: u16 = 9000;
+/// First client port used by open-loop request coroutines.
+const OPEN_BASE_PORT: u16 = 20000;
+
+/// One load-generator run: the latency histogram plus how long the run
+/// took in virtual nanoseconds (for throughput).
+pub struct LoadResult {
+    /// Per-request latency (RTT for closed loop, sojourn for open loop).
+    pub hist: Histogram,
+    /// Virtual time the measured phase spanned.
+    pub elapsed_ns: u64,
+}
+
+impl LoadResult {
+    /// Achieved request rate over the measured phase.
+    pub fn achieved_ops_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.hist.count() as f64 * 1e9 / self.elapsed_ns as f64
+    }
+}
+
+/// Binds the server socket and warms ARP with one throwaway round so the
+/// measured phase starts with resolved neighbors. Returns the server qd.
+fn warm_echo_pair<L: LibOs>(client: &L, server: &L) -> demikernel::types::QDesc {
+    let sqd = server.socket(SocketKind::Udp).unwrap();
+    server
+        .bind(sqd, SocketAddr::new(host_ip(2), ECHO_PORT))
+        .unwrap();
+    let cqd = client.socket(SocketKind::Udp).unwrap();
+    client.bind(cqd, SocketAddr::new(host_ip(1), 8999)).unwrap();
+    client
+        .pushto(
+            cqd,
+            &Sga::from_slice(b"warm"),
+            SocketAddr::new(host_ip(2), ECHO_PORT),
+        )
+        .unwrap();
+    let (from, _) = server.blocking_pop(sqd).unwrap().expect_pop();
+    // Echo the warm packet back so the server side resolves the client
+    // too; the reply is drained before measurement starts.
+    server
+        .pushto(sqd, &Sga::from_slice(b"warm"), from.unwrap())
+        .unwrap();
+    let _ = client.blocking_pop(cqd).unwrap();
+    let _ = client.close(cqd);
+    sqd
+}
+
+/// Spawns the echo server coroutine: pops exactly `total` requests and
+/// reflects each back to its sender, then closes the socket.
+fn spawn_echo_server<L: LibOs + Clone + 'static>(
+    rt: &Runtime,
+    server: &L,
+    sqd: demikernel::types::QDesc,
+    total: usize,
+) {
+    let server = server.clone();
+    rt.spawn_background("loadgen::echo_server", async move {
+        let rt = server.runtime().clone();
+        for _ in 0..total {
+            let pop = server.pop(sqd).unwrap();
+            let OperationResult::Pop { from, sga } = rt.await_op(pop).await else {
+                break;
+            };
+            let push = server.pushto(sqd, &sga, from.unwrap()).unwrap();
+            rt.await_op(push).await;
+        }
+        let _ = server.close(sqd);
+    });
+}
+
+/// Closed-loop echo: `concurrency` workers each run `rounds` sequential
+/// request/response pairs, recording the RTT of every pair.
+///
+/// `concurrency == 1` measures the *unloaded* RTT — the floor every
+/// open-loop curve is compared against.
+pub fn closed_loop<L: LibOs + Clone + 'static>(
+    rt: &Runtime,
+    client: &L,
+    server: &L,
+    size: usize,
+    concurrency: usize,
+    rounds: usize,
+) -> LoadResult {
+    let sqd = warm_echo_pair(client, server);
+    spawn_echo_server(rt, server, sqd, concurrency * rounds);
+
+    let hist = Rc::new(RefCell::new(Histogram::new()));
+    let server_addr = SocketAddr::new(host_ip(2), ECHO_PORT);
+    let t0 = rt.now();
+    let mut tokens = Vec::with_capacity(concurrency);
+    for worker in 0..concurrency {
+        let qd = client.socket(SocketKind::Udp).unwrap();
+        client
+            .bind(
+                qd,
+                SocketAddr::new(host_ip(1), CLOSED_BASE_PORT + worker as u16),
+            )
+            .unwrap();
+        let client = client.clone();
+        let hist = hist.clone();
+        tokens.push(rt.spawn_op("loadgen::closed_worker", async move {
+            let rt = client.runtime().clone();
+            let payload = vec![0xA5u8; size];
+            for _ in 0..rounds {
+                let start = rt.now();
+                let push = client
+                    .pushto(qd, &Sga::from_slice(&payload), server_addr)
+                    .unwrap();
+                rt.await_op(push).await;
+                let pop = client.pop(qd).unwrap();
+                let OperationResult::Pop { .. } = rt.await_op(pop).await else {
+                    panic!("closed-loop worker lost its reply");
+                };
+                hist.borrow_mut()
+                    .record(rt.now().saturating_since(start).as_nanos());
+            }
+            let _ = client.close(qd);
+            OperationResult::Push
+        }));
+    }
+    rt.wait_all(&tokens, None).unwrap();
+    let elapsed_ns = rt.now().saturating_since(t0).as_nanos();
+    let hist = hist.borrow().clone();
+    LoadResult { hist, elapsed_ns }
+}
+
+/// Open-loop echo: `count` Poisson arrivals at `rate_per_sec`, each a
+/// fresh coroutine on its own socket that sleeps until its scheduled
+/// instant, fires one request, and records sojourn time measured from
+/// the *schedule*, not the send.
+pub fn open_loop<L: LibOs + Clone + 'static>(
+    rt: &Runtime,
+    client: &L,
+    server: &L,
+    size: usize,
+    rate_per_sec: f64,
+    count: usize,
+    seed: u64,
+) -> LoadResult {
+    let sqd = warm_echo_pair(client, server);
+    spawn_echo_server(rt, server, sqd, count);
+
+    let start_ns = rt.now().as_nanos();
+    let schedule = poisson_schedule(seed, start_ns, rate_per_sec, count);
+    let hist = Rc::new(RefCell::new(Histogram::new()));
+    let server_addr = SocketAddr::new(host_ip(2), ECHO_PORT);
+    let mut tokens = Vec::with_capacity(count);
+    for (i, &arrival_ns) in schedule.iter().enumerate() {
+        let qd = client.socket(SocketKind::Udp).unwrap();
+        client
+            .bind(qd, SocketAddr::new(host_ip(1), OPEN_BASE_PORT + i as u16))
+            .unwrap();
+        let client = client.clone();
+        let hist = hist.clone();
+        tokens.push(rt.spawn_op("loadgen::open_request", async move {
+            let rt = client.runtime().clone();
+            rt.timers()
+                .sleep_until(SimTime::from_nanos(arrival_ns))
+                .await;
+            let payload = vec![0xA5u8; size];
+            let push = client
+                .pushto(qd, &Sga::from_slice(&payload), server_addr)
+                .unwrap();
+            rt.await_op(push).await;
+            let pop = client.pop(qd).unwrap();
+            let OperationResult::Pop { .. } = rt.await_op(pop).await else {
+                panic!("open-loop request lost its reply");
+            };
+            // Sojourn from the scheduled arrival: a request that queued
+            // behind a burst is charged for the wait it caused others
+            // to observe — the open-loop fix for coordinated omission.
+            hist.borrow_mut()
+                .record(rt.now().as_nanos().saturating_sub(arrival_ns));
+            let _ = client.close(qd);
+            OperationResult::Push
+        }));
+    }
+    rt.wait_all(&tokens, None).unwrap();
+    let last_arrival = *schedule.last().unwrap_or(&start_ns);
+    let elapsed_ns = rt
+        .now()
+        .as_nanos()
+        .saturating_sub(start_ns)
+        .max(last_arrival.saturating_sub(start_ns));
+    let hist = hist.borrow().clone();
+    LoadResult { hist, elapsed_ns }
+}
+
+/// Runs one open-loop rate and folds it into a curve point.
+pub fn open_loop_point<L: LibOs + Clone + 'static>(
+    rt: &Runtime,
+    client: &L,
+    server: &L,
+    size: usize,
+    rate_per_sec: f64,
+    count: usize,
+    seed: u64,
+) -> CurvePoint {
+    let run = open_loop(rt, client, server, size, rate_per_sec, count, seed);
+    CurvePoint::from_histogram(rate_per_sec, run.elapsed_ns, &run.hist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demikernel::testing::{catnap_pair, catnip_pair};
+
+    #[test]
+    fn closed_loop_records_every_round() {
+        let (rt, _fabric, client, server) = catnip_pair(77);
+        let res = closed_loop(&rt, &client, &server, 64, 2, 8);
+        assert_eq!(res.hist.count(), 16);
+        assert!(res.hist.min() > 0);
+        assert!(res.elapsed_ns > 0);
+        assert!(res.achieved_ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn open_loop_records_every_arrival() {
+        let (rt, _fabric, client, server) = catnip_pair(78);
+        let res = open_loop(&rt, &client, &server, 64, 50_000.0, 32, 9);
+        assert_eq!(res.hist.count(), 32);
+        assert!(res.hist.p99() >= res.hist.p50());
+    }
+
+    #[test]
+    fn open_loop_low_rate_tracks_unloaded_rtt() {
+        let (rt, _fabric, client, server) = catnip_pair(79);
+        let unloaded = closed_loop(&rt, &client, &server, 64, 1, 32);
+        let (rt2, _fabric2, client2, server2) = catnip_pair(79);
+        // 1k ops/s is far below capacity: sojourn ≈ RTT.
+        let light = open_loop(&rt2, &client2, &server2, 64, 1_000.0, 32, 9);
+        assert!(
+            light.hist.p99() <= 2 * unloaded.hist.p99().max(1),
+            "light open-loop p99 {} vs unloaded p99 {}",
+            light.hist.p99(),
+            unloaded.hist.p99()
+        );
+    }
+
+    #[test]
+    fn kernel_baseline_runs_the_same_driver() {
+        let (rt, _fabric, client, server) = catnap_pair(80);
+        let res = closed_loop(&rt, &client, &server, 64, 1, 8);
+        assert_eq!(res.hist.count(), 8);
+    }
+}

@@ -25,6 +25,9 @@
 //!   to the CPU otherwise.
 //! * [`metrics`] — exact counters of data-path kernel crossings, copies,
 //!   and wakeups, used by every experiment in `EXPERIMENTS.md`.
+//! * [`telemetry`] — the latency side of the same story: op-lifecycle
+//!   spans, per-stage latency histograms (p50/p99/p999), and Chrome
+//!   trace export, all off by default and recorded on virtual time.
 //!
 //! The unchanged-application claim (§1) is demonstrated by the test suite
 //! and examples: the same echo application source runs over catmem,
@@ -34,6 +37,7 @@ pub mod libos;
 pub mod metrics;
 pub mod ops;
 pub mod runtime;
+pub mod telemetry;
 pub mod testing;
 pub mod types;
 

@@ -10,6 +10,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use demi_memory::DatapathSnapshot;
+use demi_telemetry::counters::Baseline;
 use dpdk_sim::counters::{RxQueueSnapshot, TxBatchSnapshot, RX_QUEUE_SLOTS};
 use net_stack::counters::{BatchSnapshot, ShardSnapshot};
 
@@ -97,23 +98,25 @@ pub struct MetricsSnapshot {
 struct MetricsInner {
     snap: MetricsSnapshot,
     /// Thread-local counter readings at construction/reset; `snapshot()`
-    /// reports movement since then (the baseline-delta pattern).
-    buffer_baseline: DatapathSnapshot,
-    tx_batch_baseline: TxBatchSnapshot,
-    stack_batch_baseline: BatchSnapshot,
-    rx_queue_baseline: RxQueueSnapshot,
-    shard_baseline: ShardSnapshot,
+    /// reports movement since then (`demi_telemetry::counters::Baseline`).
+    /// Deltas saturate, so a crate-level counter reset between a baseline
+    /// capture and a fold clamps to zero instead of underflowing.
+    buffer_baseline: Baseline<DatapathSnapshot>,
+    tx_batch_baseline: Baseline<TxBatchSnapshot>,
+    stack_batch_baseline: Baseline<BatchSnapshot>,
+    rx_queue_baseline: Baseline<RxQueueSnapshot>,
+    shard_baseline: Baseline<ShardSnapshot>,
 }
 
 impl Default for MetricsInner {
     fn default() -> Self {
         MetricsInner {
             snap: MetricsSnapshot::default(),
-            buffer_baseline: demi_memory::counters::snapshot(),
-            tx_batch_baseline: dpdk_sim::counters::snapshot(),
-            stack_batch_baseline: net_stack::counters::snapshot(),
-            rx_queue_baseline: dpdk_sim::counters::rx_queue_snapshot(),
-            shard_baseline: net_stack::counters::shard_snapshot(),
+            buffer_baseline: Baseline::new(demi_memory::counters::snapshot()),
+            tx_batch_baseline: Baseline::new(dpdk_sim::counters::snapshot()),
+            stack_batch_baseline: Baseline::new(net_stack::counters::snapshot()),
+            rx_queue_baseline: Baseline::new(dpdk_sim::counters::rx_queue_snapshot()),
+            shard_baseline: Baseline::new(net_stack::counters::shard_snapshot()),
         }
     }
 }
@@ -178,20 +181,30 @@ impl Metrics {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.borrow();
         let mut snap = inner.snap;
-        let buffers = demi_memory::counters::snapshot().delta(&inner.buffer_baseline);
+        let buffers = inner
+            .buffer_baseline
+            .movement(demi_memory::counters::snapshot());
         snap.buffer_allocs = buffers.allocs;
         snap.buffer_copies = buffers.copies;
         snap.buffer_bytes_copied = buffers.bytes_copied;
-        let tx = dpdk_sim::counters::snapshot().delta(&inner.tx_batch_baseline);
+        let tx = inner
+            .tx_batch_baseline
+            .movement(dpdk_sim::counters::snapshot());
         snap.tx_burst_calls = tx.tx_burst_calls;
         snap.tx_frames_per_burst = tx.frames_per_burst;
-        let batch = net_stack::counters::snapshot().delta(&inner.stack_batch_baseline);
+        let batch = inner
+            .stack_batch_baseline
+            .movement(net_stack::counters::snapshot());
         snap.acks_coalesced = batch.acks_coalesced;
         snap.rx_budget_exhausted = batch.rx_budget_exhausted;
-        let rx_queues = dpdk_sim::counters::rx_queue_snapshot().delta(&inner.rx_queue_baseline);
+        let rx_queues = inner
+            .rx_queue_baseline
+            .movement(dpdk_sim::counters::rx_queue_snapshot());
         snap.rx_queue_enqueued = rx_queues.enqueued;
         snap.rx_queue_dropped = rx_queues.dropped;
-        let shard = net_stack::counters::shard_snapshot().delta(&inner.shard_baseline);
+        let shard = inner
+            .shard_baseline
+            .movement(net_stack::counters::shard_snapshot());
         snap.steering_mismatches = shard.steering_mismatches;
         snap.timers_scheduled = shard.timers_scheduled;
         snap.timers_fired = shard.timers_fired;
@@ -199,15 +212,27 @@ impl Metrics {
         snap
     }
 
-    /// Zeroes the counters (between experiment phases).
+    /// Zeroes the counters (between experiment phases), re-baselining the
+    /// per-crate thread-local counters so the next snapshot reports only
+    /// movement after this point.
     pub fn reset(&self) {
         let mut inner = self.inner.borrow_mut();
         inner.snap = MetricsSnapshot::default();
-        inner.buffer_baseline = demi_memory::counters::snapshot();
-        inner.tx_batch_baseline = dpdk_sim::counters::snapshot();
-        inner.stack_batch_baseline = net_stack::counters::snapshot();
-        inner.rx_queue_baseline = dpdk_sim::counters::rx_queue_snapshot();
-        inner.shard_baseline = net_stack::counters::shard_snapshot();
+        inner
+            .buffer_baseline
+            .rebase(demi_memory::counters::snapshot());
+        inner
+            .tx_batch_baseline
+            .rebase(dpdk_sim::counters::snapshot());
+        inner
+            .stack_batch_baseline
+            .rebase(net_stack::counters::snapshot());
+        inner
+            .rx_queue_baseline
+            .rebase(dpdk_sim::counters::rx_queue_snapshot());
+        inner
+            .shard_baseline
+            .rebase(net_stack::counters::shard_snapshot());
     }
 }
 
@@ -248,5 +273,41 @@ mod tests {
         let m2 = m.clone();
         m.count_push();
         assert_eq!(m2.snapshot().pushes, 1);
+    }
+
+    #[test]
+    fn crate_level_counter_reset_mid_run_clamps_to_zero() {
+        // A crate-level `reset()` zeroes the thread-locals while this
+        // Metrics still holds pre-reset baselines. The fold must clamp to
+        // zero (saturating delta), not underflow-panic or report garbage.
+        demi_memory::counters::note_alloc();
+        let m = Metrics::new();
+        demi_memory::counters::note_alloc();
+        demi_memory::counters::note_copy(64);
+        demi_memory::counters::reset();
+        let s = m.snapshot();
+        assert_eq!(s.buffer_allocs, 0);
+        assert_eq!(s.buffer_copies, 0);
+        assert_eq!(s.buffer_bytes_copied, 0);
+        // After a Metrics reset the baseline tracks the zeroed counters
+        // again and new movement folds in normally.
+        m.reset();
+        demi_memory::counters::note_alloc();
+        assert_eq!(m.snapshot().buffer_allocs, 1);
+    }
+
+    #[test]
+    fn metrics_reset_rebaselines_thread_locals() {
+        let m = Metrics::new();
+        dpdk_sim::counters::note_tx_burst(4);
+        net_stack::counters::note_ack_coalesced();
+        assert_eq!(m.snapshot().tx_burst_calls, 1);
+        assert_eq!(m.snapshot().acks_coalesced, 1);
+        m.reset();
+        let s = m.snapshot();
+        assert_eq!(s.tx_burst_calls, 0, "pre-reset movement must vanish");
+        assert_eq!(s.acks_coalesced, 0);
+        dpdk_sim::counters::note_tx_burst(2);
+        assert_eq!(m.snapshot().tx_burst_calls, 1);
     }
 }

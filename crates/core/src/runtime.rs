@@ -71,6 +71,13 @@ struct CompletionRing {
     ready: HashSet<QToken>,
 }
 
+/// Per-qtoken bookkeeping: the task handle plus the submission instant
+/// (the telemetry anchor for end-to-end op latency).
+struct OpEntry {
+    handle: TaskHandle<OperationResult>,
+    started: SimTime,
+}
+
 /// What one `drive_wait` step did with the arrivals it consumed.
 enum WaitStep<T> {
     /// The wait is satisfied; return this value.
@@ -88,7 +95,7 @@ struct Inner {
     fabric: Option<Fabric>,
     pollers: RefCell<Vec<Poller>>,
     deadline_sources: RefCell<Vec<DeadlineSource>>,
-    qts: RefCell<HashMap<QToken, TaskHandle<OperationResult>>>,
+    qts: RefCell<HashMap<QToken, OpEntry>>,
     completions: RefCell<CompletionRing>,
     next_qt: Cell<u64>,
     metrics: Metrics,
@@ -177,6 +184,31 @@ impl Runtime {
         &self.inner.metrics
     }
 
+    /// Installs this runtime's clock as the telemetry time source (the
+    /// recording sites in demi-sched/net-stack/dpdk-sim read virtual time
+    /// through `demi_telemetry::now_ns`). Called by both enable methods;
+    /// harmless to call repeatedly or from multiple runtimes — last one
+    /// wins, which is right for the one-world-at-a-time test pattern.
+    fn install_now_source(&self) {
+        let clock = self.inner.clock.clone();
+        demi_telemetry::set_now_source(Rc::new(move || clock.now().as_nanos()));
+    }
+
+    /// Turns on latency histograms (end-to-end op latency plus the
+    /// per-stage deltas) for this thread, clocked by this runtime.
+    pub fn enable_telemetry(&self) {
+        self.install_now_source();
+        demi_telemetry::set_enabled(true);
+    }
+
+    /// Turns on op-lifecycle span capture (the bounded ring behind
+    /// `demi_telemetry::span::drain` / Chrome trace export) for this
+    /// thread, clocked by this runtime.
+    pub fn enable_tracing(&self) {
+        self.install_now_source();
+        demi_telemetry::span::set_enabled(true);
+    }
+
     /// The activity gate: fires after every batch of external progress
     /// (frames delivered, poller work, timers fired). Coroutines waiting
     /// for device- or network-driven state changes park on
@@ -216,9 +248,25 @@ impl Runtime {
     {
         let qt = QToken(self.inner.next_qt.get());
         self.inner.next_qt.set(qt.0 + 1);
+        let started = self.inner.clock.now();
+        if demi_telemetry::span::enabled() {
+            demi_telemetry::span::begin(qt.0, name, started.as_nanos());
+        }
+        let op = Instrumented {
+            qt: qt.0,
+            first_polled: false,
+            inner: op,
+        };
         let ring = Rc::downgrade(&self.inner);
         let handle = self.inner.scheduler.spawn(name, async move {
             let result = op.await;
+            if demi_telemetry::span::enabled() {
+                demi_telemetry::span::note(
+                    qt.0,
+                    demi_telemetry::span::SpanPoint::Completed,
+                    demi_telemetry::now_ns(),
+                );
+            }
             if let Some(inner) = ring.upgrade() {
                 let mut completions = inner.completions.borrow_mut();
                 completions.arrivals.push_back(qt);
@@ -226,7 +274,10 @@ impl Runtime {
             }
             result
         });
-        self.inner.qts.borrow_mut().insert(qt, handle);
+        self.inner
+            .qts
+            .borrow_mut()
+            .insert(qt, OpEntry { handle, started });
         qt
     }
 
@@ -350,27 +401,42 @@ impl Runtime {
     /// only source of truth: a token appears there the instant its
     /// coroutine finishes (the `spawn_op` wrapper), so this is a set probe,
     /// not a handle poll.
-    fn take_if_complete(&self, qt: QToken) -> Option<OperationResult> {
+    fn take_if_complete(&self, qt: QToken) -> Option<(OperationResult, SimTime)> {
         {
             let mut completions = self.inner.completions.borrow_mut();
             if !completions.ready.remove(&qt) {
                 return None;
             }
         }
-        let handle = self
+        let entry = self
             .inner
             .qts
             .borrow_mut()
             .remove(&qt)
             .expect("ready token is spawned");
-        Some(handle.take_result().expect("ready token is complete"))
+        let result = entry.handle.take_result().expect("ready token is complete");
+        Some((result, entry.started))
     }
 
-    /// Consumes a token known to be ready and records the wakeup.
+    /// Consumes a token known to be ready, records the wakeup, and stamps
+    /// the wait-delivery telemetry (end-to-end op latency + span close).
     fn finish(&self, qt: QToken) -> OperationResult {
-        let result = self
+        let (result, started) = self
             .take_if_complete(qt)
             .expect("caller checked the ready set");
+        if demi_telemetry::enabled() || demi_telemetry::span::enabled() {
+            let now = self.inner.clock.now();
+            demi_telemetry::stage::record(
+                demi_telemetry::stage::Stage::OpLatency,
+                now.saturating_since(started).as_nanos(),
+            );
+            demi_telemetry::span::note(
+                qt.0,
+                demi_telemetry::span::SpanPoint::Delivered,
+                now.as_nanos(),
+            );
+            demi_telemetry::span::finish(qt.0);
+        }
         self.inner
             .metrics
             .count_wakeup(matches!(result, OperationResult::Pop { .. }));
@@ -445,10 +511,31 @@ impl Runtime {
                     return Err(DemiError::Timeout);
                 }
             }
-            // Try to advance virtual time whenever nothing completed this
-            // pass — runnable tasks may be waiting on the clock itself.
+            // A pump pass runs pollers *before* the scheduler, so a
+            // coroutine polled this pass may have enqueued frames on a TX
+            // coalescing ring that no poller has flushed yet — work
+            // invisible to `advance` (no fabric event exists until the
+            // flush). Jumping the clock here would hold those frames
+            // across the jump, charging them whole timer gaps of latency.
+            // Run the pollers once more after any task polls so every
+            // pending frame reaches the fabric; if that surfaces real
+            // work, reprocess it before the clock is allowed to move.
             let advanced = if report.completed == 0 {
-                self.advance(deadline)
+                let late_flush = if report.polled > 0 {
+                    let mut n = 0usize;
+                    for poller in self.inner.pollers.borrow().iter() {
+                        n += poller();
+                    }
+                    n
+                } else {
+                    0
+                };
+                if late_flush > 0 {
+                    self.inner.activity.notify_waiters();
+                    false
+                } else {
+                    self.advance(deadline)
+                }
             } else {
                 false
             };
@@ -521,11 +608,7 @@ impl Runtime {
         // A token may have completed before this wait began (e.g., consumed
         // pumps from an earlier wait). Lowest caller index wins, as the
         // linear scan's iteration order used to guarantee.
-        if let Some((i, qt)) = self
-            .scan_ready(&wanted)
-            .into_iter()
-            .min_by_key(|&(i, _)| i)
-        {
+        if let Some((i, qt)) = self.scan_ready(&wanted).into_iter().min_by_key(|&(i, _)| i) {
             return Ok((i, self.finish(qt)));
         }
         let deadline = timeout.map(|d| self.now().saturating_add(d));
@@ -605,6 +688,47 @@ impl Runtime {
     }
 }
 
+/// Wraps every op coroutine to observe its lifecycle: stamps the span's
+/// first-poll point and brackets each poll with the span module's
+/// current-op marker so deeper layers (the device sim's `tx_burst`) can
+/// attribute events to the op being executed. When span capture is off
+/// this is one thread-local bool read per poll.
+struct Instrumented<F> {
+    qt: u64,
+    first_polled: bool,
+    inner: F,
+}
+
+impl<F: Future> Future for Instrumented<F> {
+    type Output = F::Output;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<F::Output> {
+        // SAFETY: `inner` is never moved out of the pinned wrapper; the
+        // re-pin below covers the only access.
+        let this = unsafe { self.get_unchecked_mut() };
+        let tracing = demi_telemetry::span::enabled();
+        if tracing {
+            if !this.first_polled {
+                this.first_polled = true;
+                demi_telemetry::span::note(
+                    this.qt,
+                    demi_telemetry::span::SpanPoint::FirstPoll,
+                    demi_telemetry::now_ns(),
+                );
+            }
+            demi_telemetry::span::set_current(Some(this.qt));
+        }
+        let result = unsafe { std::pin::Pin::new_unchecked(&mut this.inner) }.poll(cx);
+        if tracing {
+            demi_telemetry::span::set_current(None);
+        }
+        result
+    }
+}
+
 /// Future returned by [`Runtime::await_op`].
 ///
 /// Holds the runtime weakly: this future lives inside a spawned coroutine,
@@ -631,12 +755,17 @@ impl Future for OpFuture {
             return std::task::Poll::Ready(OperationResult::Failed(DemiError::BadQToken));
         }
         match runtime.take_if_complete(self.qt) {
-            Some(result) => std::task::Poll::Ready(result),
+            Some((result, _started)) => {
+                // Consumed inside a composing coroutine, not by `wait`:
+                // close the span without a wait-delivery stamp.
+                demi_telemetry::span::finish(self.qt.0);
+                std::task::Poll::Ready(result)
+            }
             None => {
                 // Park until the operation's task completes.
                 let qts = runtime.inner.qts.borrow();
-                if let Some(handle) = qts.get(&self.qt) {
-                    handle.register_completion_waker(cx.waker());
+                if let Some(entry) = qts.get(&self.qt) {
+                    entry.handle.register_completion_waker(cx.waker());
                 }
                 std::task::Poll::Pending
             }

@@ -75,18 +75,10 @@ pub fn catnip_pair_sharded(
         num_rx_queues: queues,
         ..PortConfig::basic(host_mac(n))
     };
-    let client = Catnip::with_stack_config(
-        &rt,
-        &fabric,
-        port(1),
-        tune(StackConfig::new(host_ip(1))),
-    );
-    let server = Catnip::with_stack_config(
-        &rt,
-        &fabric,
-        port(2),
-        tune(StackConfig::new(host_ip(2))),
-    );
+    let client =
+        Catnip::with_stack_config(&rt, &fabric, port(1), tune(StackConfig::new(host_ip(1))));
+    let server =
+        Catnip::with_stack_config(&rt, &fabric, port(2), tune(StackConfig::new(host_ip(2))));
     (rt, fabric, client, server)
 }
 

@@ -201,10 +201,7 @@ impl DemiBuffer {
         counters::note_alloc();
         counters::note_copy(data.len());
         Self::new_handle(
-            Rc::new(BufInner::from_box(
-                data.to_vec().into_boxed_slice(),
-                None,
-            )),
+            Rc::new(BufInner::from_box(data.to_vec().into_boxed_slice(), None)),
             0,
             data.len(),
         )
@@ -244,11 +241,7 @@ impl DemiBuffer {
     /// handshake segments). Allocates no data bytes and counts nothing
     /// toward the datapath counters.
     pub fn empty() -> Self {
-        Self::new_handle(
-            Rc::new(BufInner::from_box(Box::from([]), None)),
-            0,
-            0,
-        )
+        Self::new_handle(Rc::new(BufInner::from_box(Box::from([]), None)), 0, 0)
     }
 
     /// Copies this view into a fresh unpooled buffer with `headroom` bytes
@@ -265,19 +258,10 @@ impl DemiBuffer {
     }
 
     /// Wraps pool-owned storage; the view covers `[off, off + len)`.
-    pub(crate) fn from_pool(
-        storage: Box<[u8]>,
-        off: usize,
-        len: usize,
-        home: PoolHome,
-    ) -> Self {
+    pub(crate) fn from_pool(storage: Box<[u8]>, off: usize, len: usize, home: PoolHome) -> Self {
         debug_assert!(off + len <= storage.len());
         counters::note_alloc();
-        Self::new_handle(
-            Rc::new(BufInner::from_box(storage, Some(home))),
-            off,
-            len,
-        )
+        Self::new_handle(Rc::new(BufInner::from_box(storage, Some(home))), off, len)
     }
 
     /// Bytes visible through this handle.
@@ -709,7 +693,10 @@ mod tests {
         assert_eq!(payload.prepend(1), Err(HeadroomError::Shared));
         drop(device);
         drop(tx);
-        assert!(payload.can_prepend(4), "headroom reusable after device drop");
+        assert!(
+            payload.can_prepend(4),
+            "headroom reusable after device drop"
+        );
         assert!(payload.prepend(4).is_ok());
     }
 

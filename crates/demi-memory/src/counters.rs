@@ -8,10 +8,12 @@
 //! notes a copy — so a test can assert "one pool allocation, zero payload
 //! copies per packet" instead of merely printing it.
 //!
-//! Counters are thread-local (the simulation is single-threaded); consumers
-//! snapshot before and after a window of work and take the delta.
+//! Counters follow the shared thread-local snapshot/delta pattern from
+//! `demi_telemetry::counters` (the simulation is single-threaded);
+//! consumers snapshot before and after a window of work and take the
+//! saturating delta.
 
-use std::cell::Cell;
+use demi_telemetry::{counter_cell, counters, snapshot_delta};
 
 /// A point-in-time reading of the datapath counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,32 +27,21 @@ pub struct DatapathSnapshot {
     pub bytes_copied: u64,
 }
 
-impl DatapathSnapshot {
-    /// Counter movement since `earlier`.
-    pub fn delta(&self, earlier: &DatapathSnapshot) -> DatapathSnapshot {
-        DatapathSnapshot {
-            allocs: self.allocs - earlier.allocs,
-            copies: self.copies - earlier.copies,
-            bytes_copied: self.bytes_copied - earlier.bytes_copied,
-        }
-    }
-}
+snapshot_delta!(DatapathSnapshot {
+    allocs,
+    copies,
+    bytes_copied
+});
 
-thread_local! {
-    static COUNTERS: Cell<DatapathSnapshot> = const { Cell::new(DatapathSnapshot {
-        allocs: 0,
-        copies: 0,
-        bytes_copied: 0,
-    }) };
-}
+counter_cell!(static COUNTERS: DatapathSnapshot = DatapathSnapshot {
+    allocs: 0,
+    copies: 0,
+    bytes_copied: 0,
+});
 
 /// Records one buffer allocation.
 pub fn note_alloc() {
-    COUNTERS.with(|c| {
-        let mut s = c.get();
-        s.allocs += 1;
-        c.set(s);
-    });
+    counters::update(&COUNTERS, |s| s.allocs += 1);
 }
 
 /// Records one payload copy of `bytes` bytes. Zero-byte copies (empty
@@ -59,20 +50,18 @@ pub fn note_copy(bytes: usize) {
     if bytes == 0 {
         return;
     }
-    COUNTERS.with(|c| {
-        let mut s = c.get();
+    counters::update(&COUNTERS, |s| {
         s.copies += 1;
         s.bytes_copied += bytes as u64;
-        c.set(s);
     });
 }
 
 /// Current counter values.
 pub fn snapshot() -> DatapathSnapshot {
-    COUNTERS.with(|c| c.get())
+    counters::read(&COUNTERS)
 }
 
 /// Resets all counters to zero.
 pub fn reset() {
-    COUNTERS.with(|c| c.set(DatapathSnapshot::default()));
+    counters::zero(&COUNTERS);
 }

@@ -168,7 +168,11 @@ mod tests {
         for _ in 0..10 {
             sched.poll_once();
         }
-        assert_eq!(sched.stats().polls, parked_polls, "waiter was re-polled while parked");
+        assert_eq!(
+            sched.stats().polls,
+            parked_polls,
+            "waiter was re-polled while parked"
+        );
         cond.signal();
         sched.poll_once();
         assert!(h.is_complete());

@@ -171,7 +171,10 @@ mod tests {
             }
         });
         sched.poll_once();
-        assert!(!h.is_complete(), "stale notification completed a fresh wait");
+        assert!(
+            !h.is_complete(),
+            "stale notification completed a fresh wait"
+        );
         notify.notify_waiters();
         sched.poll_once();
         assert!(h.is_complete());

@@ -202,7 +202,11 @@ mod tests {
         for _ in 0..10 {
             sched.poll_once();
         }
-        assert_eq!(sched.stats().polls, parked_polls, "consumer re-polled while parked");
+        assert_eq!(
+            sched.stats().polls,
+            parked_polls,
+            "consumer re-polled while parked"
+        );
         q.push(5);
         sched.poll_once();
         assert_eq!(consumer.take_result(), Some(5));

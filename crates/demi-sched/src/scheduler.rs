@@ -78,7 +78,10 @@ pub struct PassReport {
 /// `Waker` smuggled onto another thread stays sound; in the single-threaded
 /// simulation both are always uncontended.
 struct RunQueue {
-    queue: Mutex<VecDeque<(usize, u64)>>,
+    /// `(slot index, slot generation, telemetry enqueue stamp)`. The stamp
+    /// is virtual-time ns at wake when latency telemetry is enabled, else 0
+    /// — the schedule→poll lag histogram only sees real stamps.
+    queue: Mutex<VecDeque<(usize, u64, u64)>>,
     wakeups: AtomicU64,
 }
 
@@ -91,10 +94,20 @@ impl RunQueue {
     }
 
     fn push(&self, index: usize, gen: u64) {
-        self.queue.lock().unwrap().push_back((index, gen));
+        // `now_ns` reads a thread-local: a waker smuggled onto another
+        // thread stamps 0 there and the lag sample is simply skipped.
+        let enqueued_ns = if demi_telemetry::enabled() {
+            demi_telemetry::now_ns()
+        } else {
+            0
+        };
+        self.queue
+            .lock()
+            .unwrap()
+            .push_back((index, gen, enqueued_ns));
     }
 
-    fn pop(&self) -> Option<(usize, u64)> {
+    fn pop(&self) -> Option<(usize, u64, u64)> {
         self.queue.lock().unwrap().pop_front()
     }
 
@@ -300,9 +313,15 @@ impl Scheduler {
         let mut report = PassReport::default();
 
         for _ in 0..budget {
-            let Some((index, gen)) = self.rq.pop() else {
+            let Some((index, gen, enqueued_ns)) = self.rq.pop() else {
                 break;
             };
+            if enqueued_ns != 0 {
+                demi_telemetry::stage::record(
+                    demi_telemetry::stage::Stage::SchedPollLag,
+                    demi_telemetry::now_ns().saturating_sub(enqueued_ns),
+                );
+            }
             // Move the task out of the slab while polling so the task body
             // may re-borrow the scheduler (e.g., to spawn).
             let slot = {

@@ -1,0 +1,254 @@
+//! The shared thread-local counter pattern.
+//!
+//! Every sim crate exposes cheap hot-path counters the same way: a
+//! `Copy` snapshot struct, a `thread_local!` `Cell` of it, `note_*`
+//! increment helpers, a `snapshot()` read, a `reset()` zero, and a
+//! `delta(&earlier)` that subtracts field-by-field so `Metrics` can fold
+//! per-interval movement out of monotone thread-local totals. This
+//! module is that pattern, written once: the [`counter_cell!`] macro
+//! declares the cell, [`snapshot_delta!`] derives the delta (and the
+//! [`CounterSnapshot`] impl), and [`Baseline`] holds the
+//! fold-since-here state on the `Metrics` side.
+//!
+//! Deltas are **saturating**: a crate-level `reset()` zeroes the
+//! thread-local while any `Baseline` captured earlier still holds the
+//! pre-reset totals, and the next fold would otherwise underflow (panic
+//! in debug, garbage in release). Saturation clamps that race to zero —
+//! the interval's data is gone either way, but the snapshot stays sane.
+
+use std::cell::Cell;
+use std::thread::LocalKey;
+
+/// Field-wise saturating subtraction — the primitive [`snapshot_delta!`]
+/// builds snapshot deltas from.
+pub trait FieldDelta {
+    /// `self − earlier`, clamped at zero.
+    fn field_delta(&self, earlier: &Self) -> Self;
+}
+
+impl FieldDelta for u64 {
+    fn field_delta(&self, earlier: &Self) -> Self {
+        self.saturating_sub(*earlier)
+    }
+}
+
+impl FieldDelta for usize {
+    fn field_delta(&self, earlier: &Self) -> Self {
+        self.saturating_sub(*earlier)
+    }
+}
+
+impl<T: FieldDelta + Copy, const N: usize> FieldDelta for [T; N] {
+    fn field_delta(&self, earlier: &Self) -> Self {
+        let mut out = *self;
+        for (o, e) in out.iter_mut().zip(earlier.iter()) {
+            *o = o.field_delta(e);
+        }
+        out
+    }
+}
+
+/// A monotone counter snapshot: copyable, zero-initializable, and
+/// subtractable. Implemented by [`snapshot_delta!`].
+pub trait CounterSnapshot: Copy + Default {
+    /// Per-field movement since `earlier` (saturating — see module doc).
+    fn delta(&self, earlier: &Self) -> Self;
+}
+
+/// Derive the inherent `delta` method and the [`CounterSnapshot`] impl
+/// for a snapshot struct from its field list:
+///
+/// ```
+/// #[derive(Clone, Copy, Debug, Default)]
+/// pub struct Snap { pub hits: u64, pub misses: u64 }
+/// demi_telemetry::snapshot_delta!(Snap { hits, misses });
+/// let d = Snap { hits: 5, misses: 1 }.delta(&Snap { hits: 2, misses: 3 });
+/// assert_eq!((d.hits, d.misses), (3, 0)); // saturating
+/// ```
+#[macro_export]
+macro_rules! snapshot_delta {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $ty {
+            /// Per-field movement since `earlier` (saturating: a counter
+            /// reset between the two snapshots clamps to zero instead of
+            /// underflowing).
+            pub fn delta(&self, earlier: &Self) -> Self {
+                Self {
+                    $($field: $crate::counters::FieldDelta::field_delta(
+                        &self.$field,
+                        &earlier.$field,
+                    ),)+
+                }
+            }
+        }
+        impl $crate::counters::CounterSnapshot for $ty {
+            fn delta(&self, earlier: &Self) -> Self {
+                <$ty>::delta(self, earlier)
+            }
+        }
+    };
+}
+
+/// Declare the thread-local `Cell` holding a snapshot's running totals.
+/// The zero expression must be `const`-evaluable (snapshot structs are
+/// plain integer bags, so a struct literal of zeros always is):
+///
+/// ```
+/// # #[derive(Clone, Copy, Debug, Default)]
+/// # pub struct Snap { pub hits: u64 }
+/// # demi_telemetry::snapshot_delta!(Snap { hits });
+/// demi_telemetry::counter_cell!(static COUNTERS: Snap = Snap { hits: 0 });
+/// demi_telemetry::counters::update(&COUNTERS, |c| c.hits += 1);
+/// assert_eq!(demi_telemetry::counters::read(&COUNTERS).hits, 1);
+/// ```
+#[macro_export]
+macro_rules! counter_cell {
+    ($(#[$attr:meta])* $vis:vis static $name:ident: $ty:ty = $zero:expr) => {
+        ::std::thread_local! {
+            $(#[$attr])*
+            $vis static $name: ::std::cell::Cell<$ty> =
+                const { ::std::cell::Cell::new($zero) };
+        }
+    };
+}
+
+/// Read-modify-write a counter cell (the body of every `note_*` helper).
+pub fn update<S: Copy>(cell: &'static LocalKey<Cell<S>>, f: impl FnOnce(&mut S)) {
+    cell.with(|c| {
+        let mut snap = c.get();
+        f(&mut snap);
+        c.set(snap);
+    });
+}
+
+/// Read a counter cell's running totals (the body of every `snapshot()`).
+pub fn read<S: Copy>(cell: &'static LocalKey<Cell<S>>) -> S {
+    cell.with(|c| c.get())
+}
+
+/// Zero a counter cell (the body of every `reset()`).
+pub fn zero<S: Copy + Default>(cell: &'static LocalKey<Cell<S>>) {
+    cell.with(|c| c.set(S::default()));
+}
+
+/// Fold-since-here state for one snapshot type. `Metrics` holds one per
+/// counter family: captured at construction, moved forward on
+/// [`Baseline::rebase`] (reset), and differenced on every snapshot fold.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Baseline<S: CounterSnapshot> {
+    base: S,
+}
+
+impl<S: CounterSnapshot> Baseline<S> {
+    /// Start the fold at `current` — movement before this point is
+    /// invisible to this baseline.
+    pub fn new(current: S) -> Self {
+        Self { base: current }
+    }
+
+    /// Move the fold origin to `current` (what `Metrics::reset` does).
+    pub fn rebase(&mut self, current: S) {
+        self.base = current;
+    }
+
+    /// Movement from the fold origin to `current`.
+    pub fn movement(&self, current: S) -> S {
+        current.delta(&self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    struct Snap {
+        ops: u64,
+        buckets: [u64; 3],
+    }
+    crate::snapshot_delta!(Snap { ops, buckets });
+
+    crate::counter_cell!(static SNAP: Snap = Snap { ops: 0, buckets: [0; 3] });
+
+    #[test]
+    fn delta_is_fieldwise() {
+        let a = Snap {
+            ops: 10,
+            buckets: [4, 5, 6],
+        };
+        let b = Snap {
+            ops: 3,
+            buckets: [1, 5, 2],
+        };
+        assert_eq!(
+            a.delta(&b),
+            Snap {
+                ops: 7,
+                buckets: [3, 0, 4]
+            }
+        );
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_underflowing() {
+        // Simulates a crate-level reset between baseline and fold: the
+        // "current" totals are below the baseline. Plain subtraction
+        // would panic here in debug builds.
+        let after_reset = Snap {
+            ops: 2,
+            buckets: [0, 1, 0],
+        };
+        let stale_base = Snap {
+            ops: 100,
+            buckets: [50, 0, 50],
+        };
+        assert_eq!(
+            after_reset.delta(&stale_base),
+            Snap {
+                ops: 0,
+                buckets: [0, 1, 0]
+            }
+        );
+    }
+
+    #[test]
+    fn cell_update_read_zero_roundtrip() {
+        zero(&SNAP);
+        update(&SNAP, |s| {
+            s.ops += 2;
+            s.buckets[1] += 1;
+        });
+        assert_eq!(
+            read(&SNAP),
+            Snap {
+                ops: 2,
+                buckets: [0, 1, 0]
+            }
+        );
+        zero(&SNAP);
+        assert_eq!(read(&SNAP), Snap::default());
+    }
+
+    #[test]
+    fn baseline_fold_and_rebase() {
+        let mut b = Baseline::new(Snap {
+            ops: 5,
+            buckets: [1, 1, 1],
+        });
+        let now = Snap {
+            ops: 9,
+            buckets: [1, 2, 3],
+        };
+        assert_eq!(
+            b.movement(now),
+            Snap {
+                ops: 4,
+                buckets: [0, 1, 2]
+            }
+        );
+        b.rebase(now);
+        assert_eq!(b.movement(now), Snap::default());
+        // A thread-local reset to zero after the rebase clamps cleanly.
+        assert_eq!(b.movement(Snap::default()), Snap::default());
+    }
+}

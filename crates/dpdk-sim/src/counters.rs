@@ -6,11 +6,12 @@
 //! single frames — which is only honest if the handoffs themselves are
 //! counted, per call and by burst size, not inferred from frame totals.
 //!
-//! Counters are thread-local (the simulation is single-threaded); consumers
-//! snapshot before and after a window of work and take the delta, the same
-//! pattern as `demi_memory::counters`.
+//! Counters follow the shared thread-local snapshot/delta pattern from
+//! `demi_telemetry::counters` (the simulation is single-threaded);
+//! consumers snapshot before and after a window of work and take the
+//! saturating delta.
 
-use std::cell::Cell;
+use demi_telemetry::{counter_cell, counters, snapshot_delta};
 
 /// Number of `frames_per_burst` histogram buckets.
 pub const BURST_BUCKETS: usize = 4;
@@ -28,19 +29,10 @@ pub struct TxBatchSnapshot {
     pub frames_per_burst: [u64; BURST_BUCKETS],
 }
 
-impl TxBatchSnapshot {
-    /// Counter movement since `earlier`.
-    pub fn delta(&self, earlier: &TxBatchSnapshot) -> TxBatchSnapshot {
-        let mut frames_per_burst = [0u64; BURST_BUCKETS];
-        for (i, slot) in frames_per_burst.iter_mut().enumerate() {
-            *slot = self.frames_per_burst[i] - earlier.frames_per_burst[i];
-        }
-        TxBatchSnapshot {
-            tx_burst_calls: self.tx_burst_calls - earlier.tx_burst_calls,
-            frames_per_burst,
-        }
-    }
-}
+snapshot_delta!(TxBatchSnapshot {
+    tx_burst_calls,
+    frames_per_burst
+});
 
 /// The histogram bucket a burst of `frames` falls in.
 fn bucket(frames: usize) -> usize {
@@ -52,34 +44,28 @@ fn bucket(frames: usize) -> usize {
     }
 }
 
-thread_local! {
-    static COUNTERS: Cell<TxBatchSnapshot> = const {
-        Cell::new(TxBatchSnapshot {
-            tx_burst_calls: 0,
-            frames_per_burst: [0; BURST_BUCKETS],
-        })
-    };
-}
+counter_cell!(static COUNTERS: TxBatchSnapshot = TxBatchSnapshot {
+    tx_burst_calls: 0,
+    frames_per_burst: [0; BURST_BUCKETS],
+});
 
 /// Records one `tx_burst` call handing over `frames` frames.
 pub fn note_tx_burst(frames: usize) {
-    COUNTERS.with(|c| {
-        let mut s = c.get();
+    counters::update(&COUNTERS, |s| {
         s.tx_burst_calls += 1;
         s.frames_per_burst[bucket(frames)] += 1;
-        c.set(s);
     });
 }
 
 /// Current counter values.
 pub fn snapshot() -> TxBatchSnapshot {
-    COUNTERS.with(|c| c.get())
+    counters::read(&COUNTERS)
 }
 
 /// Resets all counters to zero.
 pub fn reset() {
-    COUNTERS.with(|c| c.set(TxBatchSnapshot::default()));
-    RX_QUEUE.with(|c| c.set(RxQueueSnapshot::default()));
+    counters::zero(&COUNTERS);
+    counters::zero(&RX_QUEUE);
 }
 
 /// Per-queue RX accounting tracks up to this many queues; higher queue
@@ -100,24 +86,12 @@ pub struct RxQueueSnapshot {
     pub dropped: [u64; RX_QUEUE_SLOTS],
 }
 
-impl RxQueueSnapshot {
-    /// Counter movement since `earlier`.
-    pub fn delta(&self, earlier: &RxQueueSnapshot) -> RxQueueSnapshot {
-        let mut d = RxQueueSnapshot::default();
-        for i in 0..RX_QUEUE_SLOTS {
-            d.enqueued[i] = self.enqueued[i] - earlier.enqueued[i];
-            d.dropped[i] = self.dropped[i] - earlier.dropped[i];
-        }
-        d
-    }
-}
+snapshot_delta!(RxQueueSnapshot { enqueued, dropped });
 
-thread_local! {
-    static RX_QUEUE: Cell<RxQueueSnapshot> = const { Cell::new(RxQueueSnapshot {
-        enqueued: [0; RX_QUEUE_SLOTS],
-        dropped: [0; RX_QUEUE_SLOTS],
-    }) };
-}
+counter_cell!(static RX_QUEUE: RxQueueSnapshot = RxQueueSnapshot {
+    enqueued: [0; RX_QUEUE_SLOTS],
+    dropped: [0; RX_QUEUE_SLOTS],
+});
 
 fn queue_slot(queue: u16) -> usize {
     (queue as usize).min(RX_QUEUE_SLOTS - 1)
@@ -125,25 +99,17 @@ fn queue_slot(queue: u16) -> usize {
 
 /// Records one frame accepted into RX ring `queue`.
 pub fn note_rx_enqueued(queue: u16) {
-    RX_QUEUE.with(|c| {
-        let mut s = c.get();
-        s.enqueued[queue_slot(queue)] += 1;
-        c.set(s);
-    });
+    counters::update(&RX_QUEUE, |s| s.enqueued[queue_slot(queue)] += 1);
 }
 
 /// Records one frame tail-dropped at RX ring `queue`.
 pub fn note_rx_dropped(queue: u16) {
-    RX_QUEUE.with(|c| {
-        let mut s = c.get();
-        s.dropped[queue_slot(queue)] += 1;
-        c.set(s);
-    });
+    counters::update(&RX_QUEUE, |s| s.dropped[queue_slot(queue)] += 1);
 }
 
 /// Current per-queue RX counter values.
 pub fn rx_queue_snapshot() -> RxQueueSnapshot {
-    RX_QUEUE.with(|c| c.get())
+    counters::read(&RX_QUEUE)
 }
 
 #[cfg(test)]

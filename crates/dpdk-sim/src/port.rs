@@ -160,6 +160,14 @@ impl DpdkPort {
         let mut inner = self.inner.borrow_mut();
         inner.stats.tx_burst_calls += 1;
         crate::counters::note_tx_burst(frames.len());
+        // Attribute the doorbell to the op whose coroutine is being
+        // polled (if any) — the device-handoff point of its span.
+        if demi_telemetry::span::enabled() {
+            demi_telemetry::span::note_current(
+                demi_telemetry::span::SpanPoint::DeviceHandoff,
+                demi_telemetry::now_ns(),
+            );
+        }
         let mut sent = 0;
         for mbuf in frames {
             let bytes = mbuf.as_slice();

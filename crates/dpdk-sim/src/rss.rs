@@ -29,9 +29,9 @@ use std::net::Ipv4Addr;
 /// matter for the simulation (symmetry comes from canonicalization, not the
 /// key), but using the standard key keeps the hash recognizably Toeplitz.
 const KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// Toeplitz hash of `data` under [`KEY`]: for every set bit of the input,
@@ -124,7 +124,13 @@ fn ipv4_tuple_hash(frame: &[u8]) -> Option<u32> {
 }
 
 /// The RX queue (out of `queues`) a 4-tuple steers to.
-pub fn queue_for_tuple(a_ip: Ipv4Addr, a_port: u16, b_ip: Ipv4Addr, b_port: u16, queues: u16) -> u16 {
+pub fn queue_for_tuple(
+    a_ip: Ipv4Addr,
+    a_port: u16,
+    b_ip: Ipv4Addr,
+    b_port: u16,
+    queues: u16,
+) -> u16 {
     assert!(queues > 0, "RSS needs at least one queue");
     (hash_tuple(a_ip, a_port, b_ip, b_port) % queues as u32) as u16
 }

@@ -164,11 +164,7 @@ mod tests {
         for split1 in 0..data.len() {
             for split2 in split1..data.len() {
                 assert_eq!(
-                    checksum_iovec(&[
-                        &data[..split1],
-                        &data[split1..split2],
-                        &data[split2..]
-                    ]),
+                    checksum_iovec(&[&data[..split1], &data[split1..split2], &data[split2..]]),
                     whole,
                     "splits at {split1}/{split2}"
                 );

@@ -6,11 +6,12 @@
 //! monopolize the poll loop). Both are counted here so the experiment
 //! asserts them instead of printing them.
 //!
-//! Counters are thread-local (the simulation is single-threaded); consumers
-//! snapshot before and after a window of work and take the delta, the same
-//! pattern as `demi_memory::counters`.
+//! Counters follow the shared thread-local snapshot/delta pattern from
+//! `demi_telemetry::counters` (the simulation is single-threaded);
+//! consumers snapshot before and after a window of work and take the
+//! saturating delta.
 
-use std::cell::Cell;
+use demi_telemetry::{counter_cell, counters, snapshot_delta};
 
 /// A point-in-time reading of the stack batching counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -26,53 +27,36 @@ pub struct BatchSnapshot {
     pub rx_budget_exhausted: u64,
 }
 
-impl BatchSnapshot {
-    /// Counter movement since `earlier`.
-    pub fn delta(&self, earlier: &BatchSnapshot) -> BatchSnapshot {
-        BatchSnapshot {
-            acks_coalesced: self.acks_coalesced - earlier.acks_coalesced,
-            rx_budget_exhausted: self.rx_budget_exhausted - earlier.rx_budget_exhausted,
-        }
-    }
-}
+snapshot_delta!(BatchSnapshot {
+    acks_coalesced,
+    rx_budget_exhausted
+});
 
-thread_local! {
-    static COUNTERS: Cell<BatchSnapshot> = const {
-        Cell::new(BatchSnapshot {
-            acks_coalesced: 0,
-            rx_budget_exhausted: 0,
-        })
-    };
-}
+counter_cell!(static COUNTERS: BatchSnapshot = BatchSnapshot {
+    acks_coalesced: 0,
+    rx_budget_exhausted: 0,
+});
 
 /// Records one coalesced acknowledgment (a pure-ACK frame that never hit
 /// the wire).
 pub fn note_ack_coalesced() {
-    COUNTERS.with(|c| {
-        let mut s = c.get();
-        s.acks_coalesced += 1;
-        c.set(s);
-    });
+    counters::update(&COUNTERS, |s| s.acks_coalesced += 1);
 }
 
 /// Records one poll pass that exhausted its RX budget with work left over.
 pub fn note_rx_budget_exhausted() {
-    COUNTERS.with(|c| {
-        let mut s = c.get();
-        s.rx_budget_exhausted += 1;
-        c.set(s);
-    });
+    counters::update(&COUNTERS, |s| s.rx_budget_exhausted += 1);
 }
 
 /// Current counter values.
 pub fn snapshot() -> BatchSnapshot {
-    COUNTERS.with(|c| c.get())
+    counters::read(&COUNTERS)
 }
 
 /// Resets all counters to zero.
 pub fn reset() {
-    COUNTERS.with(|c| c.set(BatchSnapshot::default()));
-    SHARD.with(|c| c.set(ShardSnapshot::default()));
+    counters::zero(&COUNTERS);
+    counters::zero(&SHARD);
 }
 
 /// A point-in-time reading of the sharding and timer-wheel counters (E14).
@@ -96,64 +80,41 @@ pub struct ShardSnapshot {
     pub timers_stale: u64,
 }
 
-impl ShardSnapshot {
-    /// Counter movement since `earlier`.
-    pub fn delta(&self, earlier: &ShardSnapshot) -> ShardSnapshot {
-        ShardSnapshot {
-            steering_mismatches: self.steering_mismatches - earlier.steering_mismatches,
-            timers_scheduled: self.timers_scheduled - earlier.timers_scheduled,
-            timers_fired: self.timers_fired - earlier.timers_fired,
-            timers_stale: self.timers_stale - earlier.timers_stale,
-        }
-    }
-}
+snapshot_delta!(ShardSnapshot {
+    steering_mismatches,
+    timers_scheduled,
+    timers_fired,
+    timers_stale,
+});
 
-thread_local! {
-    static SHARD: Cell<ShardSnapshot> = const { Cell::new(ShardSnapshot {
-        steering_mismatches: 0,
-        timers_scheduled: 0,
-        timers_fired: 0,
-        timers_stale: 0,
-    }) };
-}
+counter_cell!(static SHARD: ShardSnapshot = ShardSnapshot {
+    steering_mismatches: 0,
+    timers_scheduled: 0,
+    timers_fired: 0,
+    timers_stale: 0,
+});
 
 /// Records one frame handed off to the shard owning its flow.
 pub fn note_steering_mismatch() {
-    SHARD.with(|c| {
-        let mut s = c.get();
-        s.steering_mismatches += 1;
-        c.set(s);
-    });
+    counters::update(&SHARD, |s| s.steering_mismatches += 1);
 }
 
 /// Records one timer entry scheduled on a wheel.
 pub fn note_timer_scheduled() {
-    SHARD.with(|c| {
-        let mut s = c.get();
-        s.timers_scheduled += 1;
-        c.set(s);
-    });
+    counters::update(&SHARD, |s| s.timers_scheduled += 1);
 }
 
 /// Records one wheel entry firing live.
 pub fn note_timer_fired() {
-    SHARD.with(|c| {
-        let mut s = c.get();
-        s.timers_fired += 1;
-        c.set(s);
-    });
+    counters::update(&SHARD, |s| s.timers_fired += 1);
 }
 
 /// Records one lazily-cancelled wheel entry being discarded.
 pub fn note_timer_stale() {
-    SHARD.with(|c| {
-        let mut s = c.get();
-        s.timers_stale += 1;
-        c.set(s);
-    });
+    counters::update(&SHARD, |s| s.timers_stale += 1);
 }
 
 /// Current sharding/timer counter values.
 pub fn shard_snapshot() -> ShardSnapshot {
-    SHARD.with(|c| c.get())
+    counters::read(&SHARD)
 }

@@ -183,14 +183,10 @@ impl NetworkStack {
                     rr_next: 0,
                     arp: ArpCache::new(config.arp_ttl, config.arp_retry, config.arp_tries),
                     udp: UdpPeer::new(config.udp_queue_depth),
-                    tcp: TcpPeer::with_id_space(
-                        config.ip,
-                        config.tcp,
-                        i as u32,
-                        num_shards as u32,
-                    ),
+                    tcp: TcpPeer::with_id_space(config.ip, config.tcp, i as u32, num_shards as u32),
                     pongs: Vec::new(),
                     tx_ring: Vec::new(),
+                    tx_stamps: Vec::new(),
                     handoff: VecDeque::new(),
                     forwards: Vec::new(),
                     learned: Vec::new(),
@@ -663,6 +659,10 @@ struct Shard {
     /// TX coalescing ring: fully framed mbufs accumulate here in enqueue
     /// order and leave in a single `tx_burst` at the end of each poll pass.
     tx_ring: Vec<Mbuf>,
+    /// Telemetry enqueue stamps, parallel to `tx_ring` (virtual-time ns
+    /// when latency telemetry is on; empty otherwise). `flush_tx` turns
+    /// them into TX enqueue→burst samples.
+    tx_stamps: Vec<u64>,
     /// Frames other shards received but this shard owns (RSS overridden by
     /// a steering program). Drained before the device queues each pass.
     handoff: VecDeque<Mbuf>,
@@ -719,7 +719,9 @@ impl Shard {
         while processed < budget && idle_queues < nq {
             let queue = self.queues[self.rr_next];
             self.rr_next = (self.rr_next + 1) % nq;
-            let burst = self.port.rx_burst(queue, (budget - processed).min(RX_BURST));
+            let burst = self
+                .port
+                .rx_burst(queue, (budget - processed).min(RX_BURST));
             if burst.is_empty() {
                 idle_queues += 1;
                 continue;
@@ -833,7 +835,9 @@ impl Shard {
         };
         match protocol {
             IpProtocol::Icmp => {
-                let view = mbuf.data.slice(ip_payload_off, ip_payload_off + ip_payload_len);
+                let view = mbuf
+                    .data
+                    .slice(ip_payload_off, ip_payload_off + ip_payload_len);
                 // Drop the full-frame handle: an echo reply can then rewrite
                 // the received buffer's headers in place and send it back.
                 drop(mbuf);
@@ -841,8 +845,7 @@ impl Shard {
             }
             IpProtocol::Udp => {
                 let payload = &mbuf.as_slice()[ip_payload_off..][..ip_payload_len];
-                let Ok((udp, payload_len)) = UdpHeader::parse(src, self.config.ip, payload)
-                else {
+                let Ok((udp, payload_len)) = UdpHeader::parse(src, self.config.ip, payload) else {
                     self.stats.malformed += 1;
                     return;
                 };
@@ -853,7 +856,8 @@ impl Shard {
             }
             IpProtocol::Tcp => {
                 let payload = &mbuf.as_slice()[ip_payload_off..][..ip_payload_len];
-                let Ok((tcp, data_off)) = crate::tcp::TcpHeader::parse(src, self.config.ip, payload)
+                let Ok((tcp, data_off)) =
+                    crate::tcp::TcpHeader::parse(src, self.config.ip, payload)
                 else {
                     self.stats.malformed += 1;
                     return;
@@ -899,12 +903,14 @@ impl Shard {
             // prepending below them is legal; a previous transmission of
             // this very segment still in flight holds a view *below* and
             // forces a (counted) copy instead of corrupting it.
-            let mut segment =
-                if seg.payload.can_prepend(TCP_MAX_HEADER_LEN + IPV4_HEADER_LEN + ETH_HEADER_LEN) {
-                    seg.payload
-                } else {
-                    seg.payload.copy_with_headroom(MAX_HEADER_LEN)
-                };
+            let mut segment = if seg
+                .payload
+                .can_prepend(TCP_MAX_HEADER_LEN + IPV4_HEADER_LEN + ETH_HEADER_LEN)
+            {
+                seg.payload
+            } else {
+                seg.payload.copy_with_headroom(MAX_HEADER_LEN)
+            };
             let src_ip = self.config.ip;
             seg.header
                 .prepend_onto(src_ip, dst_ip, &mut segment)
@@ -998,9 +1004,13 @@ impl Shard {
         } else {
             payload.copy_with_headroom(ETH_HEADER_LEN)
         };
-        eth.prepend_onto(&mut frame).expect("headroom ensured above");
+        eth.prepend_onto(&mut frame)
+            .expect("headroom ensured above");
         self.stats.tx_frames += 1;
         self.tx_ring.push(Mbuf::from_data(frame));
+        if demi_telemetry::enabled() {
+            self.tx_stamps.push(demi_telemetry::now_ns());
+        }
         if !self.config.tx_coalesce {
             self.flush_tx();
         }
@@ -1013,9 +1023,22 @@ impl Shard {
     /// for throughput.
     fn flush_tx(&mut self) {
         if self.tx_ring.is_empty() {
+            self.tx_stamps.clear();
             return;
         }
         self.port.tx_burst(&self.tx_ring);
+        // One sample per stamped frame. Telemetry toggled mid-ring leaves
+        // fewer stamps than frames; those samples are simply dropped.
+        if !self.tx_stamps.is_empty() && self.tx_stamps.len() == self.tx_ring.len() {
+            let now = demi_telemetry::now_ns();
+            for &enqueued_ns in &self.tx_stamps {
+                demi_telemetry::stage::record(
+                    demi_telemetry::stage::Stage::TxFlush,
+                    now.saturating_sub(enqueued_ns),
+                );
+            }
+        }
+        self.tx_stamps.clear();
         self.tx_ring.clear();
     }
 }

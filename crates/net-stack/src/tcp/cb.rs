@@ -378,12 +378,7 @@ impl ControlBlock {
     /// Hard reset: emits RST and closes immediately (abortive close).
     pub fn abort(&mut self) {
         if !matches!(self.state, State::Closed | State::TimeWait) {
-            self.emit(
-                TcpFlags::RST_ACK,
-                self.snd_nxt,
-                DemiBuffer::empty(),
-                None,
-            );
+            self.emit(TcpFlags::RST_ACK, self.snd_nxt, DemiBuffer::empty(), None);
         }
         self.state = State::Closed;
         self.error = Some(NetError::ConnectionReset);
@@ -632,9 +627,7 @@ impl ControlBlock {
                         self.schedule_ack(now);
                     }
                 } else {
-                    if seg_seq.gt(self.rcv_nxt)
-                        && seg_seq.since(self.rcv_nxt) as usize <= window
-                    {
+                    if seg_seq.gt(self.rcv_nxt) && seg_seq.since(self.rcv_nxt) as usize <= window {
                         // Out of order, within the window: buffer for later.
                         let key = seg_seq.since(self.irs);
                         if !self.ooo.contains_key(&key) {
@@ -857,12 +850,7 @@ impl ControlBlock {
 
     fn send_ack(&mut self) {
         self.stats.acks_sent += 1;
-        self.emit(
-            TcpFlags::ACK,
-            self.snd_nxt,
-            DemiBuffer::empty(),
-            None,
-        );
+        self.emit(TcpFlags::ACK, self.snd_nxt, DemiBuffer::empty(), None);
     }
 
     fn emit(&mut self, flags: TcpFlags, seq: SeqNum, payload: DemiBuffer, mss: Option<u16>) {

@@ -312,8 +312,7 @@ mod tests {
             },
         ] {
             for body in [&b""[..], b"body", b"odd"] {
-                let mut seg =
-                    DemiBuffer::zeroed_with_headroom(TCP_MAX_HEADER_LEN, body.len());
+                let mut seg = DemiBuffer::zeroed_with_headroom(TCP_MAX_HEADER_LEN, body.len());
                 if !body.is_empty() {
                     seg.try_mut().unwrap().copy_from_slice(body);
                 }

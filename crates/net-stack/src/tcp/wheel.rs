@@ -140,7 +140,8 @@ impl<T: Copy> TimerWheel<T> {
             }
             // The overflow list holds entries that were ≥ 64^LEVELS ticks
             // out; re-place them whenever the top level turned.
-            if (old >> (SLOT_BITS * (LEVELS as u32 - 1))) != (new >> (SLOT_BITS * (LEVELS as u32 - 1)))
+            if (old >> (SLOT_BITS * (LEVELS as u32 - 1)))
+                != (new >> (SLOT_BITS * (LEVELS as u32 - 1)))
             {
                 cascades.append(&mut self.overflow);
             }

@@ -137,9 +137,11 @@ impl UdpHeader {
     }
 }
 
-/// Per-socket receive state.
+/// Per-socket receive state. Queue entries carry the telemetry demux
+/// stamp (virtual-time ns at delivery when latency telemetry is on, else
+/// 0) so `recv_from` can record socket-queue residency.
 struct UdpSocket {
-    recv_queue: VecDeque<(SocketAddr, DemiBuffer)>,
+    recv_queue: VecDeque<(SocketAddr, DemiBuffer, u64)>,
     capacity: usize,
 }
 
@@ -231,7 +233,12 @@ impl UdpPeer {
                 if sock.recv_queue.len() >= sock.capacity {
                     self.stats.queue_drops += 1;
                 } else {
-                    sock.recv_queue.push_back((from, payload));
+                    let demuxed_ns = if demi_telemetry::enabled() {
+                        demi_telemetry::now_ns()
+                    } else {
+                        0
+                    };
+                    sock.recv_queue.push_back((from, payload, demuxed_ns));
                     self.stats.delivered += 1;
                 }
             }
@@ -239,9 +246,17 @@ impl UdpPeer {
         }
     }
 
-    /// Pops the next datagram for `port`, if any.
+    /// Pops the next datagram for `port`, if any, recording its RX
+    /// demux→delivery residency when latency telemetry is on.
     pub fn recv_from(&mut self, port: u16) -> Option<(SocketAddr, DemiBuffer)> {
-        self.sockets.get_mut(&port)?.recv_queue.pop_front()
+        let (from, payload, demuxed_ns) = self.sockets.get_mut(&port)?.recv_queue.pop_front()?;
+        if demuxed_ns != 0 {
+            demi_telemetry::stage::record(
+                demi_telemetry::stage::Stage::RxDelivery,
+                demi_telemetry::now_ns().saturating_sub(demuxed_ns),
+            );
+        }
+        Some((from, payload))
     }
 
     /// Number of datagrams queued on `port`.
@@ -309,10 +324,7 @@ mod tests {
                 dgram.try_mut().unwrap().copy_from_slice(&body);
             }
             h.prepend_onto(ip(1), ip(2), &mut dgram).unwrap();
-            assert!(
-                UdpHeader::parse(ip(1), ip(2), &dgram).is_ok(),
-                "len {len}"
-            );
+            assert!(UdpHeader::parse(ip(1), ip(2), &dgram).is_ok(), "len {len}");
         }
     }
 

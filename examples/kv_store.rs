@@ -80,6 +80,10 @@ impl KvStore {
 fn main() {
     let (rt, _fabric, client, server) = catnip_pair(7);
 
+    // Latency histograms + op-lifecycle spans on virtual time; the
+    // summary at the end shows where each GET's microseconds went.
+    demikernel::telemetry::enable(&rt);
+
     // Server setup.
     let listen_qd = server.socket(SocketKind::Tcp).expect("server socket");
     server
@@ -161,6 +165,8 @@ fn main() {
         "kernel crossings on the data path: {} — copies by the libOS: {}",
         m.data_path_syscalls, m.copies
     );
+
+    print!("{}", demikernel::telemetry::summary());
 
     let _ = client.close(client_qd);
     let _: QDesc = conn_qd;

@@ -15,6 +15,9 @@ fn main() {
     // A fabric with two catnip hosts: 10.0.0.1 (client), 10.0.0.2 (server).
     let (rt, _fabric, client, server) = catnip_pair(42);
 
+    // Latency histograms + op-lifecycle spans, clocked on virtual time.
+    demikernel::telemetry::enable(&rt);
+
     // Server: socket → bind → pop (control path mirrors POSIX, but returns
     // queue descriptors).
     let server_qd = server.socket(SocketKind::Udp).expect("server socket");
@@ -73,4 +76,7 @@ fn main() {
     );
     assert_eq!(reply.to_vec(), b"hello, demikernel");
     assert_eq!(m.data_path_syscalls, 0);
+
+    // Where the time went: per-stage quantiles and the span breakdown.
+    print!("{}", demikernel::telemetry::summary());
 }

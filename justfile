@@ -7,13 +7,18 @@
 # same way (single-doorbell TX bursts, delayed-ACK timing, O(1)
 # completion delivery); the release-mode sharding run asserts the E14
 # invariants (symmetric RSS, wheel-vs-linear timer equivalence, zero
-# cross-shard traffic, silent timers for idle connections).
+# cross-shard traffic, silent timers for idle connections); the
+# release-mode telemetry run asserts the E15 invariants (causally ordered
+# spans, zero-alloc sample recording, bounded span ring, catnip tail
+# beating the kernel baseline).
 verify:
     cargo build --release
     cargo test -q
     cargo test --release -q --test zero_copy_memory
     cargo test --release -q --test batching
     cargo test --release -q --test sharding
+    cargo test --release -q --test telemetry
+    cargo fmt --check
     cargo clippy -- -D warnings
 
 # Everything `verify` checks, across the whole workspace.
@@ -23,9 +28,11 @@ verify-all:
     cargo test --release -q --test zero_copy_memory
     cargo test --release -q --test batching
     cargo test --release -q --test sharding
+    cargo test --release -q --test telemetry
+    cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Regenerate every experiment table (E1–E14).
+# Regenerate every experiment table (E1–E15).
 experiments:
     cargo bench -p demi-bench
 
@@ -43,3 +50,9 @@ bench-batching:
 # timer cost, and the 4-vs-1 shard makespan A/B with asserted bounds.
 bench-sharding:
     cargo bench -p demi-bench --bench e14_sharding
+
+# The tail-latency experiment alone: open-loop Poisson throughput–latency
+# curves with asserted low-load, saturation, and zero-alloc bounds; the
+# measured curve lands in target/e15_tail_latency.json.
+bench-telemetry:
+    cargo bench -p demi-bench --bench e15_tail_latency

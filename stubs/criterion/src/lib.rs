@@ -126,7 +126,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark that receives an input value.
-    pub fn bench_with_input<I, F>(&mut self, id: impl fmt::Display, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
@@ -152,7 +157,10 @@ impl BenchmarkGroup<'_> {
         };
         let rate = self.throughput.map(|t| match t {
             Throughput::Bytes(n) => {
-                format!("{:>10.1} MiB/s", n as f64 / mean_ns * 1e9 / (1 << 20) as f64)
+                format!(
+                    "{:>10.1} MiB/s",
+                    n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+                )
             }
             Throughput::Elements(n) => {
                 format!("{:>10.1} Kelem/s", n as f64 / mean_ns * 1e9 / 1e3)

@@ -100,13 +100,15 @@ fn coalesced_frames_leave_in_enqueue_order() {
     let payloads: Vec<Vec<u8>> = (0..3)
         .map(|_| b.udp_recv_from(7).unwrap().1.as_slice().to_vec())
         .collect();
-    assert_eq!(payloads, vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]);
+    assert_eq!(
+        payloads,
+        vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+    );
     let mut accepted = None;
     settle(&fabric, &[&a, &b], || {
         accepted = b.tcp_accept(lid).unwrap();
         accepted.is_some()
     });
-
 }
 
 /// Delayed ACK: a lone segment's acknowledgment is held until the
@@ -152,7 +154,9 @@ fn delayed_ack_timer_fires_in_virtual_time() {
     );
 
     // Fire the timer in virtual time: one pure ACK leaves.
-    fabric.clock().advance_to(armed_at.saturating_add(ack_delay));
+    fabric
+        .clock()
+        .advance_to(armed_at.saturating_add(ack_delay));
     b.poll();
     assert_eq!(b.tcp_conn_stats(sconn).unwrap().acks_sent, acks_before + 1);
 

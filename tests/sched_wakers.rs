@@ -113,17 +113,20 @@ fn dropped_waker_neither_wakes_nor_strands() {
     let stash: Rc<RefCell<Vec<Waker>>> = Rc::new(RefCell::new(Vec::new()));
 
     let stash_in = stash.clone();
-    let handle = sched.spawn("parker", poll_fn(move |cx| {
-        let mut s = stash_in.borrow_mut();
-        if s.is_empty() {
-            // Park, leaving two waker clones with the outside world.
-            s.push(cx.waker().clone());
-            s.push(cx.waker().clone());
-            Poll::Pending
-        } else {
-            Poll::Ready(())
-        }
-    }));
+    let handle = sched.spawn(
+        "parker",
+        poll_fn(move |cx| {
+            let mut s = stash_in.borrow_mut();
+            if s.is_empty() {
+                // Park, leaving two waker clones with the outside world.
+                s.push(cx.waker().clone());
+                s.push(cx.waker().clone());
+                Poll::Pending
+            } else {
+                Poll::Ready(())
+            }
+        }),
+    );
     sched.run_pass();
     assert!(!sched.has_runnable(), "task parked");
 

@@ -292,7 +292,8 @@ fn sharded_stacks_serve_flows_with_zero_cross_shard_traffic() {
 
     for (i, &conn) in conns.iter().enumerate() {
         let msg = format!("req-{i}");
-        a.tcp_send(conn, DemiBuffer::from_slice(msg.as_bytes())).unwrap();
+        a.tcp_send(conn, DemiBuffer::from_slice(msg.as_bytes()))
+            .unwrap();
     }
     let mut echoed = 0;
     settle(&fabric, &[&a, &b], || {

@@ -229,7 +229,9 @@ fn wire_and_peer_see_the_senders_own_storage() {
         "storage-identical: the peer reads the sender's own allocation"
     );
     // And the view sits past the (trimmed) wire headers — mbuf semantics.
-    assert!(popped.headroom() >= net_stack::stack::MAX_HEADER_LEN - net_stack::tcp::TCP_MAX_HEADER_LEN);
+    assert!(
+        popped.headroom() >= net_stack::stack::MAX_HEADER_LEN - net_stack::tcp::TCP_MAX_HEADER_LEN
+    );
 }
 
 #[test]

@@ -33,6 +33,7 @@
 //! and examples: the same echo application source runs over catmem,
 //! catnip, and catcorn by swapping the libOS constructor.
 
+pub mod exec;
 pub mod libos;
 pub mod metrics;
 pub mod ops;
@@ -41,7 +42,8 @@ pub mod telemetry;
 pub mod testing;
 pub mod types;
 
+pub use exec::{run_shards, ExecMode, HostLinks, ShardSpec};
 pub use libos::{LibOs, LibOsKind};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, MetricsHub, MetricsSnapshot};
 pub use runtime::Runtime;
 pub use types::{DemiError, OperationResult, QDesc, QToken, Sga};

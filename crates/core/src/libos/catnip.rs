@@ -92,8 +92,33 @@ impl Catnip {
         port_config: PortConfig,
         config: StackConfig,
     ) -> Self {
+        Self::with_shared_ports(
+            runtime,
+            fabric,
+            port_config,
+            config,
+            std::sync::Arc::new(net_stack::PortAllocator::new()),
+        )
+    }
+
+    /// Creates a catnip instance whose TCP port namespace is `ports` —
+    /// shared across the shard worlds of one logical host under
+    /// thread-per-shard execution, so an ephemeral port allocated in one
+    /// world is never reissued in another.
+    pub fn with_shared_ports(
+        runtime: &Runtime,
+        fabric: &Fabric,
+        port_config: PortConfig,
+        config: StackConfig,
+        ports: std::sync::Arc<net_stack::PortAllocator>,
+    ) -> Self {
         let port = DpdkPort::new(fabric, port_config);
-        let stack = Rc::new(NetworkStack::new(port.clone(), fabric.clock(), config));
+        let stack = Rc::new(NetworkStack::with_ports(
+            port.clone(),
+            fabric.clock(),
+            config,
+            ports,
+        ));
         // The libOS polls its device on every scheduler pass — one poller
         // per stack shard, so each shard's RX queue, timers, and TX ring
         // advance as an independently-reported unit of work. It also

@@ -95,6 +95,95 @@ pub struct MetricsSnapshot {
     pub timers_stale: u64,
 }
 
+impl MetricsSnapshot {
+    /// Field-wise sum with `other` — counters from different shard
+    /// threads add exactly, so a logical host's totals are the merge of
+    /// its worlds' snapshots.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.data_path_syscalls += other.data_path_syscalls;
+        self.control_path_syscalls += other.control_path_syscalls;
+        self.copies += other.copies;
+        self.bytes_copied += other.bytes_copied;
+        self.wakeups += other.wakeups;
+        self.wakeups_with_data += other.wakeups_with_data;
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.wait_passes += other.wait_passes;
+        self.wait_polls += other.wait_polls;
+        self.buffer_allocs += other.buffer_allocs;
+        self.buffer_copies += other.buffer_copies;
+        self.buffer_bytes_copied += other.buffer_bytes_copied;
+        self.completion_checks += other.completion_checks;
+        self.tx_burst_calls += other.tx_burst_calls;
+        for (a, b) in self
+            .tx_frames_per_burst
+            .iter_mut()
+            .zip(other.tx_frames_per_burst.iter())
+        {
+            *a += b;
+        }
+        self.acks_coalesced += other.acks_coalesced;
+        self.rx_budget_exhausted += other.rx_budget_exhausted;
+        for (a, b) in self
+            .rx_queue_enqueued
+            .iter_mut()
+            .zip(other.rx_queue_enqueued.iter())
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .rx_queue_dropped
+            .iter_mut()
+            .zip(other.rx_queue_dropped.iter())
+        {
+            *a += b;
+        }
+        self.steering_mismatches += other.steering_mismatches;
+        self.timers_scheduled += other.timers_scheduled;
+        self.timers_fired += other.timers_fired;
+        self.timers_stale += other.timers_stale;
+    }
+}
+
+/// Cross-thread metrics sink for thread-per-shard execution.
+///
+/// A [`Metrics`] handle folds *thread-local* crate counters into its
+/// snapshots — read from the wrong thread, those fields silently report
+/// zero. Each shard thread therefore takes its own `snapshot()` *on its
+/// own thread* (where the thread-locals are live) and [`absorb`]s it
+/// here; [`merged`] on any thread then reports the logical host's true
+/// totals. The hub is `Send + Sync` (share it via `Arc`).
+///
+/// [`absorb`]: MetricsHub::absorb
+/// [`merged`]: MetricsHub::merged
+#[derive(Default)]
+pub struct MetricsHub {
+    merged: std::sync::Mutex<MetricsSnapshot>,
+}
+
+impl MetricsHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one shard thread's snapshot into the hub. Call on the shard
+    /// thread that produced it.
+    pub fn absorb(&self, snap: MetricsSnapshot) {
+        self.merged.lock().unwrap().merge(&snap);
+    }
+
+    /// The sum of everything absorbed so far.
+    pub fn merged(&self) -> MetricsSnapshot {
+        *self.merged.lock().unwrap()
+    }
+
+    /// Clears the hub (between experiment phases).
+    pub fn reset(&self) {
+        *self.merged.lock().unwrap() = MetricsSnapshot::default();
+    }
+}
+
 struct MetricsInner {
     snap: MetricsSnapshot,
     /// Thread-local counter readings at construction/reset; `snapshot()`
@@ -294,6 +383,60 @@ mod tests {
         m.reset();
         demi_memory::counters::note_alloc();
         assert_eq!(m.snapshot().buffer_allocs, 1);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_fields_and_arrays() {
+        let mut a = MetricsSnapshot {
+            pushes: 3,
+            wakeups: 1,
+            ..Default::default()
+        };
+        a.tx_frames_per_burst[0] = 2;
+        a.rx_queue_enqueued[1] = 5;
+        let mut b = MetricsSnapshot {
+            pushes: 4,
+            steering_mismatches: 2,
+            ..Default::default()
+        };
+        b.tx_frames_per_burst[0] = 1;
+        b.rx_queue_enqueued[1] = 7;
+        a.merge(&b);
+        assert_eq!(a.pushes, 7);
+        assert_eq!(a.wakeups, 1);
+        assert_eq!(a.steering_mismatches, 2);
+        assert_eq!(a.tx_frames_per_burst[0], 3);
+        assert_eq!(a.rx_queue_enqueued[1], 12);
+    }
+
+    #[test]
+    fn hub_absorbs_shard_thread_counters_the_naive_read_misses() {
+        use std::sync::Arc;
+        let hub = Arc::new(MetricsHub::new());
+        // The shard thread moves thread-local crate counters and absorbs
+        // its own snapshot; the spawning thread's Metrics never sees that
+        // movement (its thread-locals are a different instance).
+        let observer = Metrics::new();
+        let h = Arc::clone(&hub);
+        std::thread::spawn(move || {
+            let m = Metrics::new();
+            m.count_push();
+            dpdk_sim::counters::note_tx_burst(4);
+            h.absorb(m.snapshot());
+        })
+        .join()
+        .unwrap();
+        assert_eq!(
+            observer.snapshot().tx_burst_calls,
+            0,
+            "thread-local counters are invisible across threads — the bug \
+             the hub exists to fix"
+        );
+        let merged = hub.merged();
+        assert_eq!(merged.pushes, 1);
+        assert_eq!(merged.tx_burst_calls, 1);
+        hub.reset();
+        assert_eq!(hub.merged(), MetricsSnapshot::default());
     }
 
     #[test]

@@ -82,6 +82,79 @@ pub fn catnip_pair_sharded(
     (rt, fabric, client, server)
 }
 
+/// One fully-built shard world: a client and a server catnip host that
+/// are each one shard of their logical host, wired to the other worlds
+/// through the links in the [`crate::exec::ShardSpec`] they were built
+/// from.
+pub struct ShardWorld {
+    /// The world's runtime (own scheduler, own pollers).
+    pub rt: Runtime,
+    /// The world's fabric (own virtual clock).
+    pub fabric: Fabric,
+    /// This world's shard of the client host (`10.0.0.1`).
+    pub client: Catnip,
+    /// This world's shard of the server host (`10.0.0.2`).
+    pub server: Catnip,
+    /// The run's metrics sink (absorb on this world's thread).
+    pub hub: std::sync::Arc<crate::metrics::MetricsHub>,
+    /// This world's shard number.
+    pub index: usize,
+    /// Total shard worlds in the run.
+    pub total: usize,
+}
+
+/// Builds shard world `spec.index` of the standard two-host deployment:
+/// client = host 1, server = host 2, each host sharded across all the
+/// run's worlds. `spec.hosts[0]` carries the client host's cross-world
+/// links and `spec.hosts[1]` the server's — both stacks share their
+/// host's port namespace (so a `tcp_connect` picks an ephemeral port
+/// that RSS-homes the flow to this world) and attach their ring-mesh
+/// endpoint (so frames that globally hash elsewhere are handed off
+/// rather than misdelivered). The fabric seed mixes `spec.index` into
+/// `seed` the same way in both exec modes, keeping per-world traffic
+/// byte-identical between [`crate::exec::ExecMode::SingleThread`] and
+/// [`crate::exec::ExecMode::ThreadPerShard`].
+pub fn catnip_shard_world(
+    spec: crate::exec::ShardSpec,
+    seed: u64,
+    tune: impl Fn(StackConfig) -> StackConfig,
+) -> ShardWorld {
+    assert!(
+        spec.hosts.len() >= 2,
+        "shard world needs client + server host links (run_shards hosts >= 2)"
+    );
+    let fabric = Fabric::new(seed ^ (spec.index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let rt = Runtime::with_fabric(fabric.clone());
+    let mut hosts = spec.hosts.into_iter();
+    let client_links = hosts.next().unwrap();
+    let server_links = hosts.next().unwrap();
+    let client = Catnip::with_shared_ports(
+        &rt,
+        &fabric,
+        PortConfig::basic(host_mac(1)),
+        tune(StackConfig::new(host_ip(1))),
+        client_links.ports,
+    );
+    client.stack().attach_external(client_links.rings);
+    let server = Catnip::with_shared_ports(
+        &rt,
+        &fabric,
+        PortConfig::basic(host_mac(2)),
+        tune(StackConfig::new(host_ip(2))),
+        server_links.ports,
+    );
+    server.stack().attach_external(server_links.rings);
+    ShardWorld {
+        rt,
+        fabric,
+        client,
+        server,
+        hub: spec.hub,
+        index: spec.index,
+        total: spec.total,
+    }
+}
+
 /// Two catnap (kernel-baseline) hosts on a fresh fabric.
 pub fn catnap_pair(seed: u64) -> (Runtime, Fabric, Catnap, Catnap) {
     let fabric = Fabric::new(seed);

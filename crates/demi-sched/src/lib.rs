@@ -28,12 +28,16 @@
 //! owns one core and partitions state per core, so cross-thread
 //! synchronization never appears on the data path. (The run queue itself is
 //! `Mutex`+atomic so a `Waker` that escapes to another thread stays sound —
-//! uncontended in practice.)
+//! uncontended in practice.) Under thread-per-shard execution each OS
+//! thread owns a complete scheduler of its own; the only cross-thread
+//! structure this crate provides is the bounded lock-free [`spsc`] ring
+//! that carries messages *between* per-shard worlds.
 
 pub mod condition;
 pub mod notify;
 pub mod queue;
 pub mod scheduler;
+pub mod spsc;
 pub mod timer;
 mod waiters;
 pub mod yield_;

@@ -74,13 +74,54 @@ pub fn snapshot(stage: Stage) -> Histogram {
     HISTS.with(|h| h.borrow()[stage as usize].clone())
 }
 
-/// Clear every stage histogram.
+/// Clear every stage histogram (this thread's only; see [`reset_merged`]
+/// for the cross-thread sink).
 pub fn reset() {
     HISTS.with(|h| {
         for hist in h.borrow_mut().iter_mut() {
             hist.clear();
         }
     });
+}
+
+/// The cross-thread sink shard threads flush into. Bucket-wise merging
+/// is exact — a histogram is a sum of counts, so per-thread recording
+/// with merge-at-snapshot loses nothing (only the hot path must stay
+/// thread-local and lock-free).
+fn global_sink() -> &'static std::sync::Mutex<[Histogram; STAGE_COUNT]> {
+    static SINK: std::sync::OnceLock<std::sync::Mutex<[Histogram; STAGE_COUNT]>> =
+        std::sync::OnceLock::new();
+    SINK.get_or_init(|| std::sync::Mutex::new([EMPTY; STAGE_COUNT]))
+}
+
+/// Folds this thread's stage histograms into the cross-thread sink and
+/// clears them. Each shard thread calls this when its run ends (the
+/// thread-local histograms are invisible from any other thread — without
+/// the flush, a snapshot taken on the spawning thread reads zero).
+pub fn flush_current_thread() {
+    HISTS.with(|h| {
+        let mut local = h.borrow_mut();
+        let mut sink = global_sink().lock().unwrap();
+        for (merged, local) in sink.iter_mut().zip(local.iter_mut()) {
+            merged.merge(local);
+            local.clear();
+        }
+    });
+}
+
+/// One stage's histogram merged across threads: this thread's samples
+/// plus everything [`flush_current_thread`] deposited from shard threads.
+pub fn merged_snapshot(stage: Stage) -> Histogram {
+    let mut h = snapshot(stage);
+    h.merge(&global_sink().lock().unwrap()[stage as usize]);
+    h
+}
+
+/// Clears the cross-thread sink (e.g. between experiment phases).
+pub fn reset_merged() {
+    for hist in global_sink().lock().unwrap().iter_mut() {
+        hist.clear();
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +147,33 @@ mod tests {
         assert!(snapshot(Stage::SchedPollLag).is_empty());
         reset();
         assert!(snapshot(Stage::OpLatency).is_empty());
+    }
+
+    #[test]
+    fn flush_merges_across_threads() {
+        reset();
+        reset_merged();
+        crate::set_enabled(true);
+        record(Stage::OpLatency, 10);
+        let t = std::thread::spawn(|| {
+            crate::set_enabled(true);
+            record(Stage::OpLatency, 20);
+            record(Stage::OpLatency, 30);
+            // Without the flush these samples die with the thread.
+            flush_current_thread();
+            crate::set_enabled(false);
+        });
+        t.join().unwrap();
+        crate::set_enabled(false);
+        assert_eq!(
+            snapshot(Stage::OpLatency).count(),
+            1,
+            "plain snapshot stays thread-local"
+        );
+        assert_eq!(merged_snapshot(Stage::OpLatency).count(), 3);
+        reset();
+        reset_merged();
+        assert!(merged_snapshot(Stage::OpLatency).is_empty());
     }
 
     #[test]

@@ -24,12 +24,14 @@
 pub mod counters;
 pub mod mbuf;
 pub mod mempool;
+pub mod mtq;
 pub mod port;
 pub mod rss;
 pub mod smartnic;
 
 pub use mbuf::Mbuf;
 pub use mempool::Mempool;
+pub use mtq::FrameInjector;
 pub use port::{DpdkPort, PortConfig, PortQueueStats, PortStats};
 pub use smartnic::{NicProgram, ProgramSlot, SmartNic, SmartNicStats};
 

@@ -1,0 +1,52 @@
+//! Cross-thread frame ingress at RX-queue granularity.
+//!
+//! A [`crate::DpdkPort`] is `Rc`-based and owned by one shard thread —
+//! that is the point of thread-per-shard execution. But a frame sometimes
+//! *originates* on another thread: a peer shard world forwarding traffic,
+//! or a test injecting load from outside the world. The queue is the
+//! natural granularity to make that safe, because RSS already partitions
+//! arrivals per queue: each RX queue can be given exactly one
+//! [`FrameInjector`] (the `Send` half of a bounded SPSC ring), and the
+//! port drains the ring into that queue's descriptor ring whenever it
+//! pumps arrivals — on the owning thread, where all the `Rc` state lives.
+//!
+//! Injected frames are subject to the same tail-drop rule as fabric
+//! arrivals: a ring the host fails to drain loses frames, it does not
+//! grow. The injector side is likewise bounded, so a stalled shard world
+//! costs the sender a counted failure, never unbounded memory.
+
+use demi_sched::spsc::{self, Consumer, Producer};
+
+/// The `Send` half of one RX queue's cross-thread ingress: exactly one
+/// exists per attached queue (the ring is SPSC), and it may live on any
+/// thread.
+pub struct FrameInjector {
+    queue: u16,
+    tx: Producer<Vec<u8>>,
+}
+
+impl FrameInjector {
+    /// The RX queue this injector feeds.
+    pub fn queue(&self) -> u16 {
+        self.queue
+    }
+
+    /// Enqueues one raw Ethernet frame toward the queue. Returns `false`
+    /// (frame returned to the caller via drop) when the ingress ring is
+    /// full — the injection path never blocks and never grows.
+    pub fn inject(&mut self, frame: Vec<u8>) -> bool {
+        self.tx.try_push(frame).is_ok()
+    }
+
+    /// Frames currently waiting in the ingress ring.
+    pub fn pending(&self) -> usize {
+        self.tx.len()
+    }
+}
+
+/// Builds one queue's ingress ring; the consumer half stays inside the
+/// port, the injector half crosses threads.
+pub(crate) fn channel(queue: u16, capacity: usize) -> (FrameInjector, Consumer<Vec<u8>>) {
+    let (tx, rx) = spsc::channel(capacity);
+    (FrameInjector { queue, tx }, rx)
+}

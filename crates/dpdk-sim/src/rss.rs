@@ -141,6 +141,17 @@ pub fn queue_for_frame(frame: &[u8], queues: u16) -> u16 {
     (hash_frame(frame) % queues as u32) as u16
 }
 
+/// The RSS owner of a frame's IPv4 flow, or `None` when the frame
+/// carries no 4-tuple (ARP, truncated IP, unknown ethertypes). Flowless
+/// frames are broadcast-scope: cross-world ownership checks must treat
+/// them as local everywhere rather than steering them by the MAC-hash
+/// fallback of [`queue_for_frame`], which would ship a world's own ARP
+/// traffic onto another world's wire.
+pub fn flow_queue_for_frame(frame: &[u8], queues: u16) -> Option<u16> {
+    assert!(queues > 0, "RSS needs at least one queue");
+    ipv4_tuple_hash(frame).map(|h| (h % queues as u32) as u16)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -78,6 +78,12 @@ pub struct ShardSnapshot {
     pub timers_fired: u64,
     /// Wheel entries discarded as lazily-cancelled (superseded generation).
     pub timers_stale: u64,
+    /// Cross-shard sends that found the destination ring or handoff queue
+    /// full (the bounded queues pushing back).
+    pub handoff_backpressure: u64,
+    /// Cross-shard messages discarded because the destination stayed full
+    /// (TCP retransmission recovers; the queue never grows unbounded).
+    pub handoff_dropped: u64,
 }
 
 snapshot_delta!(ShardSnapshot {
@@ -85,6 +91,8 @@ snapshot_delta!(ShardSnapshot {
     timers_scheduled,
     timers_fired,
     timers_stale,
+    handoff_backpressure,
+    handoff_dropped,
 });
 
 counter_cell!(static SHARD: ShardSnapshot = ShardSnapshot {
@@ -92,6 +100,8 @@ counter_cell!(static SHARD: ShardSnapshot = ShardSnapshot {
     timers_scheduled: 0,
     timers_fired: 0,
     timers_stale: 0,
+    handoff_backpressure: 0,
+    handoff_dropped: 0,
 });
 
 /// Records one frame handed off to the shard owning its flow.
@@ -112,6 +122,16 @@ pub fn note_timer_fired() {
 /// Records one lazily-cancelled wheel entry being discarded.
 pub fn note_timer_stale() {
     counters::update(&SHARD, |s| s.timers_stale += 1);
+}
+
+/// Records one cross-shard send that found its destination full.
+pub fn note_handoff_backpressure() {
+    counters::update(&SHARD, |s| s.handoff_backpressure += 1);
+}
+
+/// Records one cross-shard message discarded at a full destination.
+pub fn note_handoff_dropped() {
+    counters::update(&SHARD, |s| s.handoff_dropped += 1);
 }
 
 /// Current sharding/timer counter values.

@@ -25,7 +25,11 @@
 //!   [`dpdk_sim::DpdkPort`] behind handle-based, poll-driven socket APIs.
 //!
 //! The stack is single-threaded and non-blocking throughout: a Demikernel
-//! coroutine calls `poll()`, checks for completions, and yields.
+//! coroutine calls `poll()`, checks for completions, and yields. Under
+//! thread-per-shard execution each shard's stack state stays
+//! single-threaded too; the only structures that cross threads are the
+//! bounded [`rings`] (cross-shard messages) and the [`ports`] namespace
+//! (host-wide TCP port ownership).
 
 pub mod arp;
 pub mod checksum;
@@ -34,10 +38,14 @@ pub mod eth;
 pub mod framing;
 pub mod icmp;
 pub mod ipv4;
+pub mod ports;
+pub mod rings;
 pub mod stack;
 pub mod tcp;
 pub mod types;
 pub mod udp;
 
+pub use ports::PortAllocator;
+pub use rings::{mesh, RingStats, ShardMsg, ShardRings};
 pub use stack::{NetworkStack, ShardStats, StackConfig, StackStats};
 pub use types::{NetError, SocketAddr};

@@ -18,7 +18,18 @@
 //! construction*: no cross-shard locking, no `Rc`s shared between shards,
 //! and the steering-mismatch counter stays zero unless a SmartNIC program
 //! deliberately overrides RSS. Mismatched frames are handed off to the
-//! owning shard through a per-shard handoff queue (counted, never dropped).
+//! owning shard as [`ShardMsg::Frame`]s over bounded lock-free SPSC rings
+//! ([`crate::rings`]), drained at the start of the owning shard's next
+//! poll pass; ARP bindings travel the same way. A full ring or handoff
+//! queue drops (counted: `handoff_backpressure` / `handoff_dropped`)
+//! instead of growing — TCP retransmission recovers, memory does not.
+//!
+//! The same ring protocol crosses OS threads: under thread-per-shard
+//! execution each shard world runs on its own core with a *global* shard
+//! identity ([`NetworkStack::attach_external`]), forwarding frames whose
+//! global RSS owner is another world and broadcasting ARP learns to every
+//! peer world. TCP port ownership is host-wide either way, through the
+//! shared lock-free [`PortAllocator`].
 //!
 //! With `sharded: false` a single shard owns *all* RX queues and drains
 //! them round-robin — the pre-sharding behavior, kept as the A/B baseline
@@ -27,10 +38,14 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use demi_memory::DemiBuffer;
 use dpdk_sim::{rss, DpdkPort, Mbuf};
 use sim_fabric::{MacAddress, SimClock, SimTime};
+
+use crate::ports::PortAllocator;
+use crate::rings::{self, RingStats, ShardMsg, ShardRings};
 
 use crate::arp::{ArpAction, ArpCache, ArpOp, ArpPacket, ARP_LEN};
 use crate::eth::{EthHeader, EtherType, ETH_HEADER_LEN};
@@ -82,6 +97,10 @@ pub struct StackConfig {
     /// shard that drains every queue round-robin — the serialized baseline
     /// the E14 A/B measures against.
     pub sharded: bool,
+    /// Capacity of each cross-shard ring and of the per-shard handoff
+    /// queue. A full queue drops the frame (counted) rather than growing;
+    /// TCP retransmission recovers the exception-path loss.
+    pub handoff_capacity: usize,
     /// TCP tunables.
     pub tcp: TcpConfig,
 }
@@ -99,6 +118,7 @@ impl StackConfig {
             rx_budget: 64,
             tx_coalesce: true,
             sharded: true,
+            handoff_capacity: 1024,
             tcp: TcpConfig::default(),
         }
     }
@@ -138,31 +158,67 @@ pub struct ShardStats {
     pub timer_events: u64,
     /// Frames this shard processed from its own queues.
     pub rx_frames: u64,
+    /// Sends from this shard that found the destination ring (or the
+    /// local handoff queue, on delivery) full.
+    pub handoff_backpressure: u64,
+    /// Cross-shard messages from or to this shard discarded at a full
+    /// bounded queue.
+    pub handoff_dropped: u64,
 }
 
-/// Facade-level bookkeeping shared across shards: TCP port-space ownership
-/// and listener replication. Ports are allocated here (one namespace per
-/// host) and then bound on the shard — or shards — that own them.
+/// Facade-level bookkeeping for this stack's listeners. Port *ownership*
+/// lives in the shared [`PortAllocator`] (one namespace per logical host,
+/// even when the host's shards span OS threads); this struct only tracks
+/// which listeners this particular stack instance replicated.
 struct Control {
     /// Facade listener handle → (port, per-shard inner listener ids).
     listeners: HashMap<u32, (u16, Vec<ListenerId>)>,
     next_listener: u32,
-    /// Every TCP port in use on this host: listeners and connection locals.
-    tcp_ports: HashSet<u16>,
-    next_ephemeral: u16,
+    /// Ports this stack instance listens on (a second `listen` here is
+    /// `AddrInUse`; another shard world acquiring the same port is
+    /// SO_REUSEPORT replication and fine).
+    local_listen: HashSet<u16>,
+}
+
+/// This stack's endpoint in a cross-thread shard mesh: a *global* shard
+/// identity plus rings to every peer world (see
+/// [`NetworkStack::attach_external`]).
+struct ExternalLinks {
+    rings: ShardRings,
 }
 
 /// One host's user-level network stack bound to one device port.
 pub struct NetworkStack {
     shards: Vec<RefCell<Shard>>,
+    /// In-world cross-shard rings, one endpoint per shard. Same protocol
+    /// and bounds as the cross-thread mesh; only the draining thread
+    /// differs.
+    rings: Vec<RefCell<ShardRings>>,
+    /// Cross-thread links, when this stack is one world of a
+    /// thread-per-shard host.
+    external: RefCell<Option<ExternalLinks>>,
     ctrl: RefCell<Control>,
+    ports: Arc<PortAllocator>,
     config: StackConfig,
     num_shards: usize,
 }
 
 impl NetworkStack {
-    /// Builds a stack on `port`, sharing the simulation `clock`.
+    /// Builds a stack on `port`, sharing the simulation `clock`, with its
+    /// own private port namespace.
     pub fn new(port: DpdkPort, clock: SimClock, config: StackConfig) -> Self {
+        Self::with_ports(port, clock, config, Arc::new(PortAllocator::new()))
+    }
+
+    /// Builds a stack whose TCP port namespace is `ports` — shared across
+    /// every shard world of one logical host under thread-per-shard
+    /// execution.
+    pub fn with_ports(
+        port: DpdkPort,
+        clock: SimClock,
+        config: StackConfig,
+        ports: Arc<PortAllocator>,
+    ) -> Self {
         let num_queues = port.num_rx_queues().max(1);
         let num_shards = if config.sharded {
             num_queues as usize
@@ -189,7 +245,9 @@ impl NetworkStack {
                     tx_stamps: Vec::new(),
                     handoff: VecDeque::new(),
                     forwards: Vec::new(),
+                    ext_forwards: Vec::new(),
                     learned: Vec::new(),
+                    global: None,
                     port: port.clone(),
                     clock: clock.clone(),
                     config: config.clone(),
@@ -198,17 +256,42 @@ impl NetworkStack {
                 })
             })
             .collect();
+        let rings = rings::mesh(num_shards, config.handoff_capacity)
+            .into_iter()
+            .map(RefCell::new)
+            .collect();
         NetworkStack {
             shards,
+            rings,
+            external: RefCell::new(None),
             ctrl: RefCell::new(Control {
                 listeners: HashMap::new(),
                 next_listener: 0,
-                tcp_ports: HashSet::new(),
-                next_ephemeral: 32_768,
+                local_listen: HashSet::new(),
             }),
+            ports,
             config,
             num_shards,
         }
+    }
+
+    /// Makes this stack one shard world of a thread-per-shard logical
+    /// host: `links` is this world's endpoint in a [`rings::mesh`] whose
+    /// index is the world's *global* shard number and whose size is the
+    /// total world count. Frames whose global RSS owner is another world
+    /// are forwarded over the mesh; ARP learns are broadcast to every
+    /// peer; ephemeral ports are constrained to hash home to this world.
+    pub fn attach_external(&self, links: ShardRings) {
+        let (gidx, gtotal) = (links.index(), links.num_shards());
+        for s in &self.shards {
+            s.borrow_mut().global = Some((gidx as u16, gtotal as u16));
+        }
+        *self.external.borrow_mut() = Some(ExternalLinks { rings: links });
+    }
+
+    /// The shared TCP port namespace this stack allocates from.
+    pub fn port_allocator(&self) -> Arc<PortAllocator> {
+        Arc::clone(&self.ports)
     }
 
     /// This host's IPv4 address.
@@ -254,37 +337,105 @@ impl NetworkStack {
         (0..self.num_shards).map(|i| self.poll_shard(i)).sum()
     }
 
-    /// One poll pass over a single shard: drain its RX queue(s) and
-    /// handoffs (up to [`StackConfig::rx_budget`] frames), advance its
-    /// protocol timers, hand its coalesced outgoing frames to the device
-    /// in one burst, then distribute any frames and ARP bindings staged
-    /// for other shards. This is the unit the runtime registers one poller
-    /// per shard for.
+    /// One poll pass over a single shard: drain its inbound rings, then
+    /// its RX queue(s) and handoffs (up to [`StackConfig::rx_budget`]
+    /// frames), advance its protocol timers, hand its coalesced outgoing
+    /// frames to the device in one burst, then *send* any frames and ARP
+    /// bindings staged for other shards over the rings (never a direct
+    /// borrow of another shard — it may live on another thread). This is
+    /// the unit the runtime registers one poller per shard for.
     pub fn poll_shard(&self, index: usize) -> usize {
-        let (mut work, forwards, learned) = {
+        // Ring drain happens at the pass boundary: messages peers sent
+        // during *their* passes become this shard's handoffs/bindings now.
+        let mut work = {
+            let mut rings = self.rings[index].borrow_mut();
+            let mut shard = self.shards[index].borrow_mut();
+            rings.drain(|msg| shard.on_shard_msg(msg))
+        };
+        // Shard 0 also drains this world's cross-thread inbox.
+        if index == 0 {
+            if let Some(ext) = self.external.borrow_mut().as_mut() {
+                let mut shard = self.shards[0].borrow_mut();
+                work += ext.rings.drain(|msg| shard.on_shard_msg(msg));
+            }
+        }
+        let (w, forwards, ext_forwards, learned) = {
             let mut shard = self.shards[index].borrow_mut();
             let work = shard.poll_pass();
             (
                 work,
                 std::mem::take(&mut shard.forwards),
+                std::mem::take(&mut shard.ext_forwards),
                 std::mem::take(&mut shard.learned),
             )
         };
-        // Mis-steered frames go to their owning shard's handoff queue;
-        // processing them is counted there (`handoffs_in`), not here.
-        for (target, mbuf) in forwards {
-            self.shards[target].borrow_mut().handoff.push_back(mbuf);
+        work += w;
+        // Mis-steered frames go to their owning shard's ring; processing
+        // them is counted there (`handoffs_in`). A successful send counts
+        // as work here so the scheduler keeps polling until the receiving
+        // shard has drained it.
+        {
+            let mut rings = self.rings[index].borrow_mut();
+            for (target, mbuf) in forwards {
+                let sent = rings.send(target, ShardMsg::Frame(mbuf.as_slice().to_vec()));
+                work += self.note_send(index, sent);
+            }
+            // ARP bindings learned on one shard serve the whole host:
+            // another shard may be the one holding packets queued on that
+            // resolution.
+            for &(ip, mac) in &learned {
+                for j in 0..self.num_shards {
+                    if j != index {
+                        let sent = rings.send(j, ShardMsg::ArpLearn(ip, mac));
+                        work += self.note_send(index, sent);
+                    }
+                }
+            }
         }
-        // ARP bindings learned on one shard serve the whole host: another
-        // shard may be the one holding packets queued on that resolution.
-        for (ip, mac) in learned {
-            for (j, other) in self.shards.iter().enumerate() {
-                if j != index {
-                    work += other.borrow_mut().arp_learn(ip, mac);
+        // Cross-thread links: frames owned by another world, plus the
+        // same ARP broadcast (a peer world may hold packets pending on
+        // the resolution this world just completed).
+        if let Some(ext) = self.external.borrow_mut().as_mut() {
+            let gidx = ext.rings.index();
+            for (world, bytes) in ext_forwards {
+                let sent = ext.rings.send(world, ShardMsg::Frame(bytes));
+                work += self.note_send(index, sent);
+            }
+            for &(ip, mac) in &learned {
+                for world in 0..ext.rings.num_shards() {
+                    if world != gidx {
+                        let sent = ext.rings.send(world, ShardMsg::ArpLearn(ip, mac));
+                        work += self.note_send(index, sent);
+                    }
                 }
             }
         }
         work
+    }
+
+    /// Books one ring send into the sending shard's stats; returns the
+    /// work-item credit (1 for enqueued, 0 for dropped).
+    fn note_send(&self, index: usize, sent: bool) -> usize {
+        if sent {
+            1
+        } else {
+            let mut shard = self.shards[index].borrow_mut();
+            shard.shard_stats.handoff_backpressure += 1;
+            shard.shard_stats.handoff_dropped += 1;
+            0
+        }
+    }
+
+    /// In-world ring counters for shard `index`.
+    pub fn ring_stats(&self, index: usize) -> RingStats {
+        self.rings[index].borrow().stats()
+    }
+
+    /// Cross-thread ring counters, if [`attach_external`] was called.
+    ///
+    /// [`attach_external`]: NetworkStack::attach_external
+    pub fn external_ring_stats(&self) -> Option<RingStats> {
+        self.external.borrow().as_ref().map(|e| e.rings.stats())
     }
 
     /// Earliest protocol timer deadline (ARP retry, TCP RTO/persist/
@@ -504,7 +655,10 @@ impl NetworkStack {
     /// drains them all.
     pub fn tcp_listen(&self, port: u16, backlog: usize) -> Result<ListenerId, NetError> {
         let mut ctrl = self.ctrl.borrow_mut();
-        if ctrl.tcp_ports.contains(&port) {
+        // One listen per port per stack; acquiring a listener reference in
+        // the shared namespace fails only if a connection exclusively
+        // claims the port (other shard worlds listening is replication).
+        if ctrl.local_listen.contains(&port) || !self.ports.listen_acquire(port) {
             return Err(NetError::AddrInUse(port));
         }
         let inner: Vec<ListenerId> = self
@@ -517,7 +671,7 @@ impl NetworkStack {
                     .expect("facade owns the port namespace")
             })
             .collect();
-        ctrl.tcp_ports.insert(port);
+        ctrl.local_listen.insert(port);
         let id = ctrl.next_listener;
         ctrl.next_listener += 1;
         ctrl.listeners.insert(id, (port, inner));
@@ -542,7 +696,8 @@ impl NetworkStack {
         let Some((port, inner)) = ctrl.listeners.remove(&listener.0) else {
             return;
         };
-        ctrl.tcp_ports.remove(&port);
+        ctrl.local_listen.remove(&port);
+        self.ports.listen_release(port);
         for (shard, lid) in self.shards.iter().zip(inner) {
             let mut shard = shard.borrow_mut();
             shard.tcp.close_listener(lid);
@@ -551,25 +706,22 @@ impl NetworkStack {
     }
 
     /// Starts an active open; poll [`NetworkStack::tcp_state`] until
-    /// `Established` (or an error). The local port is drawn from the
-    /// host-wide ephemeral range, and the connection is placed on the
-    /// shard its 4-tuple hashes to — the shard whose RX queue the
-    /// handshake replies will arrive on.
+    /// `Established` (or an error). The local port is drawn lock-free
+    /// from the host-wide ephemeral range, and the connection is placed
+    /// on the shard its 4-tuple hashes to — the shard whose RX queue the
+    /// handshake replies will arrive on. When this stack is one world of
+    /// a thread-per-shard host, the port is additionally constrained to
+    /// hash home to this world, so the whole flow stays on this core.
     pub fn tcp_connect(&self, remote: SocketAddr) -> Result<ConnId, NetError> {
-        let port = {
-            let mut ctrl = self.ctrl.borrow_mut();
-            let mut found = None;
-            for _ in 0..=u16::MAX as u32 {
-                let candidate = ctrl.next_ephemeral;
-                ctrl.next_ephemeral = ctrl.next_ephemeral.checked_add(1).unwrap_or(32_768);
-                if !ctrl.tcp_ports.contains(&candidate) {
-                    ctrl.tcp_ports.insert(candidate);
-                    found = Some(candidate);
-                    break;
-                }
-            }
-            found.ok_or(NetError::EphemeralPortsExhausted)?
-        };
+        let global = self.shards[0].borrow().global;
+        let ip = self.config.ip;
+        let port = match global {
+            Some((gidx, gtotal)) => self.ports.alloc_ephemeral_where(|p| {
+                rss::queue_for_tuple(ip, p, remote.ip, remote.port, gtotal) == gidx
+            }),
+            None => self.ports.alloc_ephemeral(),
+        }
+        .ok_or(NetError::EphemeralPortsExhausted)?;
         let owner = self.shard_for(port, remote);
         let mut shard = self.shards[owner].borrow_mut();
         let now = shard.clock.now();
@@ -665,13 +817,23 @@ struct Shard {
     tx_stamps: Vec<u64>,
     /// Frames other shards received but this shard owns (RSS overridden by
     /// a steering program). Drained before the device queues each pass.
+    /// Bounded at [`StackConfig::handoff_capacity`]: overflow drops the
+    /// frame (counted) rather than growing.
     handoff: VecDeque<Mbuf>,
     /// Frames this shard received but another owns, staged for the facade
-    /// to distribute after this shard's pass: `(owning shard, frame)`.
+    /// to send over the rings after this shard's pass: `(owning shard,
+    /// frame)`.
     forwards: Vec<(usize, Mbuf)>,
+    /// Frames owned by another shard *world* (cross-thread), staged for
+    /// the external rings: `(owning world, serialized frame)`. Owned
+    /// bytes, not a buffer handle — `Rc` never crosses a shard boundary.
+    ext_forwards: Vec<(usize, Vec<u8>)>,
     /// ARP bindings learned this pass, staged for the facade to teach the
     /// other shards (resolution benefits the whole host).
     learned: Vec<(Ipv4Addr, MacAddress)>,
+    /// `(global shard index, global shard count)` when this stack is one
+    /// world of a thread-per-shard host; `None` in a self-contained stack.
+    global: Option<(u16, u16)>,
     stats: StackStats,
     shard_stats: ShardStats,
 }
@@ -746,10 +908,55 @@ impl Shard {
         backlog
     }
 
+    /// Routes one message drained from a ring (in-world or cross-thread).
+    /// Frames were already steered here by the sender's ownership check,
+    /// so they join the handoff queue for direct dispatch; ARP bindings
+    /// are learned (never re-broadcast — the origin shard did that).
+    fn on_shard_msg(&mut self, msg: ShardMsg) {
+        match msg {
+            ShardMsg::Frame(bytes) => {
+                self.push_handoff(Mbuf::from_data(DemiBuffer::from_slice(&bytes)));
+            }
+            ShardMsg::ArpLearn(ip, mac) => {
+                self.arp_learn(ip, mac);
+            }
+        }
+    }
+
+    /// Enqueues a handed-off frame, dropping (counted) at capacity: the
+    /// handoff queue is the bounded landing zone for the exception path,
+    /// not an elastic buffer.
+    fn push_handoff(&mut self, mbuf: Mbuf) {
+        if self.handoff.len() >= self.config.handoff_capacity {
+            self.shard_stats.handoff_backpressure += 1;
+            self.shard_stats.handoff_dropped += 1;
+            crate::counters::note_handoff_backpressure();
+            crate::counters::note_handoff_dropped();
+            return;
+        }
+        self.handoff.push_back(mbuf);
+    }
+
     /// First touch of a frame pulled from this shard's own queue: check it
     /// actually belongs here (a SmartNIC steering program can override the
-    /// RSS hash), forwarding strays to their owner.
+    /// RSS hash), forwarding strays to their owner — another in-world
+    /// shard, or another shard world entirely when running
+    /// thread-per-shard.
     fn handle_frame(&mut self, mbuf: Mbuf, now: SimTime) {
+        if let Some((gidx, gtotal)) = self.global {
+            // Only flows have a global owner; flowless frames (ARP) are
+            // broadcast-scope — every world answers its own copy locally
+            // and shares what it learned over the rings instead.
+            if let Some(world) = rss::flow_queue_for_frame(mbuf.as_slice(), gtotal) {
+                if world as usize != gidx as usize {
+                    self.shard_stats.steering_mismatches += 1;
+                    crate::counters::note_steering_mismatch();
+                    self.ext_forwards
+                        .push((world as usize, mbuf.as_slice().to_vec()));
+                    return;
+                }
+            }
+        }
         if self.num_shards > 1 {
             let owner = rss::queue_for_frame(mbuf.as_slice(), self.num_shards as u16) as usize;
             if owner != self.index {
@@ -785,9 +992,10 @@ impl Shard {
         // Opportunistically learn the sender's binding either way.
         let actions = self.arp.insert(pkt.sender_ip, pkt.sender_mac, now);
         self.run_arp_actions(actions);
-        if self.num_shards > 1 {
+        if self.num_shards > 1 || self.global.is_some() {
             // An ARP reply is RSS-steered by source MAC, not by the flow
-            // that asked — the shard waiting on it may be another one.
+            // that asked — the shard (or shard world) waiting on it may be
+            // another one.
             self.learned.push((pkt.sender_ip, pkt.sender_mac));
         }
         if pkt.op == ArpOp::Request && pkt.target_ip == self.config.ip {

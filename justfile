@@ -10,7 +10,10 @@
 # cross-shard traffic, silent timers for idle connections); the
 # release-mode telemetry run asserts the E15 invariants (causally ordered
 # spans, zero-alloc sample recording, bounded span ring, catnip tail
-# beating the kernel baseline).
+# beating the kernel baseline); the release-mode multicore run asserts
+# the E16 invariants (byte streams identical across exec modes,
+# cross-thread handoff delivery, bounded handoff drops, merged
+# cross-thread metrics).
 verify:
     cargo build --release
     cargo test -q
@@ -18,6 +21,7 @@ verify:
     cargo test --release -q --test batching
     cargo test --release -q --test sharding
     cargo test --release -q --test telemetry
+    cargo test --release -q --test multicore
     cargo fmt --check
     cargo clippy -- -D warnings
 
@@ -25,14 +29,16 @@ verify:
 verify-all:
     cargo build --workspace --release
     cargo test --workspace -q
+    DEMI_EXEC_MODE=threads cargo test -q
     cargo test --release -q --test zero_copy_memory
     cargo test --release -q --test batching
     cargo test --release -q --test sharding
     cargo test --release -q --test telemetry
+    cargo test --release -q --test multicore
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Regenerate every experiment table (E1–E15).
+# Regenerate every experiment table (E1–E16).
 experiments:
     cargo bench -p demi-bench
 
@@ -56,3 +62,10 @@ bench-sharding:
 # measured curve lands in target/e15_tail_latency.json.
 bench-telemetry:
     cargo bench -p demi-bench --bench e15_tail_latency
+
+# The multi-core experiment alone: fixed-ops echo and KV workloads over
+# 4 shard worlds, sequential vs thread-per-shard wall clock, with the
+# asserted mode-independence and tail bounds (the >= 3x speedup assert
+# arms only on hosts with >= 4 CPUs).
+bench-multicore:
+    cargo bench -p demi-bench --bench e16_multicore

@@ -288,6 +288,66 @@ impl Catfs {
         Ok(qd)
     }
 
+    // ------------------------------------------------------------------
+    // Device-side chained resubmission (E17).
+    // ------------------------------------------------------------------
+
+    /// Submits one device-side pointer chase: the device follows the
+    /// next-pointer embedded in each block *internally* and completes
+    /// once with the terminal block — one host submission and one
+    /// completion for an N-hop walk. The popped Sga is the terminal
+    /// block's contents; [`Catfs::device_stats`] `chase_hops` advances
+    /// by the walk length (device work is never free, just cheaper than
+    /// N host crossings). Compare with [`Catfs::chase_host`].
+    pub fn chase(&self, spec: spdk_sim::ChainSpec) -> QToken {
+        self.runtime.metrics().count_pop();
+        let core = self.core();
+        self.runtime.spawn_op("catfs::chase", async move {
+            let cmd_id = {
+                let mut inner = core.inner.borrow_mut();
+                let id = inner.next_cmd;
+                inner.next_cmd += 1;
+                id
+            };
+            if core.device.submit_chase(core.qpair, cmd_id, spec).is_err() {
+                return OperationResult::Failed(DemiError::Storage("chase rejected"));
+            }
+            let completion = core.wait_cmd(cmd_id).await;
+            OperationResult::Pop {
+                from: None,
+                sga: Sga::from_slice(&completion.data.expect("chase returns the final block")),
+            }
+        })
+    }
+
+    /// The host-path baseline for the same walk: the host reads a block,
+    /// parses the pointer, and resubmits — N submissions, N completions,
+    /// N host crossings. E17's storage A/B measures this against
+    /// [`Catfs::chase`].
+    pub fn chase_host(&self, spec: spdk_sim::ChainSpec) -> QToken {
+        self.runtime.metrics().count_pop();
+        let core = self.core();
+        self.runtime.spawn_op("catfs::chase_host", async move {
+            let blocks = core.device.namespace_blocks();
+            let mut lba = spec.start_lba;
+            let mut hops = 0u32;
+            loop {
+                let block = core.read_block(lba).await;
+                hops += 1;
+                let at = spec.pointer_offset;
+                let next =
+                    u64::from_le_bytes(block[at..at + 8].try_into().expect("offset validated"));
+                if next == spec.sentinel || hops >= spec.max_hops || next >= blocks {
+                    return OperationResult::Pop {
+                        from: None,
+                        sga: Sga::from_slice(&block),
+                    };
+                }
+                lba = next;
+            }
+        })
+    }
+
     /// Synchronous block read for mount-time recovery (control path).
     fn sync_read_block(&self, lba: u64) -> Vec<u8> {
         let cmd_id = {

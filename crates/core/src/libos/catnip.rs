@@ -200,6 +200,48 @@ impl Catnip {
             .copy_from_slice(&encode_header(payload_len));
         buf
     }
+
+    // ------------------------------------------------------------------
+    // Device offload programs (E17). The stack is the planner; these are
+    // the application-facing install/uninstall doorbells. All of them
+    // are safe no-ops-with-signal on a non-programmable port, so an app
+    // can run unchanged on plain DPDK and SmartNIC configurations.
+    // ------------------------------------------------------------------
+
+    /// Installs a NIC-side echo short-circuit for TCP connections on
+    /// local `port`: the device reflects complete framed messages
+    /// without an RX→host→TX crossing.
+    pub fn install_echo_offload(&self, port: u16) -> Result<(), DemiError> {
+        self.runtime.metrics().count_control_path_syscall();
+        Ok(self.stack.install_echo_offload(port)?)
+    }
+
+    /// Installs a NIC-resident KV GET cache (bounded to `capacity_bytes`
+    /// of device memory) for TCP connections on local `port`.
+    pub fn install_kv_offload(&self, port: u16, capacity_bytes: usize) -> Result<(), DemiError> {
+        self.runtime.metrics().count_control_path_syscall();
+        Ok(self.stack.install_kv_offload(port, capacity_bytes)?)
+    }
+
+    /// Uninstalls the TCP offload program, returning every flow to the
+    /// pure host path mid-stream. Idempotent.
+    pub fn uninstall_tcp_offload(&self) {
+        self.runtime.metrics().count_control_path_syscall();
+        self.stack.uninstall_tcp_offload();
+    }
+
+    /// Write-through populate of the device KV cache after the host
+    /// served a GET miss. `false` (no KV offload installed, or the entry
+    /// exceeds device memory) needs no handling — the host simply keeps
+    /// serving that key.
+    pub fn offload_cache_insert(&self, key: &[u8], value: &[u8]) -> bool {
+        self.stack.offload_cache_insert(key, value)
+    }
+
+    /// Counters of the installed offload engine, if any.
+    pub fn offload_stats(&self) -> Option<dpdk_sim::OffloadStats> {
+        self.stack.offload_stats()
+    }
 }
 
 impl LibOs for Catnip {

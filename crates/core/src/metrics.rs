@@ -11,7 +11,9 @@ use std::rc::Rc;
 
 use demi_memory::DatapathSnapshot;
 use demi_telemetry::counters::Baseline;
-use dpdk_sim::counters::{RxQueueSnapshot, TxBatchSnapshot, RX_QUEUE_SLOTS};
+use dpdk_sim::counters::{
+    NicSlotSnapshot, RxQueueSnapshot, TxBatchSnapshot, NIC_SLOT_COUNTERS, RX_QUEUE_SLOTS,
+};
 use net_stack::counters::{BatchSnapshot, ShardSnapshot};
 
 /// Shared counter block (cheap to clone; one per libOS instance).
@@ -93,6 +95,16 @@ pub struct MetricsSnapshot {
     pub timers_fired: u64,
     /// Wheel entries discarded as lazily cancelled.
     pub timers_stale: u64,
+    /// Device cycles charged per SmartNIC program slot since the last
+    /// reset, from the dpdk-sim per-slot counters (E17). Slots beyond
+    /// `NIC_SLOT_COUNTERS - 1` share the last entry.
+    pub nic_slot_cycles: [u64; NIC_SLOT_COUNTERS],
+    /// Frames examined per SmartNIC program slot.
+    pub nic_slot_frames: [u64; NIC_SLOT_COUNTERS],
+    /// Frames dropped or absorbed per SmartNIC program slot.
+    pub nic_slot_drops: [u64; NIC_SLOT_COUNTERS],
+    /// Requests served device-side per SmartNIC program slot.
+    pub nic_slot_served: [u64; NIC_SLOT_COUNTERS],
 }
 
 impl MetricsSnapshot {
@@ -142,6 +154,18 @@ impl MetricsSnapshot {
         self.timers_scheduled += other.timers_scheduled;
         self.timers_fired += other.timers_fired;
         self.timers_stale += other.timers_stale;
+        for (a, b) in self.nic_slot_cycles.iter_mut().zip(other.nic_slot_cycles) {
+            *a += b;
+        }
+        for (a, b) in self.nic_slot_frames.iter_mut().zip(other.nic_slot_frames) {
+            *a += b;
+        }
+        for (a, b) in self.nic_slot_drops.iter_mut().zip(other.nic_slot_drops) {
+            *a += b;
+        }
+        for (a, b) in self.nic_slot_served.iter_mut().zip(other.nic_slot_served) {
+            *a += b;
+        }
     }
 }
 
@@ -195,6 +219,7 @@ struct MetricsInner {
     stack_batch_baseline: Baseline<BatchSnapshot>,
     rx_queue_baseline: Baseline<RxQueueSnapshot>,
     shard_baseline: Baseline<ShardSnapshot>,
+    nic_slot_baseline: Baseline<NicSlotSnapshot>,
 }
 
 impl Default for MetricsInner {
@@ -206,6 +231,7 @@ impl Default for MetricsInner {
             stack_batch_baseline: Baseline::new(net_stack::counters::snapshot()),
             rx_queue_baseline: Baseline::new(dpdk_sim::counters::rx_queue_snapshot()),
             shard_baseline: Baseline::new(net_stack::counters::shard_snapshot()),
+            nic_slot_baseline: Baseline::new(dpdk_sim::counters::nic_slot_snapshot()),
         }
     }
 }
@@ -298,6 +324,13 @@ impl Metrics {
         snap.timers_scheduled = shard.timers_scheduled;
         snap.timers_fired = shard.timers_fired;
         snap.timers_stale = shard.timers_stale;
+        let slots = inner
+            .nic_slot_baseline
+            .movement(dpdk_sim::counters::nic_slot_snapshot());
+        snap.nic_slot_cycles = slots.cycles;
+        snap.nic_slot_frames = slots.frames;
+        snap.nic_slot_drops = slots.drops;
+        snap.nic_slot_served = slots.served;
         snap
     }
 
@@ -322,6 +355,9 @@ impl Metrics {
         inner
             .shard_baseline
             .rebase(net_stack::counters::shard_snapshot());
+        inner
+            .nic_slot_baseline
+            .rebase(dpdk_sim::counters::nic_slot_snapshot());
     }
 }
 
@@ -437,6 +473,24 @@ mod tests {
         assert_eq!(merged.tx_burst_calls, 1);
         hub.reset();
         assert_eq!(hub.merged(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn nic_slot_counters_fold_per_slot_and_rebase() {
+        let m = Metrics::new();
+        dpdk_sim::counters::note_slot_exec(1, 42);
+        dpdk_sim::counters::note_slot_served(1);
+        dpdk_sim::counters::note_slot_drop(3);
+        let s = m.snapshot();
+        assert_eq!(s.nic_slot_cycles[1], 42);
+        assert_eq!(s.nic_slot_frames[1], 1);
+        assert_eq!(s.nic_slot_served[1], 1);
+        assert_eq!(s.nic_slot_drops[3], 1);
+        assert_eq!(s.nic_slot_cycles[0], 0, "attribution is per slot");
+        m.reset();
+        assert_eq!(m.snapshot().nic_slot_cycles[1], 0);
+        dpdk_sim::counters::note_slot_exec(1, 7);
+        assert_eq!(m.snapshot().nic_slot_cycles[1], 7);
     }
 
     #[test]

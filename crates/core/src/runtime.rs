@@ -56,6 +56,13 @@ struct PumpReport {
     external: usize,
 }
 
+impl PumpReport {
+    /// Whether this pass moved anything (frames, polls, or task progress).
+    fn has_work(&self) -> bool {
+        self.completed > 0 || self.polled > 0 || self.external > 0
+    }
+}
+
 /// Completion delivery for `wait_any`/`wait_all`: operations push their
 /// token here as their coroutine's last act, so waiters learn of
 /// completions in arrival order instead of rescanning every waited token
@@ -299,6 +306,22 @@ impl Runtime {
     /// instant has been passed that way must still arrive promptly.
     pub fn pump(&self) -> usize {
         self.pump_report().completed
+    }
+
+    /// Runs the world for `dur` of virtual time with no application work
+    /// outstanding: pumps ready work and advances the clock through every
+    /// pending event (frame deliveries, delayed ACKs, retransmit timers)
+    /// until `now + dur` is reached or nothing can move. Lets in-flight
+    /// protocol state quiesce — e.g., a device offload re-arms only once
+    /// the host connection has nothing unacknowledged.
+    pub fn settle(&self, dur: SimTime) {
+        let deadline = self.now().saturating_add(dur);
+        loop {
+            while self.pump_report().has_work() {}
+            if self.now() >= deadline || !self.advance(Some(deadline)) {
+                return;
+            }
+        }
     }
 
     fn pump_report(&self) -> PumpReport {

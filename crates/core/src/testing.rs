@@ -37,6 +37,22 @@ pub fn catnip_pair(seed: u64) -> (Runtime, Fabric, Catnip, Catnip) {
     (rt, fabric, client, server)
 }
 
+/// Two catnip hosts where the server (host 2) sits on a SmartNIC-class
+/// device with `slots` on-device program slots — the world the E17
+/// offload experiments run in. The client stays on a plain NIC.
+pub fn catnip_pair_offload(seed: u64, slots: usize) -> (Runtime, Fabric, Catnip, Catnip) {
+    let fabric = Fabric::new(seed);
+    let rt = Runtime::with_fabric(fabric.clone());
+    let client = Catnip::new(&rt, &fabric, host_mac(1), host_ip(1));
+    let server = Catnip::with_stack_config(
+        &rt,
+        &fabric,
+        PortConfig::smartnic(host_mac(2), slots),
+        StackConfig::new(host_ip(2)),
+    );
+    (rt, fabric, client, server)
+}
+
 /// Two catnip hosts with caller-tuned stack tunables (the closure edits
 /// each host's default config — the E13 A/B turns batching knobs off).
 pub fn catnip_pair_with(

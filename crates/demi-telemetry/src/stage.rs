@@ -27,10 +27,13 @@ pub enum Stage {
     RxDelivery,
     /// Net stack TX: frame entered the coalescing ring → burst doorbell.
     TxFlush,
+    /// Device offload: request served on the NIC → host applied the sync
+    /// event (shadow-state sync lag; the op itself never crossed).
+    DeviceServed,
 }
 
 /// Number of stages (registry array length).
-pub const STAGE_COUNT: usize = 4;
+pub const STAGE_COUNT: usize = 5;
 
 impl Stage {
     /// All stages, in registry order.
@@ -39,6 +42,7 @@ impl Stage {
         Stage::SchedPollLag,
         Stage::RxDelivery,
         Stage::TxFlush,
+        Stage::DeviceServed,
     ];
 
     /// Human-readable name for summaries and trace output.
@@ -48,6 +52,7 @@ impl Stage {
             Stage::SchedPollLag => "sched_poll_lag",
             Stage::RxDelivery => "rx_delivery",
             Stage::TxFlush => "tx_flush",
+            Stage::DeviceServed => "device_served",
         }
     }
 }

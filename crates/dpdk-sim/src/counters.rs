@@ -66,6 +66,7 @@ pub fn snapshot() -> TxBatchSnapshot {
 pub fn reset() {
     counters::zero(&COUNTERS);
     counters::zero(&RX_QUEUE);
+    counters::zero(&NIC_SLOTS);
 }
 
 /// Per-queue RX accounting tracks up to this many queues; higher queue
@@ -112,9 +113,90 @@ pub fn rx_queue_snapshot() -> RxQueueSnapshot {
     counters::read(&RX_QUEUE)
 }
 
+/// Per-slot SmartNIC program accounting tracks up to this many program
+/// slots; higher slot indices fold into the last slot (ports in this
+/// simulation configure ≤ 8 slots).
+pub const NIC_SLOT_COUNTERS: usize = 8;
+
+/// A point-in-time reading of the per-program-slot SmartNIC counters.
+///
+/// E17 attributes device cycles to individual offload programs; that is
+/// only honest if the attribution happens at execution time, per slot,
+/// rather than being inferred from aggregate device totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicSlotSnapshot {
+    /// Device cycles charged per program slot.
+    pub cycles: [u64; NIC_SLOT_COUNTERS],
+    /// Frames examined per program slot.
+    pub frames: [u64; NIC_SLOT_COUNTERS],
+    /// Frames dropped or absorbed per program slot.
+    pub drops: [u64; NIC_SLOT_COUNTERS],
+    /// Requests served device-side per program slot.
+    pub served: [u64; NIC_SLOT_COUNTERS],
+}
+
+snapshot_delta!(NicSlotSnapshot {
+    cycles,
+    frames,
+    drops,
+    served
+});
+
+counter_cell!(static NIC_SLOTS: NicSlotSnapshot = NicSlotSnapshot {
+    cycles: [0; NIC_SLOT_COUNTERS],
+    frames: [0; NIC_SLOT_COUNTERS],
+    drops: [0; NIC_SLOT_COUNTERS],
+    served: [0; NIC_SLOT_COUNTERS],
+});
+
+fn slot_index(slot: usize) -> usize {
+    slot.min(NIC_SLOT_COUNTERS - 1)
+}
+
+/// Records one frame examined by program slot `slot`, charging `cycles`
+/// device cycles to it.
+pub fn note_slot_exec(slot: usize, cycles: u64) {
+    counters::update(&NIC_SLOTS, |s| {
+        let i = slot_index(slot);
+        s.cycles[i] += cycles;
+        s.frames[i] += 1;
+    });
+}
+
+/// Records one frame dropped or absorbed by program slot `slot`.
+pub fn note_slot_drop(slot: usize) {
+    counters::update(&NIC_SLOTS, |s| s.drops[slot_index(slot)] += 1);
+}
+
+/// Records one request served device-side by program slot `slot`.
+pub fn note_slot_served(slot: usize) {
+    counters::update(&NIC_SLOTS, |s| s.served[slot_index(slot)] += 1);
+}
+
+/// Current per-slot SmartNIC counter values.
+pub fn nic_slot_snapshot() -> NicSlotSnapshot {
+    counters::read(&NIC_SLOTS)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slot_counters_attribute_and_clamp() {
+        let before = nic_slot_snapshot();
+        note_slot_exec(0, 10);
+        note_slot_exec(0, 5);
+        note_slot_drop(0);
+        note_slot_served(2);
+        note_slot_exec(100, 3); // Clamps into the last slot.
+        let d = nic_slot_snapshot().delta(&before);
+        assert_eq!(d.cycles[0], 15);
+        assert_eq!(d.frames[0], 2);
+        assert_eq!(d.drops[0], 1);
+        assert_eq!(d.served[2], 1);
+        assert_eq!(d.cycles[NIC_SLOT_COUNTERS - 1], 3);
+    }
 
     #[test]
     fn bursts_land_in_the_right_buckets() {

@@ -25,6 +25,7 @@ pub mod counters;
 pub mod mbuf;
 pub mod mempool;
 pub mod mtq;
+pub mod offload;
 pub mod port;
 pub mod rss;
 pub mod smartnic;
@@ -32,8 +33,11 @@ pub mod smartnic;
 pub use mbuf::Mbuf;
 pub use mempool::Mempool;
 pub use mtq::FrameInjector;
+pub use offload::{
+    FlowKey, FlowShadow, OffloadAction, OffloadEvent, OffloadService, OffloadStats, TcpOffload,
+};
 pub use port::{DpdkPort, PortConfig, PortQueueStats, PortStats};
-pub use smartnic::{NicProgram, ProgramSlot, SmartNic, SmartNicStats};
+pub use smartnic::{NicProgram, ProgramSlot, SlotStats, SmartNic, SmartNicStats};
 
 use sim_fabric::{DeviceCaps, DeviceCategory};
 

@@ -76,6 +76,13 @@ pub struct PortStats {
     pub rx_bytes: u64,
     /// Frames dropped because the target RX ring was full.
     pub rx_ring_drops: u64,
+    /// Frames the SmartNIC consumed device-side (offload absorb); these
+    /// never count as `rx_frames` — no host crossing happened.
+    pub device_absorbed_frames: u64,
+    /// Frames the SmartNIC transmitted device-side (offload replies);
+    /// these never count as `tx_frames` or `tx_burst_calls` — the host
+    /// rang no doorbell.
+    pub device_tx_frames: u64,
 }
 
 struct PortInner {
@@ -279,23 +286,29 @@ impl DpdkPort {
     pub fn smartnic_stats(&self) -> SmartNicStats {
         self.inner.borrow().smartnic.stats()
     }
+
+    /// Per-program-slot execution counters (E17 attribution).
+    pub fn smartnic_slot_stats(&self) -> Vec<crate::smartnic::SlotStats> {
+        self.inner.borrow().smartnic.slot_stats().to_vec()
+    }
 }
 
 impl PortInner {
     /// Moves delivered fabric frames into the RX rings.
     fn pump(&mut self) {
         while let Some(frame) = self.endpoint.receive() {
-            let decision = self.smartnic.process_rx(&frame.payload);
-            let (steered, rewritten) = match decision {
-                RxDecision::Drop => continue,
-                RxDecision::Accept { queue, frame } => (queue, frame),
-            };
             // Zero-copy RX: the mbuf wraps the very storage the sender
-            // transmitted. Only SmartNIC-rewritten frames take a fresh
-            // buffer (the rewrite produced new bytes anyway).
-            let data = match rewritten {
-                Some(bytes) => demi_memory::DemiBuffer::from(bytes),
-                None => frame.payload,
+            // transmitted; SmartNIC Map programs rewrite it in place.
+            let mut data = frame.payload;
+            let decision = self.smartnic.process_rx(&mut data, frame.delivered_at);
+            self.flush_device_tx();
+            let steered = match decision {
+                RxDecision::Drop => continue,
+                RxDecision::Absorb => {
+                    self.stats.device_absorbed_frames += 1;
+                    continue;
+                }
+                RxDecision::Accept { queue } => queue,
             };
             // Toeplitz-style RSS: symmetric 4-tuple hash picks the queue
             // unless a SmartNIC steering program already chose one.
@@ -320,6 +333,22 @@ impl PortInner {
             ring.push_back(mbuf);
         }
         self.drain_ingress();
+    }
+
+    /// Transmits frames the SmartNIC generated device-side (offload
+    /// replies). These leave through the fabric like any frame but are
+    /// accounted separately: no host doorbell rang, no host cycle was
+    /// spent — only the device cycles the program already charged.
+    fn flush_device_tx(&mut self) {
+        for reply in self.smartnic.take_tx() {
+            let bytes = reply.as_slice();
+            if bytes.len() < 14 {
+                continue;
+            }
+            let dst = MacAddress::new([bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]]);
+            self.stats.device_tx_frames += 1;
+            self.endpoint.transmit(dst, reply);
+        }
     }
 
     /// Moves cross-thread injected frames into their queues' descriptor

@@ -5,18 +5,31 @@
 //! as `filter`/`map` queue transformations that a libOS *may* offload
 //! (§4.2–4.3). The simulation models offload cost honestly: every program
 //! execution spends *device* cycles, tracked separately from host cycles,
-//! so experiment E6 can show the host-CPU reduction without pretending the
-//! work is free.
+//! so experiments E6/E17 can show the host-CPU reduction without
+//! pretending the work is free.
+//!
+//! Programs are a small *closed set* of verified behaviors — filter,
+//! steer, in-place map, and the data-parameterized TCP offload engine in
+//! [`crate::offload`] — not arbitrary code. That is the exokernel-style
+//! safety argument: the device runs only shapes the libOS planner can
+//! reason about, parameterized by data (predicates, flow tables, cache
+//! contents), never by unvetted control flow on the wire path.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+
+use demi_memory::DemiBuffer;
+use sim_fabric::SimTime;
+
+use crate::offload::{OffloadAction, TcpOffload};
 
 /// A frame predicate: `false` drops the frame.
 pub type FramePredicate = Rc<dyn Fn(&[u8]) -> bool>;
 /// A steering function: `Some(q)` selects RX queue `q`.
 pub type FrameSelector = Rc<dyn Fn(&[u8]) -> Option<u16>>;
-/// A frame rewriter.
-pub type FrameTransform = Rc<dyn Fn(&[u8]) -> Vec<u8>>;
+/// An in-place frame rewriter over the mutable frame bytes.
+pub type FrameTransform = Rc<dyn Fn(&mut [u8])>;
 
 /// Handle to an installed program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,12 +52,22 @@ pub enum NicProgram {
         /// Device cycles consumed per frame examined.
         cycles_per_frame: u64,
     },
-    /// Rewrites the frame in place on the device.
+    /// Rewrites the frame *in place* on the device — no allocation on
+    /// the device path. (A shared buffer forces one counted copy first;
+    /// see [`SlotStats::copy_fallbacks`].)
     Map {
-        /// The transformation, applied to the raw frame.
+        /// The transformation, applied to the mutable raw frame.
         transform: FrameTransform,
         /// Device cycles consumed per frame examined.
         cycles_per_frame: u64,
+    },
+    /// The restricted TCP offload engine: ACK absorption, echo
+    /// short-circuiting, and the NIC-resident KV GET cache (see
+    /// [`crate::offload`]). The handle stays with the installer — it is
+    /// the host's doorbell for arming flows and syncing shadow state.
+    TcpOffload {
+        /// Shared engine state (flow table, cache, sync-event queue).
+        engine: Rc<RefCell<TcpOffload>>,
     },
 }
 
@@ -54,11 +77,12 @@ impl fmt::Debug for NicProgram {
             NicProgram::Filter { .. } => write!(f, "NicProgram::Filter"),
             NicProgram::Steer { .. } => write!(f, "NicProgram::Steer"),
             NicProgram::Map { .. } => write!(f, "NicProgram::Map"),
+            NicProgram::TcpOffload { .. } => write!(f, "NicProgram::TcpOffload"),
         }
     }
 }
 
-/// Counters for on-device execution.
+/// Counters for on-device execution, aggregated over all slots.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SmartNicStats {
     /// Cycles spent executing programs on the device.
@@ -67,6 +91,29 @@ pub struct SmartNicStats {
     pub frames_processed: u64,
     /// Frames dropped by filter programs.
     pub frames_filtered: u64,
+    /// Frames consumed by an offload engine without host delivery
+    /// (absorbed pure ACKs plus device-served requests).
+    pub frames_absorbed: u64,
+    /// Requests answered entirely on the device (reply frames built and
+    /// transmitted without an RX→host→TX crossing).
+    pub frames_served: u64,
+}
+
+/// Per-slot execution counters, so device cycles can be attributed to
+/// individual offloads (E17).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// Device cycles this slot's program consumed.
+    pub cycles: u64,
+    /// Frames this slot's program examined.
+    pub frames: u64,
+    /// Frames this slot dropped (filters) or absorbed (offload engines).
+    pub drops: u64,
+    /// Requests this slot served device-side (offload engines).
+    pub served: u64,
+    /// Map rewrites that could not run in place because another live
+    /// handle shared the frame storage — each one cost a counted copy.
+    pub copy_fallbacks: u64,
 }
 
 /// Error installing a program.
@@ -90,17 +137,18 @@ impl fmt::Display for SmartNicError {
 impl std::error::Error for SmartNicError {}
 
 /// What the device decided about an incoming frame.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RxDecision {
     /// Frame dropped by a filter program.
     Drop,
-    /// Frame accepted; `queue` is `Some` if a steering program chose one,
-    /// `frame` is `Some` if a map program rewrote the bytes.
+    /// Frame consumed by an offload engine (pure ACK absorbed or request
+    /// served device-side); it must not reach a host RX ring.
+    Absorb,
+    /// Frame accepted; `queue` is `Some` if a steering program chose one.
+    /// Map programs rewrote the frame bytes in place.
     Accept {
         /// Steering decision, if any.
         queue: Option<u16>,
-        /// Rewritten frame, if a map program ran.
-        frame: Option<Vec<u8>>,
     },
 }
 
@@ -108,7 +156,11 @@ pub enum RxDecision {
 #[derive(Debug)]
 pub struct SmartNic {
     slots: Vec<Option<NicProgram>>,
+    slot_stats: Vec<SlotStats>,
     stats: SmartNicStats,
+    /// Reply frames offload engines built this pump; the port drains and
+    /// transmits them (device TX, never a host doorbell).
+    tx: Vec<DemiBuffer>,
 }
 
 impl SmartNic {
@@ -116,7 +168,9 @@ impl SmartNic {
     pub fn new(num_slots: usize) -> Self {
         SmartNic {
             slots: vec![None; num_slots],
+            slot_stats: vec![SlotStats::default(); num_slots],
             stats: SmartNicStats::default(),
+            tx: Vec::new(),
         }
     }
 
@@ -128,6 +182,7 @@ impl SmartNic {
         for (i, slot) in self.slots.iter_mut().enumerate() {
             if slot.is_none() {
                 *slot = Some(program);
+                self.slot_stats[i] = SlotStats::default();
                 return Ok(ProgramSlot(i));
             }
         }
@@ -146,28 +201,33 @@ impl SmartNic {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
-    /// Runs every installed program over an incoming frame, in slot order.
-    pub fn process_rx(&mut self, frame: &[u8]) -> RxDecision {
+    /// Runs every installed program over an incoming frame, in slot
+    /// order. Map programs rewrite `frame` in place, so later slots see
+    /// the mapped bytes.
+    pub fn process_rx(&mut self, frame: &mut DemiBuffer, now: SimTime) -> RxDecision {
         if self.installed() == 0 {
-            return RxDecision::Accept {
-                queue: None,
-                frame: None,
-            };
+            return RxDecision::Accept { queue: None };
         }
         self.stats.frames_processed += 1;
         let mut queue = None;
-        let mut rewritten: Option<Vec<u8>> = None;
-        // Hold the working bytes locally so map programs compose.
-        for slot in self.slots.iter().flatten() {
-            let bytes: &[u8] = rewritten.as_deref().unwrap_or(frame);
-            match slot {
+        for i in 0..self.slots.len() {
+            let Some(program) = self.slots[i].clone() else {
+                continue;
+            };
+            let slot = &mut self.slot_stats[i];
+            slot.frames += 1;
+            match program {
                 NicProgram::Filter {
                     predicate,
                     cycles_per_frame,
                 } => {
                     self.stats.device_cycles += cycles_per_frame;
-                    if !predicate(bytes) {
+                    slot.cycles += cycles_per_frame;
+                    crate::counters::note_slot_exec(i, cycles_per_frame);
+                    if !predicate(frame.as_slice()) {
                         self.stats.frames_filtered += 1;
+                        slot.drops += 1;
+                        crate::counters::note_slot_drop(i);
                         return RxDecision::Drop;
                     }
                 }
@@ -176,7 +236,9 @@ impl SmartNic {
                     cycles_per_frame,
                 } => {
                     self.stats.device_cycles += cycles_per_frame;
-                    if let Some(q) = selector(bytes) {
+                    slot.cycles += cycles_per_frame;
+                    crate::counters::note_slot_exec(i, cycles_per_frame);
+                    if let Some(q) = selector(frame.as_slice()) {
                         queue = Some(q);
                     }
                 }
@@ -185,19 +247,63 @@ impl SmartNic {
                     cycles_per_frame,
                 } => {
                     self.stats.device_cycles += cycles_per_frame;
-                    rewritten = Some(transform(bytes));
+                    slot.cycles += cycles_per_frame;
+                    crate::counters::note_slot_exec(i, cycles_per_frame);
+                    match frame.try_mut() {
+                        Some(bytes) => transform(bytes),
+                        None => {
+                            // Another live handle shares the storage:
+                            // rewrite a private copy instead of corrupting
+                            // the sender's bytes (`from_slice` counts the
+                            // alloc + copy toward the datapath counters).
+                            slot.copy_fallbacks += 1;
+                            let mut copy = DemiBuffer::from_slice(frame.as_slice());
+                            transform(copy.try_mut().expect("fresh buffer is exclusive"));
+                            *frame = copy;
+                        }
+                    }
+                }
+                NicProgram::TcpOffload { engine } => {
+                    let outcome = engine.borrow_mut().process(frame.as_slice(), now);
+                    self.stats.device_cycles += outcome.cycles;
+                    slot.cycles += outcome.cycles;
+                    crate::counters::note_slot_exec(i, outcome.cycles);
+                    if outcome.served {
+                        self.stats.frames_served += 1;
+                        slot.served += 1;
+                        crate::counters::note_slot_served(i);
+                    }
+                    match outcome.action {
+                        OffloadAction::Deliver => {}
+                        OffloadAction::Absorb => {
+                            self.stats.frames_absorbed += 1;
+                            slot.drops += 1;
+                            crate::counters::note_slot_drop(i);
+                            self.tx.extend(engine.borrow_mut().take_tx());
+                            return RxDecision::Absorb;
+                        }
+                    }
+                    self.tx.extend(engine.borrow_mut().take_tx());
                 }
             }
         }
-        RxDecision::Accept {
-            queue,
-            frame: rewritten,
-        }
+        RxDecision::Accept { queue }
     }
 
-    /// Execution counters.
+    /// Drains reply frames built by offload engines this pump.
+    pub fn take_tx(&mut self) -> Vec<DemiBuffer> {
+        std::mem::take(&mut self.tx)
+    }
+
+    /// Execution counters, aggregated over all slots.
     pub fn stats(&self) -> SmartNicStats {
         self.stats
+    }
+
+    /// Per-slot execution counters (index = slot number; uninstalled
+    /// slots keep the stats of their last occupant until reused).
+    pub fn slot_stats(&self) -> &[SlotStats] {
+        &self.slot_stats
     }
 }
 
@@ -210,6 +316,10 @@ mod tests {
             predicate: Rc::new(move |f: &[u8]| f.first() == Some(&keep_byte)),
             cycles_per_frame: 10,
         }
+    }
+
+    fn buf(bytes: &[u8]) -> DemiBuffer {
+        DemiBuffer::from_slice(bytes)
     }
 
     #[test]
@@ -232,10 +342,13 @@ mod tests {
         let mut nic = SmartNic::new(1);
         nic.install(filter(0xAA)).unwrap();
         assert!(matches!(
-            nic.process_rx(&[0xAA, 1]),
+            nic.process_rx(&mut buf(&[0xAA, 1]), SimTime::ZERO),
             RxDecision::Accept { .. }
         ));
-        assert!(matches!(nic.process_rx(&[0xBB, 1]), RxDecision::Drop));
+        assert!(matches!(
+            nic.process_rx(&mut buf(&[0xBB, 1]), SimTime::ZERO),
+            RxDecision::Drop
+        ));
         let s = nic.stats();
         assert_eq!(s.frames_processed, 2);
         assert_eq!(s.frames_filtered, 1);
@@ -250,27 +363,104 @@ mod tests {
             cycles_per_frame: 5,
         })
         .unwrap();
-        match nic.process_rx(&[7]) {
-            RxDecision::Accept { queue, .. } => assert_eq!(queue, Some(3)),
+        match nic.process_rx(&mut buf(&[7]), SimTime::ZERO) {
+            RxDecision::Accept { queue } => assert_eq!(queue, Some(3)),
             other => panic!("unexpected decision {other:?}"),
         }
     }
 
     #[test]
-    fn map_rewrites_frame_and_composes_with_filter() {
+    fn map_rewrites_frame_in_place_and_composes_with_filter() {
         let mut nic = SmartNic::new(2);
         nic.install(NicProgram::Map {
-            transform: Rc::new(|f: &[u8]| f.iter().map(|b| b ^ 0xFF).collect()),
+            transform: Rc::new(|f: &mut [u8]| {
+                for b in f.iter_mut() {
+                    *b ^= 0xFF;
+                }
+            }),
             cycles_per_frame: 3,
         })
         .unwrap();
         // Filter sees the *mapped* bytes because it is installed after.
         nic.install(filter(0x00)).unwrap();
-        match nic.process_rx(&[0xFF, 0x01]) {
-            RxDecision::Accept { frame, .. } => assert_eq!(frame, Some(vec![0x00, 0xFE])),
+        let mut frame = buf(&[0xFF, 0x01]);
+        match nic.process_rx(&mut frame, SimTime::ZERO) {
+            RxDecision::Accept { .. } => assert_eq!(frame.as_slice(), &[0x00, 0xFE]),
             other => panic!("unexpected decision {other:?}"),
         }
-        assert!(matches!(nic.process_rx(&[0x00]), RxDecision::Drop));
+        assert!(matches!(
+            nic.process_rx(&mut buf(&[0x00]), SimTime::ZERO),
+            RxDecision::Drop
+        ));
+        assert_eq!(
+            nic.slot_stats()[0].copy_fallbacks,
+            0,
+            "exclusive buffer rewrites in place"
+        );
+    }
+
+    #[test]
+    fn map_on_exclusive_buffer_does_not_allocate() {
+        let mut nic = SmartNic::new(1);
+        nic.install(NicProgram::Map {
+            transform: Rc::new(|f: &mut [u8]| f.reverse()),
+            cycles_per_frame: 1,
+        })
+        .unwrap();
+        let mut frame = buf(&[1, 2, 3, 4]);
+        let before = demi_memory::counters::snapshot();
+        nic.process_rx(&mut frame, SimTime::ZERO);
+        let d = demi_memory::counters::snapshot().delta(&before);
+        assert_eq!(frame.as_slice(), &[4, 3, 2, 1]);
+        assert_eq!(d.allocs, 0, "in-place map must not allocate");
+        assert_eq!(d.copies, 0, "in-place map must not copy");
+        assert_eq!(nic.slot_stats()[0].copy_fallbacks, 0);
+    }
+
+    #[test]
+    fn map_on_shared_buffer_takes_one_counted_copy() {
+        let mut nic = SmartNic::new(1);
+        nic.install(NicProgram::Map {
+            transform: Rc::new(|f: &mut [u8]| f.reverse()),
+            cycles_per_frame: 1,
+        })
+        .unwrap();
+        let original = buf(&[1, 2, 3, 4]);
+        let mut frame = original.clone(); // shared: sender still holds it
+        let before = demi_memory::counters::snapshot();
+        nic.process_rx(&mut frame, SimTime::ZERO);
+        let d = demi_memory::counters::snapshot().delta(&before);
+        assert_eq!(frame.as_slice(), &[4, 3, 2, 1]);
+        assert_eq!(
+            original.as_slice(),
+            &[1, 2, 3, 4],
+            "sender's bytes untouched"
+        );
+        assert!(d.copies >= 1, "shared storage forces a counted copy");
+        assert_eq!(nic.slot_stats()[0].copy_fallbacks, 1);
+    }
+
+    #[test]
+    fn per_slot_stats_attribute_cycles_to_programs() {
+        let mut nic = SmartNic::new(2);
+        let f_slot = nic.install(filter(0xAA)).unwrap();
+        let s_slot = nic
+            .install(NicProgram::Steer {
+                selector: Rc::new(|_: &[u8]| Some(1)),
+                cycles_per_frame: 5,
+            })
+            .unwrap();
+        nic.process_rx(&mut buf(&[0xAA]), SimTime::ZERO); // passes filter, steered
+        nic.process_rx(&mut buf(&[0xBB]), SimTime::ZERO); // dropped by filter
+        let fs = nic.slot_stats()[f_slot.0];
+        let ss = nic.slot_stats()[s_slot.0];
+        assert_eq!(fs.frames, 2);
+        assert_eq!(fs.cycles, 20);
+        assert_eq!(fs.drops, 1);
+        assert_eq!(ss.frames, 1, "steer never saw the dropped frame");
+        assert_eq!(ss.cycles, 5);
+        let agg = nic.stats();
+        assert_eq!(agg.device_cycles, fs.cycles + ss.cycles);
     }
 
     #[test]

@@ -38,10 +38,14 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use demi_memory::DemiBuffer;
-use dpdk_sim::{rss, DpdkPort, Mbuf};
+use dpdk_sim::{
+    rss, DpdkPort, FlowKey, FlowShadow, Mbuf, NicProgram, OffloadEvent, OffloadService,
+    OffloadStats, ProgramSlot, TcpOffload,
+};
 use sim_fabric::{MacAddress, SimClock, SimTime};
 
 use crate::ports::PortAllocator;
@@ -164,6 +168,11 @@ pub struct ShardStats {
     /// Cross-shard messages from or to this shard discarded at a full
     /// bounded queue.
     pub handoff_dropped: u64,
+    /// Device-offload sync events this shard applied to its control
+    /// blocks (ACK advances, device serves, flushed bytes, fallbacks).
+    pub offload_events_applied: u64,
+    /// Flows this shard armed (or re-armed after fallback) on the device.
+    pub offload_rearms: u64,
 }
 
 /// Facade-level bookkeeping for this stack's listeners. Port *ownership*
@@ -187,6 +196,28 @@ struct ExternalLinks {
     rings: ShardRings,
 }
 
+/// Facade-level handle on the installed device offload program: the
+/// engine (shared with every shard) and the NIC slot it occupies.
+struct OffloadCtl {
+    engine: Rc<RefCell<TcpOffload>>,
+    slot: ProgramSlot,
+}
+
+/// A shard's view of the device offload: the shared engine plus the
+/// flows *this shard owns* that are currently armed. The engine's sync
+/// events are keyed by flow; each shard drains the shared queue, applies
+/// the events for its own flows, and restores the rest in order for the
+/// owning shard (see [`Shard::drain_offload_events`]).
+struct ShardOffload {
+    engine: Rc<RefCell<TcpOffload>>,
+    /// The offloaded local TCP port.
+    port: u16,
+    /// Armed flows this shard owns: device flow key → control block.
+    armed: HashMap<FlowKey, ConnId>,
+    /// Reverse index for the release path (send/close on an armed conn).
+    by_conn: HashMap<ConnId, FlowKey>,
+}
+
 /// One host's user-level network stack bound to one device port.
 pub struct NetworkStack {
     shards: Vec<RefCell<Shard>>,
@@ -197,6 +228,9 @@ pub struct NetworkStack {
     /// Cross-thread links, when this stack is one world of a
     /// thread-per-shard host.
     external: RefCell<Option<ExternalLinks>>,
+    /// The installed TCP offload program, if any (one per stack: the
+    /// engine multiplexes echo or KV service over one local port).
+    offload: RefCell<Option<OffloadCtl>>,
     ctrl: RefCell<Control>,
     ports: Arc<PortAllocator>,
     config: StackConfig,
@@ -248,6 +282,7 @@ impl NetworkStack {
                     ext_forwards: Vec::new(),
                     learned: Vec::new(),
                     global: None,
+                    offload: None,
                     port: port.clone(),
                     clock: clock.clone(),
                     config: config.clone(),
@@ -264,6 +299,7 @@ impl NetworkStack {
             shards,
             rings,
             external: RefCell::new(None),
+            offload: RefCell::new(None),
             ctrl: RefCell::new(Control {
                 listeners: HashMap::new(),
                 next_listener: 0,
@@ -740,9 +776,13 @@ impl NetworkStack {
         self.conn_shard(conn).borrow().tcp.error(conn)
     }
 
-    /// Queues stream data (zero-copy) for transmission.
+    /// Queues stream data (zero-copy) for transmission. If the device is
+    /// currently serving this connection, the flow is disarmed first —
+    /// host-originated data and device-generated replies must never race
+    /// for sequence numbers.
     pub fn tcp_send(&self, conn: ConnId, data: DemiBuffer) -> Result<(), NetError> {
         let mut shard = self.conn_shard(conn).borrow_mut();
+        shard.offload_release_conn(conn);
         let now = shard.clock.now();
         shard.tcp.send(conn, data, now)?;
         shard.flush_tcp();
@@ -768,18 +808,23 @@ impl NetworkStack {
         self.conn_shard(conn).borrow().tcp.at_eof(conn)
     }
 
-    /// Graceful close.
+    /// Graceful close. Disarms any device offload on the flow first so
+    /// the FIN's sequence number accounts for absorbed bytes.
     pub fn tcp_close(&self, conn: ConnId) -> Result<(), NetError> {
         let mut shard = self.conn_shard(conn).borrow_mut();
+        shard.offload_release_conn(conn);
         let now = shard.clock.now();
         shard.tcp.close(conn, now)?;
         shard.flush_tcp();
         Ok(())
     }
 
-    /// Abortive close.
+    /// Abortive close (offload disarmed first, as for [`tcp_close`]).
+    ///
+    /// [`tcp_close`]: NetworkStack::tcp_close
     pub fn tcp_abort(&self, conn: ConnId) -> Result<(), NetError> {
         let mut shard = self.conn_shard(conn).borrow_mut();
+        shard.offload_release_conn(conn);
         shard.tcp.abort(conn)?;
         shard.flush_tcp();
         Ok(())
@@ -788,6 +833,100 @@ impl NetworkStack {
     /// Per-connection protocol counters.
     pub fn tcp_conn_stats(&self, conn: ConnId) -> Result<crate::tcp::cb::CbStats, NetError> {
         self.conn_shard(conn).borrow().tcp.conn_stats(conn)
+    }
+
+    // ------------------------------------------------------------------
+    // Device offload programs (E17).
+    //
+    // The stack is the offload *planner*: it decides which flows are
+    // device-eligible (Established, quiescent server connections on the
+    // offloaded port), installs the restricted engine into a NIC program
+    // slot, keeps host control blocks coherent by applying the engine's
+    // sync events, and falls everything back to the pure host path on
+    // uninstall. Applications never talk to the device directly.
+    // ------------------------------------------------------------------
+
+    /// Installs a NIC-side echo short-circuit for TCP connections on
+    /// local `port`: complete framed request messages are reflected by
+    /// the device without an RX→host→TX crossing.
+    pub fn install_echo_offload(&self, port: u16) -> Result<(), NetError> {
+        self.install_tcp_offload(port, OffloadService::Echo)
+    }
+
+    /// Installs a NIC-resident KV GET cache for TCP connections on local
+    /// `port`, bounded to `capacity_bytes` of device memory. GETs hitting
+    /// the cache are answered on the device; everything else (misses,
+    /// SETs, DELs) falls back to the host, which repopulates the cache
+    /// with [`NetworkStack::offload_cache_insert`].
+    pub fn install_kv_offload(&self, port: u16, capacity_bytes: usize) -> Result<(), NetError> {
+        self.install_tcp_offload(port, OffloadService::KvCache { capacity_bytes })
+    }
+
+    fn install_tcp_offload(&self, port: u16, service: OffloadService) -> Result<(), NetError> {
+        let mut ctl = self.offload.borrow_mut();
+        if ctl.is_some() {
+            return Err(NetError::Unsupported("a TCP offload is already installed"));
+        }
+        let engine = Rc::new(RefCell::new(TcpOffload::new(port, service)));
+        let slot = self.shards[0]
+            .borrow()
+            .port
+            .install_program(NicProgram::TcpOffload {
+                engine: Rc::clone(&engine),
+            })
+            .map_err(|_| NetError::Unsupported("device has no free program slots"))?;
+        for s in &self.shards {
+            let mut shard = s.borrow_mut();
+            shard.offload = Some(ShardOffload {
+                engine: Rc::clone(&engine),
+                port,
+                armed: HashMap::new(),
+                by_conn: HashMap::new(),
+            });
+            // Arm already-established quiescent connections immediately;
+            // new ones are picked up at the end of each poll pass.
+            shard.rearm_offload();
+        }
+        *ctl = Some(OffloadCtl { engine, slot });
+        Ok(())
+    }
+
+    /// Removes the installed TCP offload program, if any: every armed
+    /// flow is disarmed, absorbed-but-unserved bytes are handed back to
+    /// the host control blocks, and the NIC slot is freed. Connections
+    /// continue seamlessly on the pure host path. Idempotent.
+    pub fn uninstall_tcp_offload(&self) {
+        let Some(ctl) = self.offload.borrow_mut().take() else {
+            return;
+        };
+        ctl.engine.borrow_mut().disarm_all();
+        for s in &self.shards {
+            let mut shard = s.borrow_mut();
+            let now = shard.clock.now();
+            shard.drain_offload_events(now);
+            shard.flush_tcp();
+            shard.offload = None;
+        }
+        self.shards[0].borrow().port.uninstall_program(ctl.slot);
+    }
+
+    /// Write-through populate of the device KV cache (the host calls
+    /// this after serving a GET miss). Returns `false` when no KV
+    /// offload is installed or the entry exceeds the device-memory bound
+    /// — callers need no special-casing either way.
+    pub fn offload_cache_insert(&self, key: &[u8], value: &[u8]) -> bool {
+        match self.offload.borrow().as_ref() {
+            Some(ctl) => ctl.engine.borrow_mut().cache_insert(key, value),
+            None => false,
+        }
+    }
+
+    /// Counters of the installed offload engine, if any.
+    pub fn offload_stats(&self) -> Option<OffloadStats> {
+        self.offload
+            .borrow()
+            .as_ref()
+            .map(|ctl| ctl.engine.borrow().stats())
     }
 }
 
@@ -834,6 +973,8 @@ struct Shard {
     /// `(global shard index, global shard count)` when this stack is one
     /// world of a thread-per-shard host; `None` in a self-contained stack.
     global: Option<(u16, u16)>,
+    /// This shard's view of the installed device offload, if any.
+    offload: Option<ShardOffload>,
     stats: StackStats,
     shard_stats: ShardStats,
 }
@@ -846,14 +987,25 @@ impl Shard {
     fn poll_pass(&mut self) -> usize {
         let before = self.stats.rx_frames + self.stats.tx_frames + self.stats.unreachable_drops;
         let handoffs_before = self.shard_stats.handoffs_in;
+        let offload_before = self.shard_stats.offload_events_applied;
+        // Sync events queued by the device since the last pass must reach
+        // the control blocks before any frame (handed off or fresh) is
+        // dispatched — delivered fallback frames assume the host already
+        // absorbed the flushed bytes that precede them.
+        let now = self.clock.now();
+        self.drain_offload_events(now);
         let backlog = self.rx_pass();
         let timer_events = self.timer_pass();
         self.shard_stats.timer_events += timer_events as u64;
         self.flush_tcp();
+        // Flows that completed host-side work this pass (reply ACKed,
+        // queues drained) are quiescent now: hand them to the device.
+        self.rearm_offload();
         let after = self.stats.rx_frames + self.stats.tx_frames + self.stats.unreachable_drops;
         self.flush_tx();
         let handoffs = (self.shard_stats.handoffs_in - handoffs_before) as usize;
-        (after - before) as usize + handoffs + timer_events + backlog
+        let offload_events = (self.shard_stats.offload_events_applied - offload_before) as usize;
+        (after - before) as usize + handoffs + timer_events + backlog + offload_events
     }
 
     /// Drains up to `rx_budget` frames — handoffs from other shards first,
@@ -884,6 +1036,10 @@ impl Shard {
             let burst = self
                 .port
                 .rx_burst(queue, (budget - processed).min(RX_BURST));
+            // Pulling from the device pumps its RX pipeline, which may
+            // have absorbed or served frames on the NIC: apply the sync
+            // events *before* dispatching the frames it did deliver.
+            self.drain_offload_events(now);
             if burst.is_empty() {
                 idle_queues += 1;
                 continue;
@@ -1103,6 +1259,122 @@ impl Shard {
         let actions = self.arp.poll(now);
         self.run_arp_actions(actions);
         self.tcp.on_tick(now)
+    }
+
+    /// Applies the device's queued sync events to this shard's control
+    /// blocks, in order. The engine is shared by every shard of the
+    /// stack, so events for flows another shard owns are restored to the
+    /// front of the queue untouched — each flow's events are applied
+    /// exactly once, by its owner, in emission order.
+    fn drain_offload_events(&mut self, now: SimTime) -> usize {
+        let Some(off) = &mut self.offload else {
+            return 0;
+        };
+        let events = off.engine.borrow_mut().take_events();
+        if events.is_empty() {
+            return 0;
+        }
+        let mut foreign = Vec::new();
+        let mut applied = 0usize;
+        for ev in events {
+            let key = match &ev {
+                OffloadEvent::AckAdvance { key, .. }
+                | OffloadEvent::Served { key, .. }
+                | OffloadEvent::Flushed { key, .. }
+                | OffloadEvent::FellBack { key } => *key,
+            };
+            let Some(&conn) = off.armed.get(&key) else {
+                foreign.push(ev);
+                continue;
+            };
+            applied += 1;
+            match ev {
+                OffloadEvent::AckAdvance { ack, window, .. } => {
+                    self.tcp.offload_ack(conn, ack, window, now);
+                }
+                OffloadEvent::Served {
+                    rx_len,
+                    reply,
+                    served_at,
+                    ..
+                } => {
+                    if demi_telemetry::enabled() {
+                        demi_telemetry::stage::record(
+                            demi_telemetry::stage::Stage::DeviceServed,
+                            now.saturating_since(served_at).as_nanos(),
+                        );
+                    }
+                    self.tcp.offload_served(conn, rx_len, reply, now);
+                }
+                OffloadEvent::Flushed { data, .. } => {
+                    self.tcp.offload_flushed(conn, data, now);
+                }
+                OffloadEvent::FellBack { .. } => {
+                    off.armed.remove(&key);
+                    off.by_conn.remove(&conn);
+                }
+            }
+        }
+        if !foreign.is_empty() {
+            off.engine.borrow_mut().restore_events(foreign);
+        }
+        self.shard_stats.offload_events_applied += applied as u64;
+        applied
+    }
+
+    /// Takes `conn` back from the device before a host-side mutation
+    /// (send, close, abort): disarms the flow, applies the flushed bytes
+    /// and any other pending sync events, and forgets the arming. No-op
+    /// for unarmed connections.
+    fn offload_release_conn(&mut self, conn: ConnId) {
+        let Some(off) = &self.offload else {
+            return;
+        };
+        let Some(&key) = off.by_conn.get(&conn) else {
+            return;
+        };
+        off.engine.borrow_mut().disarm_flow(key);
+        let now = self.clock.now();
+        // The flushed bytes apply through the normal drain (the key is
+        // still in the armed map); dropping the map entries afterwards
+        // completes the release.
+        self.drain_offload_events(now);
+        if let Some(off) = &mut self.offload {
+            off.armed.remove(&key);
+            off.by_conn.remove(&conn);
+        }
+    }
+
+    /// Arms every quiescent, not-yet-armed Established connection on the
+    /// offloaded port. Quiescence (nothing queued, unacked, or out of
+    /// order) guarantees the shadow state handed to the device — next
+    /// expected sequence number, next transmit sequence number — is the
+    /// complete truth about the flow, so device and host cannot diverge.
+    fn rearm_offload(&mut self) {
+        let Some(off) = &mut self.offload else {
+            return;
+        };
+        for (conn, remote) in self.tcp.conns_on_port(off.port) {
+            if off.by_conn.contains_key(&conn) || !self.tcp.offload_quiescent(conn) {
+                continue;
+            }
+            let Some((rcv_nxt, snd_nxt, window, mss)) = self.tcp.offload_arm_info(conn) else {
+                continue;
+            };
+            let key: FlowKey = (remote.ip.octets(), remote.port);
+            off.engine.borrow_mut().arm_flow(
+                key,
+                FlowShadow {
+                    rcv_nxt,
+                    snd_nxt,
+                    window,
+                    mss,
+                },
+            );
+            off.armed.insert(key, conn);
+            off.by_conn.insert(conn, key);
+            self.shard_stats.offload_rearms += 1;
+        }
     }
 
     fn flush_tcp(&mut self) {

@@ -216,3 +216,194 @@ fn zero_copy_payloads_share_device_storage() {
         "view into a larger frame"
     );
 }
+
+// ----------------------------------------------------------------------
+// Device offload programs (E17): the stack as offload planner.
+// ----------------------------------------------------------------------
+
+use dpdk_sim::offload::frame_message;
+
+/// A two-host world where host `b` (the server) has a SmartNIC with
+/// program slots. Returns the server's port handle too, so tests can
+/// read device-side counters the stack never touches.
+fn offload_world() -> (Fabric, NetworkStack, NetworkStack, DpdkPort) {
+    let fabric = Fabric::new(1234);
+    let a = host(&fabric, 1);
+    let port = DpdkPort::new(
+        &fabric,
+        PortConfig::smartnic(MacAddress::from_last_octet(2), 4),
+    );
+    let b = NetworkStack::new(port.clone(), fabric.clock(), StackConfig::new(ip(2)));
+    (fabric, a, b, port)
+}
+
+/// Connects `a` to `b:port` and returns (client conn, server conn).
+fn tcp_pair(fabric: &Fabric, a: &NetworkStack, b: &NetworkStack, port: u16) -> (ConnId, ConnId) {
+    let lid = b.tcp_listen(port, 16).unwrap();
+    let conn = a.tcp_connect(SocketAddr::new(ip(2), port)).unwrap();
+    settle(fabric, &[a, b], || {
+        a.tcp_state(conn) == Ok(State::Established)
+    });
+    let mut sconn = None;
+    settle(fabric, &[a, b], || {
+        sconn = b.tcp_accept(lid).unwrap();
+        sconn.is_some()
+    });
+    (conn, sconn.unwrap())
+}
+
+/// Drains client-side stream data until `want` bytes have arrived.
+fn recv_exactly(
+    fabric: &Fabric,
+    a: &NetworkStack,
+    b: &NetworkStack,
+    conn: ConnId,
+    want: usize,
+) -> Vec<u8> {
+    let mut got = Vec::new();
+    settle(fabric, &[a, b], || {
+        while let Ok(Some(chunk)) = a.tcp_recv(conn) {
+            got.extend_from_slice(chunk.as_slice());
+        }
+        got.len() >= want
+    });
+    got
+}
+
+#[test]
+fn echo_offload_serves_on_device_without_host_delivery() {
+    let (fabric, a, b, port) = offload_world();
+    b.install_echo_offload(7).unwrap();
+    let (conn, sconn) = tcp_pair(&fabric, &a, &b, 7);
+    // Handshake done and nothing queued: the flow arms on the next pass.
+    settle(&fabric, &[&a, &b], || {
+        b.offload_stats().unwrap().flows_armed == 1
+    });
+
+    let msg = frame_message(b"hello-device");
+    a.tcp_send(conn, DemiBuffer::from_slice(&msg)).unwrap();
+    let reply = recv_exactly(&fabric, &a, &b, conn, msg.len());
+    assert_eq!(reply, msg, "device echoes the full framed message");
+
+    let stats = b.offload_stats().unwrap();
+    assert_eq!(stats.served, 1);
+    assert!(
+        !b.tcp_readable(sconn),
+        "served request bytes must never reach the host application"
+    );
+    assert!(
+        port.stats().device_tx_frames >= 1,
+        "the reply left through device TX, not a host doorbell"
+    );
+
+    // A second round trip proves shadow state stayed coherent.
+    let msg2 = frame_message(b"again");
+    a.tcp_send(conn, DemiBuffer::from_slice(&msg2)).unwrap();
+    let reply2 = recv_exactly(&fabric, &a, &b, conn, msg2.len());
+    assert_eq!(reply2, msg2);
+    assert_eq!(b.offload_stats().unwrap().served, 2);
+
+    // Close falls the flow back to the host, which owns teardown.
+    a.tcp_close(conn).unwrap();
+    settle(&fabric, &[&a, &b], || b.tcp_eof(sconn));
+    b.tcp_close(sconn).unwrap();
+    settle(&fabric, &[&a, &b], || {
+        a.tcp_state(conn) == Ok(State::Closed) && b.tcp_state(sconn) == Ok(State::Closed)
+    });
+    assert!(b.offload_stats().unwrap().fallbacks >= 1);
+}
+
+#[test]
+fn kv_offload_hits_on_device_and_invalidates_on_set() {
+    let (fabric, a, b, _port) = offload_world();
+    b.install_kv_offload(7, 4096).unwrap();
+    assert!(b.offload_cache_insert(b"k", b"vee"));
+    let (conn, sconn) = tcp_pair(&fabric, &a, &b, 7);
+    settle(&fabric, &[&a, &b], || {
+        b.offload_stats().unwrap().flows_armed == 1
+    });
+
+    // GET hit: answered on the device.
+    a.tcp_send(conn, DemiBuffer::from_slice(&frame_message(b"Gk")))
+        .unwrap();
+    let want = frame_message(b"Vvee");
+    let reply = recv_exactly(&fabric, &a, &b, conn, want.len());
+    assert_eq!(reply, want);
+    assert_eq!(b.offload_stats().unwrap().kv_hits, 1);
+    assert!(!b.tcp_readable(sconn), "hit never crossed to the host");
+
+    // SET: falls back; the host application serves it and the device
+    // cache drops the key (write-through invalidation).
+    a.tcp_send(conn, DemiBuffer::from_slice(&frame_message(b"Sk=new")))
+        .unwrap();
+    let mut request = Vec::new();
+    settle(&fabric, &[&a, &b], || {
+        while let Ok(Some(chunk)) = b.tcp_recv(sconn) {
+            request.extend_from_slice(chunk.as_slice());
+        }
+        request.len() >= frame_message(b"Sk=new").len()
+    });
+    assert_eq!(request, frame_message(b"Sk=new"), "flushed bytes intact");
+    assert!(b.offload_stats().unwrap().kv_invalidations >= 1);
+    b.tcp_send(sconn, DemiBuffer::from_slice(&frame_message(b"O")))
+        .unwrap();
+    let ok = frame_message(b"O");
+    assert_eq!(recv_exactly(&fabric, &a, &b, conn, ok.len()), ok);
+
+    // The flow re-arms once quiescent; the invalidated key now misses on
+    // the device and the host (with the fresh value) serves it.
+    settle(&fabric, &[&a, &b], || {
+        b.offload_stats().unwrap().flows_armed == 1
+    });
+    a.tcp_send(conn, DemiBuffer::from_slice(&frame_message(b"Gk")))
+        .unwrap();
+    let mut request2 = Vec::new();
+    settle(&fabric, &[&a, &b], || {
+        while let Ok(Some(chunk)) = b.tcp_recv(sconn) {
+            request2.extend_from_slice(chunk.as_slice());
+        }
+        request2.len() >= frame_message(b"Gk").len()
+    });
+    assert!(b.offload_stats().unwrap().kv_misses >= 1);
+    b.tcp_send(sconn, DemiBuffer::from_slice(&frame_message(b"Vnew")))
+        .unwrap();
+    let fresh = frame_message(b"Vnew");
+    assert_eq!(recv_exactly(&fabric, &a, &b, conn, fresh.len()), fresh);
+}
+
+#[test]
+fn uninstall_mid_message_flushes_absorbed_bytes_to_host() {
+    let (fabric, a, b, port) = offload_world();
+    b.install_echo_offload(7).unwrap();
+    let (conn, sconn) = tcp_pair(&fabric, &a, &b, 7);
+    settle(&fabric, &[&a, &b], || {
+        b.offload_stats().unwrap().flows_armed == 1
+    });
+
+    // First half of a framed message: the device absorbs it (incomplete,
+    // unACKed) while it waits for the rest.
+    let msg = frame_message(b"split-across-uninstall");
+    a.tcp_send(conn, DemiBuffer::from_slice(&msg[..5])).unwrap();
+    settle(&fabric, &[&a, &b], || {
+        port.stats().device_absorbed_frames >= 1
+    });
+    assert!(!b.tcp_readable(sconn));
+
+    // Uninstall mid-message: the absorbed prefix must reappear on the
+    // host path, acknowledged and delivered in order.
+    b.uninstall_tcp_offload();
+    assert!(b.offload_stats().is_none());
+    a.tcp_send(conn, DemiBuffer::from_slice(&msg[5..])).unwrap();
+    let mut request = Vec::new();
+    settle(&fabric, &[&a, &b], || {
+        while let Ok(Some(chunk)) = b.tcp_recv(sconn) {
+            request.extend_from_slice(chunk.as_slice());
+        }
+        request.len() >= msg.len()
+    });
+    assert_eq!(request, msg, "no byte lost or reordered across uninstall");
+
+    // The host is a plain TCP server again.
+    b.tcp_send(sconn, DemiBuffer::from_slice(&msg)).unwrap();
+    assert_eq!(recv_exactly(&fabric, &a, &b, conn, msg.len()), msg);
+}

@@ -55,6 +55,9 @@ pub enum NetError {
     Timeout,
     /// A malformed header was encountered (parse-side; counted, not fatal).
     Malformed(&'static str),
+    /// The device cannot satisfy the request (no program slots, offload
+    /// already installed, ...).
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for NetError {
@@ -73,6 +76,7 @@ impl fmt::Display for NetError {
             NetError::EphemeralPortsExhausted => write!(f, "ephemeral ports exhausted"),
             NetError::Timeout => write!(f, "operation timed out"),
             NetError::Malformed(what) => write!(f, "malformed {what}"),
+            NetError::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }
 }

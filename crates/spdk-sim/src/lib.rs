@@ -16,7 +16,7 @@ pub mod latency;
 pub mod nvme;
 
 pub use latency::FlashLatencyModel;
-pub use nvme::{NvmeCompletion, NvmeConfig, NvmeDevice, NvmeError, NvmeStats, QpairId};
+pub use nvme::{ChainSpec, NvmeCompletion, NvmeConfig, NvmeDevice, NvmeError, NvmeStats, QpairId};
 
 use sim_fabric::{DeviceCaps, DeviceCategory};
 

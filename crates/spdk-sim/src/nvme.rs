@@ -68,10 +68,37 @@ impl std::error::Error for NvmeError {}
 pub struct NvmeCompletion {
     /// Caller-chosen command id.
     pub cmd_id: u64,
-    /// Data, for reads.
+    /// Data, for reads (final block for chases).
     pub data: Option<Vec<u8>>,
+    /// Device-side pointer hops taken (chase commands; 0 otherwise).
+    pub hops: u32,
     /// Virtual instant the command completed inside the device.
     pub completed_at: SimTime,
+}
+
+/// Parameters of a device-side chained lookup ([`NvmeDevice::submit_chase`]).
+///
+/// This is the storage half of the offload-program model: a restricted,
+/// verified "follow the pointer" program, not arbitrary code. Each block
+/// carries a little-endian `u64` next-LBA at `pointer_offset`; the device
+/// reads the start block and keeps following pointers *inside the device*
+/// until it hits `sentinel`, runs out of `max_hops` budget, or a pointer
+/// leaves the namespace. The host pays exactly one submission for the
+/// whole walk; the device pays one flash read per hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainSpec {
+    /// First block of the chain.
+    pub start_lba: u64,
+    /// Byte offset of the `u64` little-endian next-pointer within each
+    /// block; must leave room for 8 bytes (`<= BLOCK_SIZE - 8`).
+    pub pointer_offset: usize,
+    /// Pointer value that terminates the chain (the final block is
+    /// returned). Unwritten blocks read as zero, so a zero sentinel
+    /// terminates on any unwritten block.
+    pub sentinel: u64,
+    /// Hop budget: the walk stops after reading this many blocks even if
+    /// no sentinel was found (bounds device work, like a verifier would).
+    pub max_hops: u32,
 }
 
 /// Device counters (experiment E10 reads `blocks_written` for
@@ -90,12 +117,29 @@ pub struct NvmeStats {
     pub blocks_written: u64,
     /// Submissions rejected with `QueueFull`.
     pub queue_full_rejections: u64,
+    /// Chase commands completed (each is ONE host submission).
+    pub chases: u64,
+    /// Total device-side pointer hops taken by chase commands.
+    pub chase_hops: u64,
 }
 
 enum Command {
-    Read { lba: u64, blocks: u64 },
-    Write { lba: u64, data: Vec<u8> },
+    Read {
+        lba: u64,
+        blocks: u64,
+    },
+    Write {
+        lba: u64,
+        data: Vec<u8>,
+    },
     Flush,
+    /// Chain walk, resolved at submission against current media state
+    /// (the device sees its own media synchronously; the *latency* of
+    /// every hop is still charged into the service time).
+    Chase {
+        hops: u32,
+        data: Vec<u8>,
+    },
 }
 
 struct InFlight {
@@ -206,6 +250,55 @@ impl NvmeDevice {
         )
     }
 
+    /// Submits a device-side chained lookup (see [`ChainSpec`]).
+    ///
+    /// An N-hop chain costs the host exactly one submission and one
+    /// completion; the device charges N single-block read times into the
+    /// command's service latency. The completion carries the final block
+    /// (where the walk terminated) and the hop count.
+    pub fn submit_chase(
+        &self,
+        qpair: QpairId,
+        cmd_id: u64,
+        spec: ChainSpec,
+    ) -> Result<(), NvmeError> {
+        let mut inner = self.inner.borrow_mut();
+        if spec.pointer_offset + 8 > BLOCK_SIZE {
+            return Err(NvmeError::BadLength);
+        }
+        if spec.max_hops == 0 {
+            return Err(NvmeError::OutOfRange);
+        }
+        inner.check_range(spec.start_lba, 1)?;
+        // Resolve the walk now (media mutations are synchronous at
+        // submission in this device), charging one flash read per hop.
+        let mut lba = spec.start_lba;
+        let mut hops: u32 = 0;
+        let mut service = SimTime::ZERO;
+        let zero_block = [0u8; BLOCK_SIZE];
+        let mut last: Vec<u8>;
+        loop {
+            let block: &[u8] = inner.media.get(&lba).map(|b| &b[..]).unwrap_or(&zero_block);
+            hops += 1;
+            service = service.saturating_add(inner.config.latency.read_time(1));
+            last = block.to_vec();
+            let next = u64::from_le_bytes(
+                block[spec.pointer_offset..spec.pointer_offset + 8]
+                    .try_into()
+                    .expect("8 bytes"),
+            );
+            if next == spec.sentinel
+                || hops >= spec.max_hops
+                || next >= inner.config.namespace_blocks
+            {
+                break;
+            }
+            lba = next;
+        }
+        inner.stats.blocks_read += u64::from(hops);
+        inner.enqueue(qpair, cmd_id, service, Command::Chase { hops, data: last })
+    }
+
     /// Submits a flush (durability barrier).
     pub fn submit_flush(&self, qpair: QpairId, cmd_id: u64) -> Result<(), NvmeError> {
         let mut inner = self.inner.borrow_mut();
@@ -296,6 +389,7 @@ impl Inner {
     }
 
     fn execute(&mut self, item: InFlight) -> NvmeCompletion {
+        let mut hops = 0;
         let data = match item.command {
             Command::Read { lba, blocks } => {
                 self.stats.reads += 1;
@@ -326,10 +420,17 @@ impl Inner {
                 self.stats.flushes += 1;
                 None
             }
+            Command::Chase { hops: h, data } => {
+                self.stats.chases += 1;
+                self.stats.chase_hops += u64::from(h);
+                hops = h;
+                Some(data)
+            }
         };
         NvmeCompletion {
             cmd_id: item.cmd_id,
             data,
+            hops,
             completed_at: item.complete_at,
         }
     }
@@ -482,6 +583,137 @@ mod tests {
         clock.advance_by(SimTime::from_micros(10));
         let _ = dev.poll_completions(qp2, 8);
         assert_eq!(dev.next_deadline(), Some(SimTime::from_micros(20)));
+    }
+
+    /// Writes a block whose `pointer_offset` bytes name `next`, with the
+    /// rest filled with `fill`.
+    fn write_chain_block(
+        dev: &NvmeDevice,
+        clock: &SimClock,
+        qp: QpairId,
+        lba: u64,
+        next: u64,
+        fill: u8,
+    ) {
+        let mut block = vec![fill; BLOCK_SIZE];
+        block[0..8].copy_from_slice(&next.to_le_bytes());
+        dev.submit_write(qp, 1000 + lba, lba, &block).unwrap();
+        finish_all(clock);
+        let _ = dev.poll_completions(qp, 8);
+    }
+
+    fn chain_spec(start_lba: u64) -> ChainSpec {
+        ChainSpec {
+            start_lba,
+            pointer_offset: 0,
+            sentinel: u64::MAX,
+            max_hops: 16,
+        }
+    }
+
+    #[test]
+    fn chase_follows_chain_in_one_submission() {
+        let (clock, dev) = device();
+        let qp = dev.alloc_qpair();
+        // 10 → 20 → 30 → end.
+        write_chain_block(&dev, &clock, qp, 10, 20, 0xA);
+        write_chain_block(&dev, &clock, qp, 20, 30, 0xB);
+        write_chain_block(&dev, &clock, qp, 30, u64::MAX, 0xC);
+        let before = dev.stats();
+        dev.submit_chase(qp, 7, chain_spec(10)).unwrap();
+        finish_all(&clock);
+        let comps = dev.poll_completions(qp, 8);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].cmd_id, 7);
+        assert_eq!(comps[0].hops, 3);
+        let data = comps[0].data.as_ref().unwrap();
+        assert_eq!(data[8], 0xC, "final block returned");
+        let s = dev.stats();
+        assert_eq!(s.chases - before.chases, 1, "one host submission");
+        assert_eq!(s.chase_hops - before.chase_hops, 3);
+        assert_eq!(s.reads, before.reads, "no per-hop host read commands");
+        assert_eq!(
+            s.blocks_read - before.blocks_read,
+            3,
+            "media reads are real"
+        );
+    }
+
+    #[test]
+    fn chase_charges_per_hop_latency() {
+        let (clock, dev) = device();
+        let qp = dev.alloc_qpair();
+        write_chain_block(&dev, &clock, qp, 10, 20, 0);
+        write_chain_block(&dev, &clock, qp, 20, u64::MAX, 0);
+        let start = clock.now();
+        dev.submit_chase(qp, 1, chain_spec(10)).unwrap();
+        finish_all(&clock);
+        let comps = dev.poll_completions(qp, 8);
+        let per_hop = FlashLatencyModel::default().read_time(1);
+        assert_eq!(
+            comps[0].completed_at,
+            start.saturating_add(per_hop).saturating_add(per_hop),
+            "an N-hop chase costs N single-block read times"
+        );
+    }
+
+    #[test]
+    fn chase_respects_hop_budget_and_bad_pointers() {
+        let (clock, dev) = device();
+        let qp = dev.alloc_qpair();
+        // A 2-cycle loop: the hop budget is the only terminator.
+        write_chain_block(&dev, &clock, qp, 10, 20, 0);
+        write_chain_block(&dev, &clock, qp, 20, 10, 0);
+        dev.submit_chase(
+            qp,
+            1,
+            ChainSpec {
+                max_hops: 5,
+                ..chain_spec(10)
+            },
+        )
+        .unwrap();
+        finish_all(&clock);
+        assert_eq!(dev.poll_completions(qp, 8)[0].hops, 5);
+        // A pointer outside the namespace stops the walk at that block.
+        write_chain_block(&dev, &clock, qp, 40, dev.namespace_blocks() + 7, 0xD);
+        dev.submit_chase(qp, 2, chain_spec(40)).unwrap();
+        finish_all(&clock);
+        let comps = dev.poll_completions(qp, 8);
+        assert_eq!(comps[0].hops, 1);
+        assert_eq!(comps[0].data.as_ref().unwrap()[8], 0xD);
+    }
+
+    #[test]
+    fn chase_rejects_bad_specs() {
+        let (_clock, dev) = device();
+        let qp = dev.alloc_qpair();
+        assert_eq!(
+            dev.submit_chase(
+                qp,
+                1,
+                ChainSpec {
+                    pointer_offset: BLOCK_SIZE - 7,
+                    ..chain_spec(0)
+                }
+            ),
+            Err(NvmeError::BadLength)
+        );
+        assert_eq!(
+            dev.submit_chase(
+                qp,
+                1,
+                ChainSpec {
+                    max_hops: 0,
+                    ..chain_spec(0)
+                }
+            ),
+            Err(NvmeError::OutOfRange)
+        );
+        assert_eq!(
+            dev.submit_chase(qp, 1, chain_spec(dev.namespace_blocks())),
+            Err(NvmeError::OutOfRange)
+        );
     }
 
     #[test]

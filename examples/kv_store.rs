@@ -12,15 +12,24 @@
 //! zero-copy buffer handles shared between the store and in-flight
 //! replies.
 //!
+//! The server also runs on a SmartNIC-class device and installs the
+//! NIC-resident GET cache (E17): when the host serves a GET miss, it
+//! publishes the value into device memory, and subsequent GETs for that
+//! key are answered on the NIC without crossing to the host at all. SETs
+//! always reach the host — the device observes them in the byte stream
+//! and write-through-invalidates, so a stale cached value can never be
+//! served.
+//!
 //! Run with: `cargo run --example kv_store`
 
 use std::collections::HashMap;
 
 use demi_memory::DemiBuffer;
 use demikernel::libos::{LibOs, SocketKind};
-use demikernel::testing::{catnip_pair, host_ip};
+use demikernel::testing::{catnip_pair_offload, host_ip};
 use demikernel::types::{OperationResult, QDesc, QToken, Sga};
 use net_stack::types::SocketAddr;
+use sim_fabric::SimTime;
 
 /// Wire protocol: `G<key>` → `V<value>` | `N`; `S<key>=<value>` → `O`.
 fn encode_get(key: &str) -> Sga {
@@ -78,7 +87,7 @@ impl KvStore {
 }
 
 fn main() {
-    let (rt, _fabric, client, server) = catnip_pair(7);
+    let (rt, _fabric, client, server) = catnip_pair_offload(7, 4);
 
     // Latency histograms + op-lifecycle spans on virtual time; the
     // summary at the end shows where each GET's microseconds went.
@@ -103,6 +112,12 @@ fn main() {
         .expect_accept();
     client.wait(connect_qt, None).expect("connect wait");
 
+    // Install the NIC-resident GET cache: 64 KiB of device memory, LRU,
+    // write-through invalidated by SET traffic the device observes.
+    server
+        .install_kv_offload(6379, 64 * 1024)
+        .expect("install kv offload");
+
     // Server event loop as a coroutine: pop → handle → push, one atomic
     // request at a time (never a partial request, §3.2).
     let mut store = KvStore::new();
@@ -117,6 +132,16 @@ fn main() {
                 return;
             };
             let reply = store.handle(&sga);
+            // Insert-after-miss: a GET the device could not serve reached
+            // the host; publish the value into the NIC-resident cache so
+            // the next GET for this key never crosses to the host.
+            let request = sga.to_vec();
+            if request.first() == Some(&b'G') {
+                let rep = reply.to_vec();
+                if rep.first() == Some(&b'V') {
+                    server_clone.offload_cache_insert(&request[1..], &rep[1..]);
+                }
+            }
             let Ok(push_qt) = server_clone.push(conn_qd, &reply) else {
                 return;
             };
@@ -141,7 +166,7 @@ fn main() {
         assert_eq!(reply.to_vec(), b"O");
     }
 
-    println!("reading back...");
+    println!("reading back (cold device cache — host serves, cache warms)...");
     let t0 = rt.now();
     for i in 0..100 {
         let reply = request(encode_get(&format!("key{i}")));
@@ -149,11 +174,36 @@ fn main() {
         assert_eq!(bytes[0], b'V');
         assert_eq!(&bytes[1..], format!("value-{i}").as_bytes());
     }
-    let elapsed = rt.now().saturating_since(t0);
+    let cold = rt.now().saturating_since(t0);
+
+    // Let the connection quiesce so the device re-arms the flow after the
+    // last host-served fallback (outstanding ACKs flush on idle).
+    rt.settle(SimTime::from_micros(50_000));
+
+    println!("reading back (warm device cache — NIC serves)...");
+    let t0 = rt.now();
+    for i in 0..100 {
+        let reply = request(encode_get(&format!("key{i}")));
+        let bytes = reply.to_vec();
+        assert_eq!(bytes[0], b'V');
+        assert_eq!(&bytes[1..], format!("value-{i}").as_bytes());
+    }
+    let warm = rt.now().saturating_since(t0);
     println!(
-        "100 GETs in {} virtual — {:.2}µs/op mean",
-        elapsed,
-        elapsed.as_micros_f64() / 100.0
+        "100 GETs: {:.2}µs/op host-served, {:.2}µs/op device-served",
+        cold.as_micros_f64() / 100.0,
+        warm.as_micros_f64() / 100.0
+    );
+
+    // Write-through invalidation: a SET reaches the host (the device never
+    // serves writes) and evicts the cached value on its way past.
+    let reply = request(encode_set("key0", b"fresh"));
+    assert_eq!(reply.to_vec(), b"O");
+    let reply = request(encode_get("key0"));
+    assert_eq!(
+        &reply.to_vec()[1..],
+        b"fresh",
+        "a cached value must never shadow a newer SET"
     );
 
     let miss = request(encode_get("missing"));
@@ -164,6 +214,15 @@ fn main() {
     println!(
         "kernel crossings on the data path: {} — copies by the libOS: {}",
         m.data_path_syscalls, m.copies
+    );
+    let off = server.offload_stats().expect("offload installed");
+    println!(
+        "device GET cache: {} hits, {} misses, {} invalidations, {} bytes resident",
+        off.kv_hits, off.kv_misses, off.kv_invalidations, off.cache_bytes
+    );
+    assert!(
+        off.kv_hits >= 90,
+        "warm pass should be device-served: {off:?}"
     );
 
     print!("{}", demikernel::telemetry::summary());

@@ -13,7 +13,10 @@
 # beating the kernel baseline); the release-mode multicore run asserts
 # the E16 invariants (byte streams identical across exec modes,
 # cross-thread handoff delivery, bounded handoff drops, merged
-# cross-thread metrics).
+# cross-thread metrics); the release-mode offload run asserts the E17
+# invariants (device path observationally equivalent to host-only,
+# mid-stream uninstall fallback, write-through cache coherence, per-slot
+# device-cycle attribution).
 verify:
     cargo build --release
     cargo test -q
@@ -22,6 +25,7 @@ verify:
     cargo test --release -q --test sharding
     cargo test --release -q --test telemetry
     cargo test --release -q --test multicore
+    cargo test --release -q --test offload
     cargo fmt --check
     cargo clippy -- -D warnings
 
@@ -35,10 +39,11 @@ verify-all:
     cargo test --release -q --test sharding
     cargo test --release -q --test telemetry
     cargo test --release -q --test multicore
+    cargo test --release -q --test offload
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Regenerate every experiment table (E1–E16).
+# Regenerate every experiment table (E1–E17).
 experiments:
     cargo bench -p demi-bench
 
@@ -69,3 +74,11 @@ bench-telemetry:
 # arms only on hosts with >= 4 CPUs).
 bench-multicore:
     cargo bench -p demi-bench --bench e16_multicore
+
+# The device-offload experiment alone: NIC-served echo and KV GET vs
+# their host-served twins (asserted >= 80% host-work reduction, full
+# device-side service, charged device cycles), the 1-submission 8-hop
+# storage chase, and the zero-alloc in-place Map path; the NIC-served
+# echo RTT curve lands in target/bench_e17.json.
+bench-offload:
+    cargo bench -p demi-bench --bench e17_offload

@@ -14,7 +14,7 @@ use demi_telemetry::counters::Baseline;
 use dpdk_sim::counters::{
     NicSlotSnapshot, RxQueueSnapshot, TxBatchSnapshot, NIC_SLOT_COUNTERS, RX_QUEUE_SLOTS,
 };
-use net_stack::counters::{BatchSnapshot, ShardSnapshot};
+use net_stack::counters::{BatchSnapshot, ConnSnapshot, ShardSnapshot};
 
 /// Shared counter block (cheap to clone; one per libOS instance).
 #[derive(Clone, Default)]
@@ -95,6 +95,21 @@ pub struct MetricsSnapshot {
     pub timers_fired: u64,
     /// Wheel entries discarded as lazily cancelled.
     pub timers_stale: u64,
+    /// TCP demux lookups since the last reset, from the net-stack
+    /// connection-scale counters (E18).
+    pub demux_lookups: u64,
+    /// Demux lookups served by the single-entry last-flow cache.
+    pub demux_cache_hits: u64,
+    /// Full control blocks demoted to compact TIME_WAIT records.
+    pub tw_demoted: u64,
+    /// TIME_WAIT records expired at 2·MSL.
+    pub tw_expired: u64,
+    /// SYN-table entries evicted oldest-first under flood.
+    pub syns_evicted: u64,
+    /// Lazy TCB queue-box allocations (steady state holds this at zero).
+    pub tcb_queue_allocs: u64,
+    /// Drained TCB queue boxes released by the compactor.
+    pub tcb_queue_releases: u64,
     /// Device cycles charged per SmartNIC program slot since the last
     /// reset, from the dpdk-sim per-slot counters (E17). Slots beyond
     /// `NIC_SLOT_COUNTERS - 1` share the last entry.
@@ -154,6 +169,13 @@ impl MetricsSnapshot {
         self.timers_scheduled += other.timers_scheduled;
         self.timers_fired += other.timers_fired;
         self.timers_stale += other.timers_stale;
+        self.demux_lookups += other.demux_lookups;
+        self.demux_cache_hits += other.demux_cache_hits;
+        self.tw_demoted += other.tw_demoted;
+        self.tw_expired += other.tw_expired;
+        self.syns_evicted += other.syns_evicted;
+        self.tcb_queue_allocs += other.tcb_queue_allocs;
+        self.tcb_queue_releases += other.tcb_queue_releases;
         for (a, b) in self.nic_slot_cycles.iter_mut().zip(other.nic_slot_cycles) {
             *a += b;
         }
@@ -219,6 +241,7 @@ struct MetricsInner {
     stack_batch_baseline: Baseline<BatchSnapshot>,
     rx_queue_baseline: Baseline<RxQueueSnapshot>,
     shard_baseline: Baseline<ShardSnapshot>,
+    conn_baseline: Baseline<ConnSnapshot>,
     nic_slot_baseline: Baseline<NicSlotSnapshot>,
 }
 
@@ -231,6 +254,7 @@ impl Default for MetricsInner {
             stack_batch_baseline: Baseline::new(net_stack::counters::snapshot()),
             rx_queue_baseline: Baseline::new(dpdk_sim::counters::rx_queue_snapshot()),
             shard_baseline: Baseline::new(net_stack::counters::shard_snapshot()),
+            conn_baseline: Baseline::new(net_stack::counters::conn_snapshot()),
             nic_slot_baseline: Baseline::new(dpdk_sim::counters::nic_slot_snapshot()),
         }
     }
@@ -324,6 +348,16 @@ impl Metrics {
         snap.timers_scheduled = shard.timers_scheduled;
         snap.timers_fired = shard.timers_fired;
         snap.timers_stale = shard.timers_stale;
+        let conn = inner
+            .conn_baseline
+            .movement(net_stack::counters::conn_snapshot());
+        snap.demux_lookups = conn.demux_lookups;
+        snap.demux_cache_hits = conn.demux_cache_hits;
+        snap.tw_demoted = conn.tw_demoted;
+        snap.tw_expired = conn.tw_expired;
+        snap.syns_evicted = conn.syns_evicted;
+        snap.tcb_queue_allocs = conn.tcb_queue_allocs;
+        snap.tcb_queue_releases = conn.tcb_queue_releases;
         let slots = inner
             .nic_slot_baseline
             .movement(dpdk_sim::counters::nic_slot_snapshot());
@@ -355,6 +389,9 @@ impl Metrics {
         inner
             .shard_baseline
             .rebase(net_stack::counters::shard_snapshot());
+        inner
+            .conn_baseline
+            .rebase(net_stack::counters::conn_snapshot());
         inner
             .nic_slot_baseline
             .rebase(dpdk_sim::counters::nic_slot_snapshot());
@@ -498,12 +535,18 @@ mod tests {
         let m = Metrics::new();
         dpdk_sim::counters::note_tx_burst(4);
         net_stack::counters::note_ack_coalesced();
+        net_stack::counters::note_tw_demoted();
+        net_stack::counters::note_demux_lookup();
         assert_eq!(m.snapshot().tx_burst_calls, 1);
         assert_eq!(m.snapshot().acks_coalesced, 1);
+        assert_eq!(m.snapshot().tw_demoted, 1);
+        assert_eq!(m.snapshot().demux_lookups, 1);
         m.reset();
         let s = m.snapshot();
         assert_eq!(s.tx_burst_calls, 0, "pre-reset movement must vanish");
         assert_eq!(s.acks_coalesced, 0);
+        assert_eq!(s.tw_demoted, 0);
+        assert_eq!(s.demux_lookups, 0);
         dpdk_sim::counters::note_tx_burst(2);
         assert_eq!(m.snapshot().tx_burst_calls, 1);
     }

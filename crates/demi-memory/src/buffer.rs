@@ -240,8 +240,19 @@ impl DemiBuffer {
     /// A zero-length buffer: the payload of pure-control packets (ACKs,
     /// handshake segments). Allocates no data bytes and counts nothing
     /// toward the datapath counters.
+    ///
+    /// All empty buffers on a thread share one cached zero-capacity
+    /// storage, so constructing one is a refcount bump, not a heap
+    /// allocation — pure ACKs stay off the allocator entirely. The shared
+    /// storage means an empty buffer is never exclusively owned
+    /// ([`DemiBuffer::try_mut`] returns `None`), which is moot: there are
+    /// no bytes to mutate and no headroom to prepend into.
     pub fn empty() -> Self {
-        Self::new_handle(Rc::new(BufInner::from_box(Box::from([]), None)), 0, 0)
+        thread_local! {
+            static EMPTY_INNER: Rc<BufInner> =
+                Rc::new(BufInner::from_box(Box::from([]), None));
+        }
+        EMPTY_INNER.with(|inner| Self::new_handle(Rc::clone(inner), 0, 0))
     }
 
     /// Copies this view into a fresh unpooled buffer with `headroom` bytes

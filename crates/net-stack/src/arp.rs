@@ -7,7 +7,7 @@
 //! flight, retries requests, and fails pending packets over to the caller
 //! after the final timeout.
 
-use std::collections::HashMap;
+use crate::fasthash::FastHashMap;
 use std::net::Ipv4Addr;
 
 use demi_memory::DemiBuffer;
@@ -110,8 +110,8 @@ pub enum ArpAction {
 /// The ARP cache plus resolution machinery.
 #[derive(Debug)]
 pub struct ArpCache {
-    entries: HashMap<Ipv4Addr, (MacAddress, SimTime)>,
-    in_flight: HashMap<Ipv4Addr, InFlight>,
+    entries: FastHashMap<Ipv4Addr, (MacAddress, SimTime)>,
+    in_flight: FastHashMap<Ipv4Addr, InFlight>,
     ttl: SimTime,
     retry_interval: SimTime,
     max_tries: u32,
@@ -122,8 +122,8 @@ impl ArpCache {
     /// `retry_interval` up to `max_tries` times.
     pub fn new(ttl: SimTime, retry_interval: SimTime, max_tries: u32) -> Self {
         ArpCache {
-            entries: HashMap::new(),
-            in_flight: HashMap::new(),
+            entries: FastHashMap::default(),
+            in_flight: FastHashMap::default(),
             ttl,
             retry_interval,
             max_tries,

@@ -57,6 +57,7 @@ pub fn snapshot() -> BatchSnapshot {
 pub fn reset() {
     counters::zero(&COUNTERS);
     counters::zero(&SHARD);
+    counters::zero(&CONN);
 }
 
 /// A point-in-time reading of the sharding and timer-wheel counters (E14).
@@ -137,4 +138,111 @@ pub fn note_handoff_dropped() {
 /// Current sharding/timer counter values.
 pub fn shard_snapshot() -> ShardSnapshot {
     counters::read(&SHARD)
+}
+
+/// A point-in-time reading of the connection-scale counters (E18).
+///
+/// These count the structural claims of the slab/demux/TIME_WAIT/SYN-table
+/// design: demux cache effectiveness (`demux_cache_hits` over
+/// `demux_lookups`), TIME_WAIT demotion actually happening (`tw_demoted` /
+/// `tw_expired`), SYN-table pressure under flood (`syns_evicted`), and the
+/// lazy-queue lifecycle (`tcb_queue_allocs` stays flat in steady state —
+/// the zero-alloc claim's TCP-layer witness; `tcb_queue_releases` counts
+/// parked connections compacted back to zero heap).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnSnapshot {
+    /// Demux table lookups (established-flow segment matches attempted).
+    pub demux_lookups: u64,
+    /// Demux lookups answered by the single-entry last-flow cache without
+    /// hashing.
+    pub demux_cache_hits: u64,
+    /// Full control blocks demoted to compact `TimeWaitRecord`s.
+    pub tw_demoted: u64,
+    /// TIME_WAIT records expired at 2·MSL (port recycled).
+    pub tw_expired: u64,
+    /// ACKs re-sent by a TIME_WAIT record for a late FIN.
+    pub tw_reacks: u64,
+    /// SYN-table entries evicted (oldest-first) to admit a newer SYN.
+    pub syns_evicted: u64,
+    /// Lazy queue boxes allocated on first use.
+    pub tcb_queue_allocs: u64,
+    /// Drained queue boxes released by the compactor.
+    pub tcb_queue_releases: u64,
+    /// Times a peer's reusable TX scratch buffer had to grow (steady state
+    /// should hold this at zero once warmed).
+    pub outbox_scratch_grows: u64,
+}
+
+snapshot_delta!(ConnSnapshot {
+    demux_lookups,
+    demux_cache_hits,
+    tw_demoted,
+    tw_expired,
+    tw_reacks,
+    syns_evicted,
+    tcb_queue_allocs,
+    tcb_queue_releases,
+    outbox_scratch_grows,
+});
+
+counter_cell!(static CONN: ConnSnapshot = ConnSnapshot {
+    demux_lookups: 0,
+    demux_cache_hits: 0,
+    tw_demoted: 0,
+    tw_expired: 0,
+    tw_reacks: 0,
+    syns_evicted: 0,
+    tcb_queue_allocs: 0,
+    tcb_queue_releases: 0,
+    outbox_scratch_grows: 0,
+});
+
+/// Records one demux table lookup.
+pub fn note_demux_lookup() {
+    counters::update(&CONN, |s| s.demux_lookups += 1);
+}
+
+/// Records one demux lookup served by the last-flow cache.
+pub fn note_demux_cache_hit() {
+    counters::update(&CONN, |s| s.demux_cache_hits += 1);
+}
+
+/// Records one control block demoted to a compact TIME_WAIT record.
+pub fn note_tw_demoted() {
+    counters::update(&CONN, |s| s.tw_demoted += 1);
+}
+
+/// Records one TIME_WAIT record expiring at 2·MSL.
+pub fn note_tw_expired() {
+    counters::update(&CONN, |s| s.tw_expired += 1);
+}
+
+/// Records one late-FIN re-ACK sent from a TIME_WAIT record.
+pub fn note_tw_reack() {
+    counters::update(&CONN, |s| s.tw_reacks += 1);
+}
+
+/// Records one oldest-first SYN-table eviction.
+pub fn note_syn_evicted() {
+    counters::update(&CONN, |s| s.syns_evicted += 1);
+}
+
+/// Records one lazy queue-box allocation.
+pub fn note_tcb_queues_allocated() {
+    counters::update(&CONN, |s| s.tcb_queue_allocs += 1);
+}
+
+/// Records one drained queue box released by the compactor.
+pub fn note_tcb_queues_released() {
+    counters::update(&CONN, |s| s.tcb_queue_releases += 1);
+}
+
+/// Records one growth of a peer's reusable TX scratch buffer.
+pub fn note_outbox_scratch_grow() {
+    counters::update(&CONN, |s| s.outbox_scratch_grows += 1);
+}
+
+/// Current connection-scale counter values.
+pub fn conn_snapshot() -> ConnSnapshot {
+    counters::read(&CONN)
 }

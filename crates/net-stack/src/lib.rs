@@ -35,6 +35,7 @@ pub mod arp;
 pub mod checksum;
 pub mod counters;
 pub mod eth;
+pub mod fasthash;
 pub mod framing;
 pub mod icmp;
 pub mod ipv4;
@@ -45,6 +46,7 @@ pub mod tcp;
 pub mod types;
 pub mod udp;
 
+pub use fasthash::{FastHashMap, FastHashSet};
 pub use ports::PortAllocator;
 pub use rings::{mesh, RingStats, ShardMsg, ShardRings};
 pub use stack::{NetworkStack, ShardStats, StackConfig, StackStats};

@@ -36,7 +36,7 @@
 //! (and fixing the historical bug where only queue 0 was ever drained).
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -48,6 +48,7 @@ use dpdk_sim::{
 };
 use sim_fabric::{MacAddress, SimClock, SimTime};
 
+use crate::fasthash::{FastHashMap, FastHashSet};
 use crate::ports::PortAllocator;
 use crate::rings::{self, RingStats, ShardMsg, ShardRings};
 
@@ -55,7 +56,10 @@ use crate::arp::{ArpAction, ArpCache, ArpOp, ArpPacket, ARP_LEN};
 use crate::eth::{EthHeader, EtherType, ETH_HEADER_LEN};
 use crate::icmp::IcmpEcho;
 use crate::ipv4::{IpProtocol, Ipv4Header, IPV4_HEADER_LEN};
-use crate::tcp::{ConnId, ListenerId, State, TcpConfig, TcpPeer, TcpStats, TCP_MAX_HEADER_LEN};
+use crate::tcp::peer::TcpMemStats;
+use crate::tcp::{
+    ConnId, ListenerId, State, TcpConfig, TcpPeer, TcpSegmentOut, TcpStats, TCP_MAX_HEADER_LEN,
+};
 use crate::types::{NetError, SocketAddr};
 use crate::udp::{UdpHeader, UdpPeer, UdpStats, UDP_HEADER_LEN};
 
@@ -181,12 +185,12 @@ pub struct ShardStats {
 /// which listeners this particular stack instance replicated.
 struct Control {
     /// Facade listener handle → (port, per-shard inner listener ids).
-    listeners: HashMap<u32, (u16, Vec<ListenerId>)>,
+    listeners: FastHashMap<u32, (u16, Vec<ListenerId>)>,
     next_listener: u32,
     /// Ports this stack instance listens on (a second `listen` here is
     /// `AddrInUse`; another shard world acquiring the same port is
     /// SO_REUSEPORT replication and fine).
-    local_listen: HashSet<u16>,
+    local_listen: FastHashSet<u16>,
 }
 
 /// This stack's endpoint in a cross-thread shard mesh: a *global* shard
@@ -213,9 +217,9 @@ struct ShardOffload {
     /// The offloaded local TCP port.
     port: u16,
     /// Armed flows this shard owns: device flow key → control block.
-    armed: HashMap<FlowKey, ConnId>,
+    armed: FastHashMap<FlowKey, ConnId>,
     /// Reverse index for the release path (send/close on an armed conn).
-    by_conn: HashMap<ConnId, FlowKey>,
+    by_conn: FastHashMap<ConnId, FlowKey>,
 }
 
 /// One host's user-level network stack bound to one device port.
@@ -283,6 +287,8 @@ impl NetworkStack {
                     learned: Vec::new(),
                     global: None,
                     offload: None,
+                    ports: Arc::clone(&ports),
+                    tcp_out: Vec::new(),
                     port: port.clone(),
                     clock: clock.clone(),
                     config: config.clone(),
@@ -301,9 +307,9 @@ impl NetworkStack {
             external: RefCell::new(None),
             offload: RefCell::new(None),
             ctrl: RefCell::new(Control {
-                listeners: HashMap::new(),
+                listeners: FastHashMap::default(),
                 next_listener: 0,
-                local_listen: HashSet::new(),
+                local_listen: FastHashSet::default(),
             }),
             ports,
             config,
@@ -531,8 +537,27 @@ impl NetworkStack {
             total.demuxed += st.demuxed;
             total.syns_accepted += st.syns_accepted;
             total.syns_dropped_backlog += st.syns_dropped_backlog;
+            total.syns_evicted += st.syns_evicted;
             total.resets_sent += st.resets_sent;
             total.unmatched += st.unmatched;
+        }
+        total
+    }
+
+    /// TCP connection-memory accounting, summed across shards. The
+    /// headline `bytes_per_conn` for E18 is `(slab_bytes + cb_heap_bytes
+    /// + demux_bytes) / live_conns`.
+    pub fn tcp_mem_stats(&self) -> TcpMemStats {
+        let mut total = TcpMemStats::default();
+        for s in &self.shards {
+            let m = s.borrow().tcp.mem_stats();
+            total.slab_bytes += m.slab_bytes;
+            total.cb_heap_bytes += m.cb_heap_bytes;
+            total.demux_bytes += m.demux_bytes;
+            total.timewait_bytes += m.timewait_bytes;
+            total.syn_table_bytes += m.syn_table_bytes;
+            total.live_conns += m.live_conns;
+            total.timewait_records += m.timewait_records;
         }
         total
     }
@@ -880,8 +905,8 @@ impl NetworkStack {
             shard.offload = Some(ShardOffload {
                 engine: Rc::clone(&engine),
                 port,
-                armed: HashMap::new(),
-                by_conn: HashMap::new(),
+                armed: FastHashMap::default(),
+                by_conn: FastHashMap::default(),
             });
             // Arm already-established quiescent connections immediately;
             // new ones are picked up at the end of each poll pass.
@@ -975,6 +1000,12 @@ struct Shard {
     global: Option<(u16, u16)>,
     /// This shard's view of the installed device offload, if any.
     offload: Option<ShardOffload>,
+    /// The host-wide port namespace, for returning recycled ephemeral
+    /// ports (expired TIME_WAIT records release them shard-locally first).
+    ports: Arc<PortAllocator>,
+    /// Reusable TCP flush scratch: `flush_tcp` drains the peer's outbox
+    /// into this instead of allocating a fresh vector every poll pass.
+    tcp_out: Vec<(Ipv4Addr, TcpSegmentOut)>,
     stats: StackStats,
     shard_stats: ShardStats,
 }
@@ -1378,7 +1409,9 @@ impl Shard {
     }
 
     fn flush_tcp(&mut self) {
-        for (dst_ip, seg) in self.tcp.take_segments() {
+        let mut out = std::mem::take(&mut self.tcp_out);
+        self.tcp.drain_segments(&mut out);
+        for (dst_ip, seg) in out.drain(..) {
             // The retransmission queue keeps clones *at the same offset*, so
             // prepending below them is legal; a previous transmission of
             // this very segment still in flight holds a view *below* and
@@ -1396,6 +1429,13 @@ impl Shard {
                 .prepend_onto(src_ip, dst_ip, &mut segment)
                 .expect("headroom ensured above");
             self.send_ip(dst_ip, IpProtocol::Tcp, segment);
+        }
+        self.tcp_out = out;
+        // Ephemeral ports freed by expired TIME_WAIT records (or aborted
+        // connections) go back to the host-wide namespace here, after the
+        // final segments of those connections are on the wire.
+        while let Some(p) = self.tcp.pop_released_port() {
+            self.ports.release(p);
         }
     }
 

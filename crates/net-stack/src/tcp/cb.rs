@@ -3,11 +3,21 @@
 //! A [`ControlBlock`] has no I/O of its own. Segments arrive via
 //! [`ControlBlock::on_segment`], timers fire via [`ControlBlock::on_tick`],
 //! and everything the machine wants transmitted accumulates in an outbox
-//! drained with [`ControlBlock::take_outbox`]. This keeps the whole state
-//! machine unit-testable by wiring two control blocks back to back (see the
-//! tests at the bottom), independent of devices and fabrics.
+//! drained with [`ControlBlock::drain_outbox_into`]. This keeps the whole
+//! state machine unit-testable by wiring two control blocks back to back
+//! (see the tests at the bottom), independent of devices and fabrics.
+//!
+//! At connection scale the block's *memory shape* matters as much as its
+//! protocol behavior: all four stream queues (send, retransmission,
+//! out-of-order, ready) plus the outbox live behind one lazily allocated
+//! [`CbQueues`] box. A parked established connection that has drained its
+//! queues owns **zero heap** beyond its slab slot — the peer releases the
+//! box after [`super::TcpConfig::compact_delay`] of quiet — while an
+//! active connection keeps the box (and every queue's grown capacity)
+//! across operations, so the steady-state datapath never allocates.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::net::Ipv4Addr;
 
 use demi_memory::DemiBuffer;
 use sim_fabric::SimTime;
@@ -97,6 +107,48 @@ pub struct CbStats {
     pub persist_probes: u64,
 }
 
+/// Every per-connection queue, boxed together and allocated on first use.
+/// An idle established connection (nothing queued in any direction) has no
+/// `CbQueues` at all — 8 bytes of `Option<Box>` instead of five container
+/// headers plus their grown capacities.
+#[derive(Default)]
+struct CbQueues {
+    /// App data queued locally but not yet transmitted.
+    send_queue: VecDeque<DemiBuffer>,
+    /// Sent-but-unacked segments, oldest first.
+    retx: VecDeque<TxSeg>,
+    /// Out-of-order segments keyed by offset from the initial receive
+    /// sequence number.
+    ooo: BTreeMap<u32, DemiBuffer>,
+    /// In-order data awaiting the application.
+    ready: VecDeque<DemiBuffer>,
+    /// Segments awaiting transmission by the peer.
+    outbox: Vec<TcpSegmentOut>,
+}
+
+impl CbQueues {
+    /// Whether every queue is empty (the box is releasable).
+    fn drained(&self) -> bool {
+        self.send_queue.is_empty()
+            && self.retx.is_empty()
+            && self.ooo.is_empty()
+            && self.ready.is_empty()
+            && self.outbox.is_empty()
+    }
+
+    /// Real heap footprint: the box itself plus every queue's capacity.
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<CbQueues>()
+            + self.send_queue.capacity() * std::mem::size_of::<DemiBuffer>()
+            + self.retx.capacity() * std::mem::size_of::<TxSeg>()
+            + self.ready.capacity() * std::mem::size_of::<DemiBuffer>()
+            + self.outbox.capacity() * std::mem::size_of::<TcpSegmentOut>()
+            // BTreeMap has no capacity API; charge an estimated node size
+            // per live entry.
+            + self.ooo.len() * (std::mem::size_of::<(u32, DemiBuffer)>() + 32)
+    }
+}
+
 /// The TCP connection state machine.
 pub struct ControlBlock {
     local: SocketAddr,
@@ -109,9 +161,7 @@ pub struct ControlBlock {
     snd_una: SeqNum,
     snd_nxt: SeqNum,
     snd_wnd: usize,
-    send_queue: VecDeque<DemiBuffer>,
     send_queue_bytes: usize,
-    retx: VecDeque<TxSeg>,
     cc: NewReno,
     rtt: RttEstimator,
     rto_deadline: Option<SimTime>,
@@ -126,9 +176,7 @@ pub struct ControlBlock {
     // Receiver.
     irs: SeqNum,
     rcv_nxt: SeqNum,
-    ooo: BTreeMap<u32, DemiBuffer>,
     ooo_bytes: usize,
-    ready: VecDeque<DemiBuffer>,
     ready_bytes: usize,
     fin_received: bool,
     last_advertised_window: usize,
@@ -142,7 +190,16 @@ pub struct ControlBlock {
     // Lifecycle.
     timewait_deadline: Option<SimTime>,
     error: Option<NetError>,
-    outbox: Vec<TcpSegmentOut>,
+    /// All stream queues, allocated on first use and released by the peer
+    /// after sustained quiet (see module docs).
+    q: Option<Box<CbQueues>>,
+    /// Virtual time of the last protocol event (segment, send, fired
+    /// timer). The peer's queue compactor releases `q` only when `now -
+    /// last_activity` exceeds the compaction delay, so a momentary lull
+    /// between back-to-back operations never drops warmed capacity.
+    last_activity: SimTime,
+    /// Whether the peer's compaction queue already tracks this block.
+    compact_enrolled: bool,
     stats: CbStats,
 }
 
@@ -157,6 +214,7 @@ impl ControlBlock {
     ) -> Self {
         let mut cb = Self::blank(local, remote, iss, config);
         cb.state = State::SynSent;
+        cb.last_activity = now;
         cb.push_handshake_segment(true, false, now);
         cb
     }
@@ -179,7 +237,33 @@ impl ControlBlock {
             cb.mss = cb.mss.min(peer_mss as usize);
         }
         cb.snd_wnd = syn.window as usize;
+        cb.last_activity = now;
         cb.push_handshake_segment(true, true, now);
+        cb
+    }
+
+    /// Builds a block directly in `Established`, for handshakes completed
+    /// from a listener's SYN table: the SYN-ACK (sequence `iss`) was sent
+    /// without a control block, and the completing ACK is about to be fed
+    /// through [`ControlBlock::on_segment`] (which applies its window and
+    /// any piggybacked payload exactly as `complete_passive_open` did).
+    pub fn established(
+        local: SocketAddr,
+        remote: SocketAddr,
+        iss: SeqNum,
+        irs: SeqNum,
+        peer_mss: Option<u16>,
+        now: SimTime,
+        config: TcpConfig,
+    ) -> Self {
+        let mut cb = Self::blank(local, remote, iss + 1, config);
+        cb.state = State::Established;
+        cb.irs = irs;
+        cb.rcv_nxt = irs + 1;
+        if let Some(peer_mss) = peer_mss {
+            cb.mss = cb.mss.min(peer_mss as usize);
+        }
+        cb.last_activity = now;
         cb
     }
 
@@ -192,9 +276,7 @@ impl ControlBlock {
             snd_una: iss,
             snd_nxt: iss,
             snd_wnd: config.mss, // Until the first window arrives.
-            send_queue: VecDeque::new(),
             send_queue_bytes: 0,
-            retx: VecDeque::new(),
             cc: NewReno::new(config.mss),
             rtt: RttEstimator::new(config.rto_initial, config.rto_min, config.rto_max),
             rto_deadline: None,
@@ -207,9 +289,7 @@ impl ControlBlock {
             handshake_retries_left: config.syn_retries,
             irs: SeqNum(0),
             rcv_nxt: SeqNum(0),
-            ooo: BTreeMap::new(),
             ooo_bytes: 0,
-            ready: VecDeque::new(),
             ready_bytes: 0,
             fin_received: false,
             last_advertised_window: config.recv_capacity.min(65_535),
@@ -217,10 +297,88 @@ impl ControlBlock {
             delayed_ack_deadline: None,
             timewait_deadline: None,
             error: None,
-            outbox: Vec::new(),
+            q: None,
+            last_activity: SimTime::ZERO,
+            compact_enrolled: false,
             stats: CbStats::default(),
             config,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Queue access.
+    // ------------------------------------------------------------------
+
+    /// The queue box, allocating (and counting the allocation) on first
+    /// use.
+    #[inline]
+    fn q(&mut self) -> &mut CbQueues {
+        if self.q.is_none() {
+            crate::counters::note_tcb_queues_allocated();
+            self.q = Some(Box::default());
+        }
+        self.q.as_mut().expect("just ensured").as_mut()
+    }
+
+    /// Read-only view of the queue box, if allocated.
+    #[inline]
+    fn qr(&self) -> Option<&CbQueues> {
+        self.q.as_deref()
+    }
+
+    #[inline]
+    fn retx_is_empty(&self) -> bool {
+        self.qr().is_none_or(|q| q.retx.is_empty())
+    }
+
+    #[inline]
+    fn send_queue_is_empty(&self) -> bool {
+        self.qr().is_none_or(|q| q.send_queue.is_empty())
+    }
+
+    /// Whether the queue box exists but every queue is empty — the block
+    /// is a candidate for compaction.
+    pub fn queues_idle(&self) -> bool {
+        self.qr().is_some_and(|q| q.drained())
+    }
+
+    /// Releases the (drained) queue box, returning the heap bytes freed.
+    /// No-op unless [`ControlBlock::queues_idle`].
+    pub fn release_queues(&mut self) -> usize {
+        if !self.queues_idle() {
+            return 0;
+        }
+        let freed = self.qr().map_or(0, CbQueues::heap_bytes);
+        self.q = None;
+        crate::counters::note_tcb_queues_released();
+        freed
+    }
+
+    /// Heap owned by this block beyond its own struct: the queue box and
+    /// every queue's grown capacity. The slab adds `size_of::<SlabEntry>`
+    /// on top; together they are the real `bytes_per_conn`.
+    pub fn heap_bytes(&self) -> usize {
+        self.qr().map_or(0, CbQueues::heap_bytes)
+    }
+
+    /// Virtual time of the last protocol event on this block.
+    pub fn last_activity(&self) -> SimTime {
+        self.last_activity
+    }
+
+    pub(crate) fn compact_enrolled(&self) -> bool {
+        self.compact_enrolled
+    }
+
+    pub(crate) fn set_compact_enrolled(&mut self, enrolled: bool) {
+        self.compact_enrolled = enrolled;
+    }
+
+    /// Feeds one RTT sample (the peer samples the SYN-ACK round trip for
+    /// handshakes completed from a SYN table, where no retransmission
+    /// entry carries the transmit time).
+    pub(crate) fn sample_rtt(&mut self, rtt: SimTime) {
+        self.rtt.sample(rtt);
     }
 
     // ------------------------------------------------------------------
@@ -257,14 +415,30 @@ impl ControlBlock {
         self.stats
     }
 
-    /// Drains segments queued for transmission.
+    /// Drains segments queued for transmission into a fresh vector.
+    /// Unit-test convenience; the datapath uses
+    /// [`ControlBlock::drain_outbox_into`], which reuses the caller's
+    /// buffer instead of allocating per connection per poll.
     pub fn take_outbox(&mut self) -> Vec<TcpSegmentOut> {
-        std::mem::take(&mut self.outbox)
+        match self.q.as_mut() {
+            Some(q) => std::mem::take(&mut q.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Appends every queued segment, tagged with `dst`, onto `out` —
+    /// leaving the outbox empty but its capacity in place.
+    pub fn drain_outbox_into(&mut self, dst: Ipv4Addr, out: &mut Vec<(Ipv4Addr, TcpSegmentOut)>) {
+        if let Some(q) = self.q.as_mut() {
+            for seg in q.outbox.drain(..) {
+                out.push((dst, seg));
+            }
+        }
     }
 
     /// Whether received data (or an EOF) is available to the application.
     pub fn is_readable(&self) -> bool {
-        !self.ready.is_empty() || self.fin_received || self.error.is_some()
+        self.qr().is_some_and(|q| !q.ready.is_empty()) || self.fin_received || self.error.is_some()
     }
 
     /// Bytes queued locally but not yet transmitted.
@@ -305,7 +479,29 @@ impl ControlBlock {
     /// Whether segments are waiting in the outbox (drives the peer's
     /// active-output list, so flushing scales with active connections).
     pub fn has_outbox(&self) -> bool {
-        !self.outbox.is_empty()
+        self.qr().is_some_and(|q| !q.outbox.is_empty())
+    }
+
+    /// Whether the block can be demoted to a compact TIME_WAIT record:
+    /// it reached `TimeWait` (so `fin_acked` holds and the send-side
+    /// queues are provably empty) and the receive side plus outbox have
+    /// fully drained. The record then fully determines the remaining wire
+    /// behavior — re-ACK late FINs, die on RST, expire at 2·MSL.
+    pub fn can_demote_timewait(&self) -> bool {
+        self.state == State::TimeWait
+            && self.error.is_none()
+            && self.qr().is_none_or(CbQueues::drained)
+    }
+
+    /// The armed 2·MSL expiry, for TIME_WAIT demotion.
+    pub fn timewait_expiry(&self) -> Option<SimTime> {
+        self.timewait_deadline
+    }
+
+    /// The `(rcv_nxt, snd_nxt)` sequence shadow a compact TIME_WAIT record
+    /// needs to reproduce this block's remaining wire behavior exactly.
+    pub(crate) fn seq_shadow(&self) -> (u32, u32) {
+        (self.rcv_nxt.0, self.snd_nxt.0)
     }
 
     // ------------------------------------------------------------------
@@ -319,15 +515,17 @@ impl ControlBlock {
                 if let Some(err) = &self.error {
                     return Err(err.clone());
                 }
+                self.last_activity = now;
                 self.send_queue_bytes += data.len();
-                self.send_queue.push_back(data);
+                self.q().send_queue.push_back(data);
                 self.output(now);
                 Ok(())
             }
             State::SynSent | State::SynReceived => {
                 // Queue until established (allowed by RFC 793).
+                self.last_activity = now;
                 self.send_queue_bytes += data.len();
-                self.send_queue.push_back(data);
+                self.q().send_queue.push_back(data);
                 Ok(())
             }
             State::Closed => Err(self.error.clone().unwrap_or(NetError::NotConnected)),
@@ -338,7 +536,7 @@ impl ControlBlock {
     /// Pops received in-order data. `None` means nothing available (check
     /// [`ControlBlock::is_readable`] / EOF separately).
     pub fn recv(&mut self) -> Option<DemiBuffer> {
-        let buf = self.ready.pop_front()?;
+        let buf = self.q.as_mut()?.ready.pop_front()?;
         self.ready_bytes -= buf.len();
         // Window update: if the advertised window had collapsed below one
         // MSS and draining reopened it, tell the sender (it may be
@@ -351,7 +549,10 @@ impl ControlBlock {
 
     /// Whether the peer has closed and all its data has been consumed.
     pub fn at_eof(&self) -> bool {
-        self.fin_received && self.ready.is_empty() && self.ooo.is_empty()
+        self.fin_received
+            && self
+                .qr()
+                .is_none_or(|q| q.ready.is_empty() && q.ooo.is_empty())
     }
 
     /// Initiates a local close. Queued data (and then a FIN) still drain.
@@ -364,11 +565,13 @@ impl ControlBlock {
             State::SynReceived | State::Established => {
                 self.state = State::FinWait1;
                 self.fin_pending = true;
+                self.last_activity = now;
                 self.output(now);
             }
             State::CloseWait => {
                 self.state = State::LastAck;
                 self.fin_pending = true;
+                self.last_activity = now;
                 self.output(now);
             }
             _ => {}
@@ -391,6 +594,7 @@ impl ControlBlock {
 
     /// Processes one received segment addressed to this connection.
     pub fn on_segment(&mut self, hdr: &TcpHeader, payload: DemiBuffer, now: SimTime) {
+        self.last_activity = now;
         if hdr.flags.rst {
             self.on_rst();
             return;
@@ -434,9 +638,11 @@ impl ControlBlock {
             NetError::ConnectionReset
         });
         self.state = State::Closed;
-        self.send_queue.clear();
+        if let Some(q) = self.q.as_mut() {
+            q.send_queue.clear();
+            q.retx.clear();
+        }
         self.send_queue_bytes = 0;
-        self.retx.clear();
         self.clear_timers();
     }
 
@@ -450,12 +656,15 @@ impl ControlBlock {
                 self.mss = self.mss.min(peer_mss as usize);
             }
             // The SYN is acked; drop it from the retransmission queue.
-            if let Some(front) = self.retx.front() {
-                if front.syn && !front.retransmitted {
-                    self.rtt.sample(now.saturating_since(front.tx_time));
+            if let Some(q) = self.q.as_mut() {
+                if let Some(front) = q.retx.front() {
+                    if front.syn && !front.retransmitted {
+                        let sample = now.saturating_since(front.tx_time);
+                        self.rtt.sample(sample);
+                    }
                 }
+                q.retx.pop_front();
             }
-            self.retx.pop_front();
             self.rto_deadline = None;
             self.state = State::Established;
             self.send_ack();
@@ -468,12 +677,15 @@ impl ControlBlock {
     fn complete_passive_open(&mut self, hdr: &TcpHeader, now: SimTime) {
         self.snd_una = hdr.ack;
         self.snd_wnd = hdr.window as usize;
-        if let Some(front) = self.retx.front() {
-            if front.syn && !front.retransmitted {
-                self.rtt.sample(now.saturating_since(front.tx_time));
+        if let Some(q) = self.q.as_mut() {
+            if let Some(front) = q.retx.front() {
+                if front.syn && !front.retransmitted {
+                    let sample = now.saturating_since(front.tx_time);
+                    self.rtt.sample(sample);
+                }
             }
+            q.retx.pop_front();
         }
-        self.retx.pop_front();
         self.rto_deadline = None;
         self.state = State::Established;
     }
@@ -490,7 +702,7 @@ impl ControlBlock {
             self.snd_wnd = hdr.window as usize;
             if self.snd_wnd > 0 {
                 self.persist_deadline = None;
-                if prev_wnd == 0 && !self.retx.is_empty() {
+                if prev_wnd == 0 && !self.retx_is_empty() {
                     // The window reopened while a probe (or other data) was
                     // stranded in flight; resend it now rather than waiting
                     // for the (backed-off) RTO.
@@ -503,25 +715,28 @@ impl ControlBlock {
             let newly_acked = ack.since(self.snd_una) as usize;
             let flight_before = self.flight_size();
             let mut sampled = false;
-            while let Some(front) = self.retx.front_mut() {
-                let end = front.seq + front.seq_len();
-                if end.le(ack) {
-                    if !front.retransmitted && !sampled {
-                        self.rtt.sample(now.saturating_since(front.tx_time));
-                        sampled = true;
+            if let Some(q) = self.q.as_mut() {
+                while let Some(front) = q.retx.front_mut() {
+                    let end = front.seq + front.seq_len();
+                    if end.le(ack) {
+                        if !front.retransmitted && !sampled {
+                            let sample = now.saturating_since(front.tx_time);
+                            self.rtt.sample(sample);
+                            sampled = true;
+                        }
+                        if front.fin {
+                            self.fin_acked = true;
+                        }
+                        q.retx.pop_front();
+                    } else if front.seq.lt(ack) {
+                        // Partial ack of a segment: trim the acked prefix.
+                        let consumed = ack.since(front.seq) as usize;
+                        front.data.advance(consumed.min(front.data.len()));
+                        front.seq = ack;
+                        break;
+                    } else {
+                        break;
                     }
-                    if front.fin {
-                        self.fin_acked = true;
-                    }
-                    self.retx.pop_front();
-                } else if front.seq.lt(ack) {
-                    // Partial ack of a segment: trim the acked prefix.
-                    let consumed = ack.since(front.seq) as usize;
-                    front.data.advance(consumed.min(front.data.len()));
-                    front.seq = ack;
-                    break;
-                } else {
-                    break;
                 }
             }
             self.snd_una = ack;
@@ -539,7 +754,7 @@ impl ControlBlock {
                 self.cc.on_ack(newly_acked, flight_before);
             }
 
-            self.rto_deadline = if self.retx.is_empty() {
+            self.rto_deadline = if self.retx_is_empty() {
                 None
             } else {
                 Some(now.saturating_add(self.rtt.rto()))
@@ -551,7 +766,7 @@ impl ControlBlock {
             && !hdr.flags.syn
             && !hdr.flags.fin
             && hdr.window as usize <= prev_wnd
-            && !self.retx.is_empty()
+            && !self.retx_is_empty()
         {
             // Duplicate ACK.
             self.dup_acks += 1;
@@ -613,10 +828,10 @@ impl ControlBlock {
                 let window = self.recv_window();
                 if seg_seq == self.rcv_nxt && payload.len() <= window {
                     self.stats.in_order_segments += 1;
-                    let filled_hole = !self.ooo.is_empty();
+                    let filled_hole = self.qr().is_some_and(|q| !q.ooo.is_empty());
                     self.rcv_nxt += payload.len() as u32;
                     self.ready_bytes += payload.len();
-                    self.ready.push_back(payload);
+                    self.q().ready.push_back(payload);
                     self.drain_ooo();
                     if filled_hole {
                         // A reassembly hole just closed: ACK immediately
@@ -630,10 +845,12 @@ impl ControlBlock {
                     if seg_seq.gt(self.rcv_nxt) && seg_seq.since(self.rcv_nxt) as usize <= window {
                         // Out of order, within the window: buffer for later.
                         let key = seg_seq.since(self.irs);
-                        if !self.ooo.contains_key(&key) {
+                        let len = payload.len();
+                        let q = self.q();
+                        if let std::collections::btree_map::Entry::Vacant(slot) = q.ooo.entry(key) {
+                            slot.insert(payload);
                             self.stats.out_of_order_segments += 1;
-                            self.ooo_bytes += payload.len();
-                            self.ooo.insert(key, payload);
+                            self.ooo_bytes += len;
                         }
                     }
                     // Out-of-order, overlapping, or window-overflow data is
@@ -678,15 +895,18 @@ impl ControlBlock {
     }
 
     fn drain_ooo(&mut self) {
+        let Some(q) = self.q.as_mut() else {
+            return;
+        };
         loop {
             let key = self.rcv_nxt.since(self.irs);
-            let Some((&k, _)) = self.ooo.first_key_value() else {
+            let Some((&k, _)) = q.ooo.first_key_value() else {
                 break;
             };
             if k > key {
                 break; // A hole remains.
             }
-            let mut buf = self.ooo.remove(&k).expect("first key exists");
+            let mut buf = q.ooo.remove(&k).expect("first key exists");
             self.ooo_bytes -= buf.len();
             let end = k + buf.len() as u32;
             if end <= key {
@@ -697,7 +917,7 @@ impl ControlBlock {
             }
             self.rcv_nxt += buf.len() as u32;
             self.ready_bytes += buf.len();
-            self.ready.push_back(buf);
+            q.ready.push_back(buf);
         }
     }
 
@@ -717,7 +937,7 @@ impl ControlBlock {
         }
 
         loop {
-            if self.send_queue.is_empty() {
+            if self.send_queue_is_empty() {
                 break;
             }
             let flight = self.flight_size();
@@ -732,22 +952,23 @@ impl ControlBlock {
                 break;
             }
             let budget = (effective - flight).min(self.mss);
-            let front = self.send_queue.front_mut().expect("checked non-empty");
+            let q = self.q();
+            let front = q.send_queue.front_mut().expect("checked non-empty");
             let take = front.len().min(budget);
             let chunk = front.slice(0, take);
             front.advance(take);
             if front.is_empty() {
-                self.send_queue.pop_front();
+                q.send_queue.pop_front();
             }
             self.send_queue_bytes -= take;
             self.transmit_data(chunk, now);
         }
 
-        if self.fin_pending && self.send_queue.is_empty() && self.fin_seq.is_none() {
+        if self.fin_pending && self.send_queue_is_empty() && self.fin_seq.is_none() {
             let seq = self.snd_nxt;
             self.fin_seq = Some(seq);
             self.fin_pending = false;
-            self.retx.push_back(TxSeg {
+            self.q().retx.push_back(TxSeg {
                 seq,
                 data: DemiBuffer::empty(),
                 syn: false,
@@ -766,7 +987,7 @@ impl ControlBlock {
     fn transmit_data(&mut self, data: DemiBuffer, now: SimTime) {
         let seq = self.snd_nxt;
         self.snd_nxt += data.len() as u32;
-        self.retx.push_back(TxSeg {
+        self.q().retx.push_back(TxSeg {
             seq,
             data: data.clone(),
             syn: false,
@@ -783,7 +1004,7 @@ impl ControlBlock {
 
     fn push_handshake_segment(&mut self, syn: bool, ack: bool, now: SimTime) {
         let seq = self.snd_nxt;
-        self.retx.push_back(TxSeg {
+        self.q().retx.push_back(TxSeg {
             seq,
             data: DemiBuffer::empty(),
             syn,
@@ -808,7 +1029,7 @@ impl ControlBlock {
 
     /// Retransmits the oldest unacked segment.
     fn retransmit_front(&mut self, now: SimTime) {
-        let Some(front) = self.retx.front_mut() else {
+        let Some(front) = self.q.as_mut().and_then(|q| q.retx.front_mut()) else {
             return;
         };
         front.retransmitted = true;
@@ -865,7 +1086,7 @@ impl ControlBlock {
             self.stats.acks_coalesced += 1;
             crate::counters::note_ack_coalesced();
         }
-        self.outbox.push(TcpSegmentOut {
+        let seg = TcpSegmentOut {
             header: TcpHeader {
                 src_port: self.local.port,
                 dst_port: self.remote.port,
@@ -876,7 +1097,8 @@ impl ControlBlock {
                 mss,
             },
             payload,
-        });
+        };
+        self.q().outbox.push(seg);
     }
 
     // ------------------------------------------------------------------
@@ -899,10 +1121,12 @@ impl ControlBlock {
     pub fn offload_quiescent(&self) -> bool {
         self.state == State::Established
             && self.error.is_none()
-            && self.send_queue.is_empty()
-            && self.retx.is_empty()
-            && self.ooo.is_empty()
-            && self.outbox.is_empty()
+            && self.qr().is_none_or(|q| {
+                q.send_queue.is_empty()
+                    && q.retx.is_empty()
+                    && q.ooo.is_empty()
+                    && q.outbox.is_empty()
+            })
             && !self.delayed_ack_pending
             && self.persist_deadline.is_none()
             && !self.fin_pending
@@ -930,12 +1154,13 @@ impl ControlBlock {
     /// into the retransmission queue *without* emitting it — loss
     /// recovery for device-sent bytes remains a host responsibility.
     pub fn offload_served(&mut self, rx_len: u32, reply: DemiBuffer, now: SimTime) {
+        self.last_activity = now;
         self.stats.in_order_segments += 1;
         self.rcv_nxt += rx_len;
         let seq = self.snd_nxt;
         self.snd_nxt += reply.len() as u32;
         self.stats.segments_sent += 1;
-        self.retx.push_back(TxSeg {
+        self.q().retx.push_back(TxSeg {
             seq,
             data: reply,
             syn: false,
@@ -952,6 +1177,7 @@ impl ControlBlock {
     /// machinery on a synthetic pure-ACK header — mirrored retransmission
     /// entries clear, windows update, RTT samples accrue.
     pub fn offload_ack(&mut self, ack: u32, window: u16, now: SimTime) {
+        self.last_activity = now;
         let hdr = TcpHeader {
             src_port: self.remote.port,
             dst_port: self.local.port,
@@ -973,10 +1199,11 @@ impl ControlBlock {
         if data.is_empty() {
             return;
         }
+        self.last_activity = now;
         self.stats.in_order_segments += 1;
         self.rcv_nxt += data.len() as u32;
         self.ready_bytes += data.len();
-        self.ready.push_back(data);
+        self.q().ready.push_back(data);
         self.schedule_ack(now);
     }
 
@@ -995,12 +1222,13 @@ impl ControlBlock {
             if now >= deadline {
                 self.state = State::Closed;
                 self.clear_timers();
+                self.last_activity = now;
                 return 1;
             }
         }
 
         if let Some(deadline) = self.rto_deadline {
-            if now >= deadline && !self.retx.is_empty() {
+            if now >= deadline && !self.retx_is_empty() {
                 self.stats.timeouts += 1;
                 events += 1;
                 match self.state {
@@ -1009,6 +1237,7 @@ impl ControlBlock {
                             self.error = Some(NetError::Timeout);
                             self.state = State::Closed;
                             self.clear_timers();
+                            self.last_activity = now;
                             return events;
                         }
                         self.handshake_retries_left -= 1;
@@ -1046,21 +1275,25 @@ impl ControlBlock {
                 self.send_ack();
             }
         }
+        if events > 0 {
+            self.last_activity = now;
+        }
         events
     }
 
     /// Zero-window probe: force out one byte so the peer's window update
     /// has something to ride on.
     fn persist_probe(&mut self, now: SimTime) {
-        if self.snd_wnd > 0 || self.flight_size() > 0 || self.send_queue.is_empty() {
+        if self.snd_wnd > 0 || self.flight_size() > 0 || self.send_queue_is_empty() {
             return;
         }
         self.stats.persist_probes += 1;
-        let front = self.send_queue.front_mut().expect("checked non-empty");
+        let q = self.q();
+        let front = q.send_queue.front_mut().expect("checked non-empty");
         let probe = front.slice(0, 1);
         front.advance(1);
         if front.is_empty() {
-            self.send_queue.pop_front();
+            q.send_queue.pop_front();
         }
         self.send_queue_bytes -= 1;
         self.transmit_data(probe, now);

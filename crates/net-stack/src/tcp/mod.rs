@@ -32,7 +32,7 @@ pub mod wheel;
 
 pub use cb::{ControlBlock, State, TcpSegmentOut};
 pub use header::{TcpFlags, TcpHeader, TCP_MAX_HEADER_LEN};
-pub use peer::{ConnId, ListenerId, TcpPeer, TcpStats};
+pub use peer::{ConnId, ListenerId, TcpMemStats, TcpPeer, TcpStats};
 pub use seq::SeqNum;
 
 use sim_fabric::SimTime;
@@ -69,6 +69,17 @@ pub struct TcpConfig {
     /// Delayed-ACK timer. Must stay well below `rto_min`, or coalescing
     /// would masquerade as loss and trigger spurious retransmissions.
     pub ack_delay: SimTime,
+    /// How long a connection must stay quiet (no segments, sends, or fired
+    /// timers) before the peer releases its drained queue box back to the
+    /// allocator. Long enough that back-to-back operations never thrash
+    /// the allocation; short enough that parked connections reach their
+    /// zero-heap idle footprint quickly.
+    pub compact_delay: SimTime,
+    /// Demote a fully-drained `TIME_WAIT` control block to a ~32-byte
+    /// record (identical wire behavior, 2·MSL expiry on the same wheel).
+    /// `false` keeps the full control block resident until expiry — the
+    /// A/B baseline the differential TIME_WAIT proptest compares against.
+    pub timewait_demote: bool,
 }
 
 impl Default for TcpConfig {
@@ -85,6 +96,8 @@ impl Default for TcpConfig {
             backlog: 128,
             delayed_acks: true,
             ack_delay: SimTime::from_micros(50),
+            compact_delay: SimTime::from_millis(5),
+            timewait_demote: true,
         }
     }
 }

@@ -52,6 +52,10 @@ pub struct TimerWheel<T> {
     immediate: Vec<Entry<T>>,
     /// Entries beyond the wheel horizon.
     overflow: Vec<Entry<T>>,
+    /// Reusable buffer for entries swept out of passed slots while
+    /// advancing; kept on the wheel so a steady-state advance allocates
+    /// nothing once warm.
+    cascade_scratch: Vec<Entry<T>>,
     now: u64,
     seq: u64,
     len: usize,
@@ -64,6 +68,7 @@ impl<T: Copy> TimerWheel<T> {
             levels: (0..LEVELS).map(|_| vec![Vec::new(); SLOTS]).collect(),
             immediate: Vec::new(),
             overflow: Vec::new(),
+            cascade_scratch: Vec::new(),
             now: start.as_nanos(),
             seq: 0,
             len: 0,
@@ -116,11 +121,21 @@ impl<T: Copy> TimerWheel<T> {
     /// `(deadline, key)` in (deadline, schedule-order) order. The caller
     /// filters out abandoned entries.
     pub fn advance(&mut self, now: SimTime) -> Vec<(SimTime, T)> {
+        let mut due = Vec::new();
+        self.advance_into(now, &mut due);
+        due
+    }
+
+    /// [`TimerWheel::advance`] into the caller's reusable buffer:
+    /// appended, not cleared. Allocates nothing once `out` and the
+    /// internal scratch are warm — the form the peer's tick path uses to
+    /// keep steady state off the allocator.
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<(SimTime, T)>) {
         let new = now.as_nanos();
         let old = self.now;
         if new > old {
             self.now = new;
-            let mut cascades: Vec<Entry<T>> = Vec::new();
+            let mut cascades = std::mem::take(&mut self.cascade_scratch);
             for level in 0..LEVELS {
                 let shift = SLOT_BITS * level as u32;
                 let old_idx = old >> shift;
@@ -147,16 +162,18 @@ impl<T: Copy> TimerWheel<T> {
             }
             // Due entries land in `immediate`; later ones cascade into a
             // finer level relative to the new cursor.
-            for entry in cascades {
+            for entry in cascades.drain(..) {
                 self.place(entry);
             }
+            self.cascade_scratch = cascades;
         }
-        let mut due: Vec<Entry<T>> = std::mem::take(&mut self.immediate);
-        self.len -= due.len();
-        due.sort_by_key(|e| (e.deadline, e.seq));
-        due.into_iter()
-            .map(|e| (SimTime::from_nanos(e.deadline), e.key))
-            .collect()
+        self.len -= self.immediate.len();
+        self.immediate.sort_by_key(|e| (e.deadline, e.seq));
+        out.extend(
+            self.immediate
+                .drain(..)
+                .map(|e| (SimTime::from_nanos(e.deadline), e.key)),
+        );
     }
 
     /// The earliest deadline among entries for which `live` returns true.

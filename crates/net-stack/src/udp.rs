@@ -4,7 +4,9 @@
 //! each datagram is already an atomic data unit, so `push`/`pop` need no
 //! extra framing (unlike TCP, see [`crate::framing`]).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use crate::fasthash::FastHashMap;
 use std::net::Ipv4Addr;
 
 use demi_memory::{DemiBuffer, HeadroomError};
@@ -161,7 +163,7 @@ pub struct UdpStats {
 /// Transport-only: the caller (the stack) handles IP/Ethernet and feeds
 /// parsed datagrams in via [`UdpPeer::deliver`].
 pub struct UdpPeer {
-    sockets: HashMap<u16, UdpSocket>,
+    sockets: FastHashMap<u16, UdpSocket>,
     next_ephemeral: u16,
     per_socket_capacity: usize,
     stats: UdpStats,
@@ -173,7 +175,7 @@ impl UdpPeer {
     /// does when `SO_RCVBUF` is exhausted).
     pub fn new(per_socket_capacity: usize) -> Self {
         UdpPeer {
-            sockets: HashMap::new(),
+            sockets: FastHashMap::default(),
             next_ephemeral: EPHEMERAL_BASE,
             per_socket_capacity,
             stats: UdpStats::default(),

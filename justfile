@@ -16,7 +16,10 @@
 # cross-thread metrics); the release-mode offload run asserts the E17
 # invariants (device path observationally equivalent to host-only,
 # mid-stream uninstall fallback, write-through cache coherence, per-slot
-# device-cycle attribution).
+# device-cycle attribution); the release-mode timewait and conn_scale
+# runs assert the E18 invariants (wire-identical compact TIME_WAIT,
+# bounded idle footprint, O(backlog) SYN-flood memory, zero-alloc
+# steady-state echo).
 verify:
     cargo build --release
     cargo test -q
@@ -26,6 +29,8 @@ verify:
     cargo test --release -q --test telemetry
     cargo test --release -q --test multicore
     cargo test --release -q --test offload
+    cargo test --release -q --test timewait
+    cargo test --release -q --test conn_scale
     cargo fmt --check
     cargo clippy -- -D warnings
 
@@ -40,10 +45,12 @@ verify-all:
     cargo test --release -q --test telemetry
     cargo test --release -q --test multicore
     cargo test --release -q --test offload
+    cargo test --release -q --test timewait
+    cargo test --release -q --test conn_scale
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Regenerate every experiment table (E1–E17).
+# Regenerate every experiment table (E1–E18).
 experiments:
     cargo bench -p demi-bench
 
@@ -82,3 +89,10 @@ bench-multicore:
 # echo RTT curve lands in target/bench_e17.json.
 bench-offload:
     cargo bench -p demi-bench --bench e17_offload
+
+# The connection-scale experiment alone: 100k established connections on
+# one peer with asserted idle bytes/conn, p99 flatness 100 -> 100k, a
+# zero-alloc steady-state echo window, 10x SYN-flood isolation, and
+# TIME_WAIT churn recycling; results land in target/e18_conn_scale.json.
+bench-connscale:
+    cargo bench -p demi-bench --bench e18_conn_scale

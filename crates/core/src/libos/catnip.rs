@@ -242,6 +242,82 @@ impl Catnip {
     pub fn offload_stats(&self) -> Option<dpdk_sim::OffloadStats> {
         self.stack.offload_stats()
     }
+
+    /// Host-driven invalidation of one device KV cache entry — required
+    /// when the host store drops a key for reasons invisible on the byte
+    /// stream (LRU eviction, TTL expiry). `false` (no KV offload, or key
+    /// not cached) needs no handling.
+    pub fn offload_cache_invalidate(&self, key: &[u8]) -> bool {
+        self.stack.offload_cache_invalidate(key)
+    }
+
+    // ------------------------------------------------------------------
+    // Raw-stream TCP I/O. The framed push/pop above preserve atomic data
+    // units for Demikernel-native peers; protocol servers (demi-kv's
+    // RESP) speak self-delimiting wire formats and need the bare byte
+    // stream instead.
+    // ------------------------------------------------------------------
+
+    /// Pushes `sga` onto a TCP connection **without** the 8-byte DEMI
+    /// framing header: each segment travels down the stack zero-copy as
+    /// raw stream bytes. For self-delimiting protocols (RESP).
+    pub fn push_unframed(&self, qd: QDesc, sga: &Sga) -> Result<QToken, DemiError> {
+        self.runtime.metrics().count_push();
+        let inner = self.inner.borrow();
+        match inner.queues.get(&qd) {
+            Some(CatnipQueue::TcpConn { conn, .. }) => {
+                let conn = *conn;
+                drop(inner);
+                for seg in sga.segments() {
+                    self.stack.tcp_send(conn, seg.clone())?;
+                }
+                Ok(self
+                    .runtime
+                    .spawn_op("catnip::tcp_push_unframed", async { OperationResult::Push }))
+            }
+            Some(_) => Err(DemiError::InvalidState),
+            None => Err(DemiError::BadQDesc),
+        }
+    }
+
+    /// Pops whatever stream bytes have arrived on a TCP connection — one
+    /// zero-copy chunk per completion, no message framing. Blocks until
+    /// at least one byte is available; fails `Closed` at clean EOF.
+    pub fn pop_unframed(&self, qd: QDesc) -> Result<QToken, DemiError> {
+        self.runtime.metrics().count_pop();
+        let inner = self.inner.borrow();
+        match inner.queues.get(&qd) {
+            Some(CatnipQueue::TcpConn { conn, .. }) => {
+                let conn = *conn;
+                let stack = self.stack.clone();
+                let activity = self.runtime.activity().clone();
+                drop(inner);
+                Ok(self
+                    .runtime
+                    .spawn_op("catnip::tcp_pop_unframed", async move {
+                        loop {
+                            let wait = activity.notified();
+                            match stack.tcp_recv(conn) {
+                                Ok(Some(chunk)) => {
+                                    return OperationResult::Pop {
+                                        from: None,
+                                        sga: Sga::from_bufs(vec![chunk]),
+                                    };
+                                }
+                                Ok(None) => {}
+                                Err(e) => return OperationResult::Failed(e.into()),
+                            }
+                            if stack.tcp_eof(conn) {
+                                return OperationResult::Failed(DemiError::Closed);
+                            }
+                            wait.await;
+                        }
+                    }))
+            }
+            Some(_) => Err(DemiError::InvalidState),
+            None => Err(DemiError::BadQDesc),
+        }
+    }
 }
 
 impl LibOs for Catnip {

@@ -98,11 +98,20 @@ pub struct CurvePoint {
     pub p999_ns: u64,
     /// Number of completed requests the point summarizes.
     pub samples: u64,
+    /// Established connections carrying the load when the point was
+    /// measured (0 when the experiment has no connection concept —
+    /// e.g. UDP echo curves).
+    pub connections: u64,
+    /// Commands in flight per connection (1 = strict request/response;
+    /// >1 = pipelined bursts, the E19 axis).
+    pub pipeline_depth: u64,
 }
 
 impl CurvePoint {
     /// Summarize a latency histogram plus wall-clock (virtual) duration
-    /// into a curve point.
+    /// into a curve point. Connection count defaults to 0 and pipeline
+    /// depth to 1 (plain request/response); experiments that sweep those
+    /// axes use [`CurvePoint::at_scale`].
     pub fn from_histogram(offered_ops_per_sec: f64, elapsed_ns: u64, hist: &Histogram) -> Self {
         let achieved = if elapsed_ns == 0 {
             0.0
@@ -118,14 +127,25 @@ impl CurvePoint {
             p99_ns: hist.p99(),
             p999_ns: hist.p999(),
             samples: hist.count(),
+            connections: 0,
+            pipeline_depth: 1,
         }
+    }
+
+    /// Tags the point with the connection count and pipeline depth it
+    /// was measured at (builder-style, for curve sweeps over scale).
+    pub fn at_scale(mut self, connections: u64, pipeline_depth: u64) -> Self {
+        self.connections = connections;
+        self.pipeline_depth = pipeline_depth;
+        self
     }
 
     fn to_json(&self) -> String {
         format!(
             "{{\"offered_ops_per_sec\":{:.1},\"achieved_ops_per_sec\":{:.1},\
              \"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\
-             \"p999_ns\":{},\"samples\":{}}}",
+             \"p999_ns\":{},\"samples\":{},\"connections\":{},\
+             \"pipeline_depth\":{}}}",
             self.offered_ops_per_sec,
             self.achieved_ops_per_sec,
             self.mean_ns,
@@ -133,7 +153,9 @@ impl CurvePoint {
             self.p90_ns,
             self.p99_ns,
             self.p999_ns,
-            self.samples
+            self.samples,
+            self.connections,
+            self.pipeline_depth
         )
     }
 }
@@ -222,6 +244,25 @@ mod tests {
         assert!(json.contains("\"samples\":3"));
         // 3 completions over 1 ms of virtual time = 3000 ops/s.
         assert!(json.contains("\"achieved_ops_per_sec\":3000.0"));
+        // Scale axes default to "no connections, unpipelined".
+        assert!(json.contains("\"connections\":0"));
+        assert!(json.contains("\"pipeline_depth\":1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn curve_point_scale_tagging() {
+        let mut h = Histogram::new();
+        h.record(500);
+        let p = CurvePoint::from_histogram(1000.0, 1_000_000, &h).at_scale(100_000, 16);
+        assert_eq!(p.connections, 100_000);
+        assert_eq!(p.pipeline_depth, 16);
+        let json = Curve {
+            title: "kv".into(),
+            points: vec![p],
+        }
+        .to_json();
+        assert!(json.contains("\"connections\":100000"));
+        assert!(json.contains("\"pipeline_depth\":16"));
     }
 }

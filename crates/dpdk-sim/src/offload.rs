@@ -446,6 +446,24 @@ impl TcpOffload {
         }
     }
 
+    /// Host-driven cache invalidation: the host must call this when it
+    /// removes a key for reasons the device cannot observe on the byte
+    /// stream — LRU eviction or TTL expiry in the host store. (SETs and
+    /// DELs are invalidated by the device's own write-through scanner.)
+    /// Returns `false` for echo engines or keys not cached.
+    pub fn cache_invalidate(&mut self, key: &[u8]) -> bool {
+        match &mut self.service {
+            ServiceState::Kv(cache) => {
+                let removed = cache.remove(key);
+                if removed {
+                    self.stats.kv_invalidations += 1;
+                }
+                removed
+            }
+            ServiceState::Echo => false,
+        }
+    }
+
     /// Engine counters (gauges computed at read time).
     pub fn stats(&self) -> OffloadStats {
         let mut s = self.stats;

@@ -946,6 +946,17 @@ impl NetworkStack {
         }
     }
 
+    /// Host-driven invalidation of one device KV cache entry — for
+    /// removals the device cannot see on the wire (host-side LRU
+    /// eviction, TTL expiry). Returns `false` when no KV offload is
+    /// installed or the key was not cached.
+    pub fn offload_cache_invalidate(&self, key: &[u8]) -> bool {
+        match self.offload.borrow().as_ref() {
+            Some(ctl) => ctl.engine.borrow_mut().cache_invalidate(key),
+            None => false,
+        }
+    }
+
     /// Counters of the installed offload engine, if any.
     pub fn offload_stats(&self) -> Option<OffloadStats> {
         self.offload

@@ -22,9 +22,9 @@
 //!
 //! Run with: `cargo run --example kv_store`
 
-use std::collections::HashMap;
-
+use demi_kv::store::{CacheMirror, KvStore};
 use demi_memory::DemiBuffer;
+use demikernel::libos::catnip::Catnip;
 use demikernel::libos::{LibOs, SocketKind};
 use demikernel::testing::{catnip_pair_offload, host_ip};
 use demikernel::types::{OperationResult, QDesc, QToken, Sga};
@@ -42,47 +42,59 @@ fn encode_set(key: &str, value: &[u8]) -> Sga {
     Sga::from_slice(&msg)
 }
 
-/// The store: keys to zero-copy value handles.
-struct KvStore {
-    map: HashMap<String, DemiBuffer>,
+/// Bridges the host store's mirror doorbells onto the catnip offload
+/// control path, so the host cache and the NIC-resident GET cache share
+/// ONE insert/invalidate path: `publish_to_mirror` after a host-served
+/// GET populates device memory, and every host-side removal the device
+/// cannot observe on the wire (overwrite, eviction, expiry, DEL) rings
+/// the invalidate doorbell.
+struct OffloadMirror {
+    libos: Catnip,
 }
 
-impl KvStore {
-    fn new() -> Self {
-        KvStore {
-            map: HashMap::new(),
-        }
+impl CacheMirror for OffloadMirror {
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> bool {
+        self.libos.offload_cache_insert(key, value)
     }
 
-    /// Processes one atomic request element, returning the reply.
-    fn handle(&mut self, request: &Sga) -> Sga {
-        let bytes = request.to_vec();
-        match bytes.first() {
-            Some(b'G') => {
-                let key = String::from_utf8_lossy(&bytes[1..]).into_owned();
-                match self.map.get(&key) {
-                    // Zero-copy reply: the value buffer handle is shared
-                    // into the reply Sga; free-protection keeps it alive
-                    // while the NIC transmits even if a SET replaces it.
-                    Some(value) => {
-                        let mut reply = Sga::from_slice(b"V");
-                        reply.push_seg(value.clone());
-                        reply
-                    }
-                    None => Sga::from_slice(b"N"),
+    fn invalidate(&mut self, key: &[u8]) {
+        let _ = self.libos.offload_cache_invalidate(key);
+    }
+}
+
+/// Processes one atomic request element against the demi-kv store,
+/// returning the reply.
+fn handle(store: &mut KvStore, request: &Sga, now: SimTime) -> Sga {
+    let bytes = request.to_vec();
+    match bytes.first() {
+        Some(b'G') => {
+            match store.get(&bytes[1..], now) {
+                // Zero-copy reply: the value buffer handle is shared
+                // into the reply Sga; free-protection keeps it alive
+                // while the NIC transmits even if a SET replaces it.
+                Some(value) => {
+                    // Insert-after-miss: a GET that reached the host was
+                    // not served by the device; publish so the next one
+                    // is. (The same doorbell demi-kv's RESP engine rings.)
+                    store.publish_to_mirror(&bytes[1..]);
+                    let mut reply = Sga::from_slice(b"V");
+                    reply.push_seg(value);
+                    reply
                 }
+                None => Sga::from_slice(b"N"),
             }
-            Some(b'S') => {
-                let eq = bytes.iter().position(|&b| b == b'=').unwrap_or(bytes.len());
-                let key = String::from_utf8_lossy(&bytes[1..eq]).into_owned();
-                // Redis discipline: allocate a NEW buffer per put and swap
-                // the pointer; never update a value in place.
-                let value = DemiBuffer::from_slice(&bytes[eq + 1..]);
-                self.map.insert(key, value);
-                Sga::from_slice(b"O")
-            }
-            _ => Sga::from_slice(b"E"),
         }
+        Some(b'S') => {
+            let eq = bytes.iter().position(|&b| b == b'=').unwrap_or(bytes.len());
+            // Redis discipline: allocate a NEW buffer per put and swap
+            // the pointer; never update a value in place.
+            let value = DemiBuffer::from_slice(&bytes[eq + 1..]);
+            store
+                .set(&bytes[1..eq], value, None, now)
+                .expect("entry within byte budget");
+            Sga::from_slice(b"O")
+        }
+        _ => Sga::from_slice(b"E"),
     }
 }
 
@@ -118,10 +130,18 @@ fn main() {
         .install_kv_offload(6379, 64 * 1024)
         .expect("install kv offload");
 
+    // The host store is demi-kv's LRU/TTL cache; its mirror doorbells
+    // drive the device cache, so host and NIC stay coherent through one
+    // shared insert/invalidate path.
+    let mut store = KvStore::new(1 << 20, rt.now());
+    store.set_mirror(Box::new(OffloadMirror {
+        libos: server.clone(),
+    }));
+
     // Server event loop as a coroutine: pop → handle → push, one atomic
     // request at a time (never a partial request, §3.2).
-    let mut store = KvStore::new();
     let server_clone = server.clone();
+    let rt_clone = rt.clone();
     rt.spawn_background("kv-server", async move {
         loop {
             let Ok(pop_qt) = server_clone.pop(conn_qd) else {
@@ -131,17 +151,7 @@ fn main() {
             let OperationResult::Pop { sga, .. } = result else {
                 return;
             };
-            let reply = store.handle(&sga);
-            // Insert-after-miss: a GET the device could not serve reached
-            // the host; publish the value into the NIC-resident cache so
-            // the next GET for this key never crosses to the host.
-            let request = sga.to_vec();
-            if request.first() == Some(&b'G') {
-                let rep = reply.to_vec();
-                if rep.first() == Some(&b'V') {
-                    server_clone.offload_cache_insert(&request[1..], &rep[1..]);
-                }
-            }
+            let reply = handle(&mut store, &sga, rt_clone.now());
             let Ok(push_qt) = server_clone.push(conn_qd, &reply) else {
                 return;
             };

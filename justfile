@@ -19,7 +19,10 @@
 # device-cycle attribution); the release-mode timewait and conn_scale
 # runs assert the E18 invariants (wire-identical compact TIME_WAIT,
 # bounded idle footprint, O(backlog) SYN-flood memory, zero-alloc
-# steady-state echo).
+# steady-state echo); the release-mode kv run asserts the E19 invariants
+# (pipelined RESP bursts drained in one engine pass, zero payload copies
+# through the warmed GET path, host/device cache write-through coherence,
+# group-commit replay of exactly the acknowledged state).
 verify:
     cargo build --release
     cargo test -q
@@ -31,6 +34,7 @@ verify:
     cargo test --release -q --test offload
     cargo test --release -q --test timewait
     cargo test --release -q --test conn_scale
+    cargo test --release -q --test kv
     cargo fmt --check
     cargo clippy -- -D warnings
 
@@ -47,10 +51,11 @@ verify-all:
     cargo test --release -q --test offload
     cargo test --release -q --test timewait
     cargo test --release -q --test conn_scale
+    cargo test --release -q --test kv
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Regenerate every experiment table (E1–E18).
+# Regenerate every experiment table (E1–E19).
 experiments:
     cargo bench -p demi-bench
 
@@ -96,3 +101,11 @@ bench-offload:
 # TIME_WAIT churn recycling; results land in target/e18_conn_scale.json.
 bench-connscale:
     cargo bench -p demi-bench --bench e18_conn_scale
+
+# The KV-server experiment alone: the Redis-class RESP server over
+# catnip with asserted >= 4x pipelining speedup at depth 16, zero
+# payload-byte copies per warmed GET, p99 flatness 1k -> 100k
+# connections, an open-loop Poisson GET/SET curve, and crash-replay of
+# exactly the acknowledged SETs; results land in target/e19_kv_server.json.
+bench-kv:
+    cargo bench -p demi-bench --bench e19_kv_server

@@ -1,0 +1,421 @@
+//! End-to-end demi-kv integration: RESP over the catnip raw byte
+//! stream, zero-copy accounting on the warmed GET path, write-through
+//! coherence between the host store and the NIC-resident GET cache, and
+//! group-committed durability through catfs.
+//!
+//! The serving loop here is deliberately lock-step (push → pop → drain →
+//! reply) rather than a background coroutine, so every test can inspect
+//! the engine's [`demi_kv::DrainResult`] — burst depth, reply segment
+//! counts, group-commit records — instead of only the wire bytes.
+
+use demi_kv::log::{apply, decode_batch};
+use demi_kv::resp::encode_command;
+use demi_kv::store::{CacheMirror, KvStore};
+use demi_kv::{DrainResult, KvConn, KvEngine, KvEngineConfig};
+use demi_memory::{counters as mem_counters, DemiBuffer};
+use demikernel::libos::catfs::Catfs;
+use demikernel::libos::catnip::Catnip;
+use demikernel::libos::{LibOs, SocketKind};
+use demikernel::runtime::Runtime;
+use demikernel::testing::{catnip_pair, catnip_pair_offload, host_ip};
+use demikernel::types::{QDesc, Sga};
+use net_stack::types::SocketAddr;
+use sim_fabric::SimTime;
+use spdk_sim::nvme::{NvmeConfig, NvmeDevice};
+
+/// Connects client to a freshly-listening server; returns (client qd,
+/// server connection qd).
+fn tcp_pair(client: &Catnip, server: &Catnip, port: u16) -> (QDesc, QDesc) {
+    let lqd = server.socket(SocketKind::Tcp).unwrap();
+    server.bind(lqd, SocketAddr::new(host_ip(2), port)).unwrap();
+    server.listen(lqd, 8).unwrap();
+    let aqt = server.accept(lqd).unwrap();
+    let cqd = client.socket(SocketKind::Tcp).unwrap();
+    let cqt = client
+        .connect(cqd, SocketAddr::new(host_ip(2), port))
+        .unwrap();
+    let sqd = server.wait(aqt, None).unwrap().expect_accept();
+    client.wait(cqt, None).unwrap();
+    (cqd, sqd)
+}
+
+/// Client sends one pipelined burst on the raw stream (RESP is
+/// self-delimiting — no DEMI framing), the server pops whatever
+/// arrived, feeds the parser, and drains the engine once.
+#[allow(clippy::too_many_arguments)]
+fn send_and_drain(
+    client: &Catnip,
+    server: &Catnip,
+    cqd: QDesc,
+    sqd: QDesc,
+    engine: &mut KvEngine,
+    conn: &mut KvConn,
+    burst: Vec<u8>,
+    now: SimTime,
+) -> DrainResult {
+    // Vec → DemiBuffer takes ownership: building the request costs no
+    // datapath copy.
+    let sga = Sga::from_bufs(vec![DemiBuffer::from(burst)]);
+    let qt = client.push_unframed(cqd, &sga).unwrap();
+    client.wait(qt, None).unwrap();
+    let qt = server.pop_unframed(sqd).unwrap();
+    let (_, sga) = server.wait(qt, None).unwrap().expect_pop();
+    for seg in sga.segments() {
+        conn.feed(seg.clone());
+    }
+    engine.drain(conn, now)
+}
+
+/// Pushes a reply burst back and reads exactly `expect` bytes at the
+/// client.
+fn reply_and_recv(
+    client: &Catnip,
+    server: &Catnip,
+    cqd: QDesc,
+    sqd: QDesc,
+    segs: Vec<DemiBuffer>,
+    expect: usize,
+) -> Vec<u8> {
+    let burst = Sga::from_bufs(segs);
+    let qt = server.push_unframed(sqd, &burst).unwrap();
+    server.wait(qt, None).unwrap();
+    let mut got = Vec::new();
+    while got.len() < expect {
+        let qt = client.pop_unframed(cqd).unwrap();
+        let (_, sga) = client.wait(qt, None).unwrap().expect_pop();
+        got.extend_from_slice(&sga.to_vec());
+    }
+    got
+}
+
+fn engine(memory: demi_memory::MemoryManager, now: SimTime, durable: bool) -> KvEngine {
+    KvEngine::new(
+        KvEngineConfig {
+            byte_budget: 1 << 20,
+            durable,
+        },
+        memory,
+        now,
+    )
+}
+
+// ---------------------------------------------------------------------
+// RESP end-to-end: a pipelined burst drains in one pass, replies
+// coalesce, and a command split mid-argument reassembles correctly.
+// ---------------------------------------------------------------------
+
+#[test]
+fn pipelined_resp_burst_over_catnip_stream() {
+    let (rt, _fabric, client, server) = catnip_pair(31);
+    let (cqd, sqd) = tcp_pair(&client, &server, 6379);
+    let mut eng = engine(server.memory().clone(), rt.now(), false);
+    let mut conn = KvConn::new();
+
+    // Five commands, one TX, one engine pass, one coalesced reply burst.
+    let mut burst = Vec::new();
+    encode_command(&mut burst, &[b"PING"]);
+    encode_command(&mut burst, &[b"SET", b"alpha", b"first"]);
+    encode_command(&mut burst, &[b"GET", b"alpha"]);
+    encode_command(&mut burst, &[b"DEL", b"alpha"]);
+    encode_command(&mut burst, &[b"GET", b"alpha"]);
+    let r = send_and_drain(
+        &client,
+        &server,
+        cqd,
+        sqd,
+        &mut eng,
+        &mut conn,
+        burst,
+        rt.now(),
+    );
+    assert_eq!(r.depth, 5, "the whole burst executes in one pass");
+    assert!(r.batch.is_none(), "non-durable: nothing group-commits");
+    assert!(r.deferred.is_empty());
+    let expected = b"+PONG\r\n+OK\r\n$5\r\nfirst\r\n:1\r\n$-1\r\n";
+    let got = reply_and_recv(&client, &server, cqd, sqd, r.immediate, expected.len());
+    assert_eq!(got, expected);
+    assert_eq!(eng.stats().max_burst, 5);
+
+    // A command split mid-argument across two TX bursts: the first
+    // drain holds the partial, the second completes it via the
+    // parser's counted reassembly fallback.
+    let mut split = Vec::new();
+    encode_command(&mut split, &[b"SET", b"beta", b"second-value"]);
+    let cut = split.len() - 7; // inside the value argument
+    let head = split[..cut].to_vec();
+    let tail = split[cut..].to_vec();
+    let r = send_and_drain(
+        &client,
+        &server,
+        cqd,
+        sqd,
+        &mut eng,
+        &mut conn,
+        head,
+        rt.now(),
+    );
+    assert_eq!(r.depth, 0, "no complete command yet");
+    assert!(r.immediate.is_empty());
+    let r = send_and_drain(
+        &client,
+        &server,
+        cqd,
+        sqd,
+        &mut eng,
+        &mut conn,
+        tail,
+        rt.now(),
+    );
+    assert_eq!(r.depth, 1);
+    let got = reply_and_recv(&client, &server, cqd, sqd, r.immediate, 5);
+    assert_eq!(got, b"+OK\r\n");
+    assert!(
+        conn.parser_stats().reassembled_args > 0,
+        "the straddling argument took the counted reassembly path"
+    );
+    assert_eq!(
+        eng.store_mut().get(b"beta", rt.now()).unwrap().to_vec(),
+        b"second-value"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Zero-copy and coalescing: a warmed pipelined GET moves no payload
+// bytes and replies in a bounded number of segments.
+// ---------------------------------------------------------------------
+
+#[test]
+fn warmed_get_burst_is_zero_copy_and_coalesced() {
+    const DEPTH: usize = 8;
+    let (rt, _fabric, client, server) = catnip_pair(32);
+    let (cqd, sqd) = tcp_pair(&client, &server, 6379);
+    let mut eng = engine(server.memory().clone(), rt.now(), false);
+    let mut conn = KvConn::new();
+
+    // Preload over the wire so stored values are sub-views of the RX
+    // buffers that carried them.
+    let mut burst = Vec::new();
+    for i in 0..DEPTH {
+        encode_command(
+            &mut burst,
+            &[
+                b"SET",
+                format!("key{i}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            ],
+        );
+    }
+    let r = send_and_drain(
+        &client,
+        &server,
+        cqd,
+        sqd,
+        &mut eng,
+        &mut conn,
+        burst,
+        rt.now(),
+    );
+    let _ = reply_and_recv(&client, &server, cqd, sqd, r.immediate, DEPTH * 5);
+
+    let get_burst = || {
+        let mut b = Vec::new();
+        for i in 0..DEPTH {
+            encode_command(&mut b, &[b"GET", format!("key{i}").as_bytes()]);
+        }
+        b
+    };
+    let expected: Vec<u8> = (0..DEPTH)
+        .flat_map(|i| format!("$7\r\nvalue-{i}\r\n").into_bytes())
+        .collect();
+
+    // Warm once (pool populated, parser and reply paths steady).
+    let r = send_and_drain(
+        &client,
+        &server,
+        cqd,
+        sqd,
+        &mut eng,
+        &mut conn,
+        get_burst(),
+        rt.now(),
+    );
+    let got = reply_and_recv(&client, &server, cqd, sqd, r.immediate, expected.len());
+    assert_eq!(got, expected);
+
+    // Measured window: parse over RX views, look up, build the reply
+    // burst sharing value handles. The counter window brackets each
+    // engine pass — the serving path itself — so wire-header
+    // serialization (E12's axis, measured there) stays out of frame;
+    // the bare-peer E19 bench asserts the whole-path version.
+    let reasm_before = conn.parser_stats().reassembled_args;
+    let (mut drain_copies, mut drain_bytes) = (0u64, 0u64);
+    for _ in 0..16 {
+        // Deliver the burst to the server without draining yet.
+        let sga = Sga::from_bufs(vec![DemiBuffer::from(get_burst())]);
+        let qt = client.push_unframed(cqd, &sga).unwrap();
+        client.wait(qt, None).unwrap();
+        let qt = server.pop_unframed(sqd).unwrap();
+        let (_, rsga) = server.wait(qt, None).unwrap().expect_pop();
+        for seg in rsga.segments() {
+            conn.feed(seg.clone());
+        }
+        let before = mem_counters::snapshot();
+        let r = eng.drain(&mut conn, rt.now());
+        let d = mem_counters::snapshot().delta(&before);
+        drain_copies += d.copies;
+        drain_bytes += d.bytes_copied;
+        assert_eq!(r.depth, DEPTH);
+        assert!(
+            r.immediate.len() <= 2 * DEPTH + 1,
+            "replies must coalesce: {} segments for a depth-{DEPTH} burst",
+            r.immediate.len()
+        );
+        let got = reply_and_recv(&client, &server, cqd, sqd, r.immediate, expected.len());
+        assert_eq!(got, expected);
+    }
+    assert_eq!(
+        drain_bytes, 0,
+        "warmed pipelined GETs must move zero payload bytes through the engine"
+    );
+    assert_eq!(drain_copies, 0, "no copy calls on the warmed GET path");
+    assert_eq!(
+        conn.parser_stats().reassembled_args,
+        reasm_before,
+        "single-segment bursts never take the reassembly fallback"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Coherence: the host store and the NIC-resident GET cache share ONE
+// insert/invalidate path — every host-side removal the device cannot
+// observe on the wire rings the invalidate doorbell.
+// ---------------------------------------------------------------------
+
+struct OffloadMirror {
+    libos: Catnip,
+}
+
+impl CacheMirror for OffloadMirror {
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> bool {
+        self.libos.offload_cache_insert(key, value)
+    }
+
+    fn invalidate(&mut self, key: &[u8]) {
+        let _ = self.libos.offload_cache_invalidate(key);
+    }
+}
+
+#[test]
+fn host_and_device_caches_share_one_invalidate_path() {
+    let (rt, _fabric, _client, server) = catnip_pair_offload(33, 4);
+    server.install_kv_offload(6379, 4 * 1024).unwrap();
+    // A deliberately tiny budget so the eviction path triggers too.
+    let mut store = KvStore::new(256, rt.now());
+    store.set_mirror(Box::new(OffloadMirror {
+        libos: server.clone(),
+    }));
+    let stats = || server.offload_stats().expect("offload installed");
+
+    // Insert-after-miss publishes into device memory.
+    store
+        .set(b"alpha", DemiBuffer::from_slice(b"one"), None, rt.now())
+        .unwrap();
+    assert!(store.publish_to_mirror(b"alpha"));
+    assert!(
+        stats().cache_bytes > 0,
+        "published value is device-resident"
+    );
+    assert_eq!(stats().kv_invalidations, 0);
+
+    // Overwrite: the device must never serve the stale value.
+    store
+        .set(b"alpha", DemiBuffer::from_slice(b"two"), None, rt.now())
+        .unwrap();
+    assert_eq!(stats().kv_invalidations, 1, "overwrite rings the doorbell");
+    assert_eq!(stats().cache_bytes, 0, "stale value left device memory");
+
+    // DEL of a republished key invalidates again.
+    assert!(store.publish_to_mirror(b"alpha"));
+    assert!(store.del(b"alpha", rt.now()));
+    assert_eq!(stats().kv_invalidations, 2);
+
+    // TTL expiry (lazy, on the late GET) invalidates.
+    store
+        .set(
+            b"beta",
+            DemiBuffer::from_slice(b"fleeting"),
+            Some(rt.now().saturating_add(SimTime::from_millis(1))),
+            rt.now(),
+        )
+        .unwrap();
+    assert!(store.publish_to_mirror(b"beta"));
+    rt.settle(SimTime::from_millis(2));
+    assert!(store.get(b"beta", rt.now()).is_none(), "expired");
+    assert_eq!(stats().kv_invalidations, 3, "expiry rings the doorbell");
+
+    // LRU eviction under the byte budget invalidates the victims.
+    let before = stats().kv_invalidations;
+    for i in 0..12 {
+        let key = format!("bulk{i:02}").into_bytes();
+        store
+            .set(&key, DemiBuffer::from_slice(&[0x42; 24]), None, rt.now())
+            .unwrap();
+        assert!(store.publish_to_mirror(&key));
+    }
+    assert!(
+        store.stats().evictions > 0,
+        "the tiny budget forced evictions"
+    );
+    assert!(
+        stats().kv_invalidations > before,
+        "every eviction of a device-resident key rang the doorbell"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Durability: replies that depend on a mutation ride behind its group
+// commit; replay on a fresh catfs instance rebuilds acknowledged state.
+// ---------------------------------------------------------------------
+
+#[test]
+fn group_commit_replay_restores_acknowledged_sets() {
+    let rt = Runtime::new();
+    let device = NvmeDevice::new(rt.clock().clone(), NvmeConfig::default());
+    let fs = Catfs::new(&rt, device.clone());
+    let qd = fs.create("kv-test.aof").unwrap();
+    let mut eng = engine(demi_memory::MemoryManager::new(), rt.now(), true);
+    let mut conn = KvConn::new();
+
+    // PING and the missing GET precede the first mutation: immediate.
+    // Everything from the SET on is deferred behind the group commit.
+    let mut burst = Vec::new();
+    encode_command(&mut burst, &[b"PING"]);
+    encode_command(&mut burst, &[b"GET", b"a"]);
+    encode_command(&mut burst, &[b"SET", b"a", b"1"]);
+    encode_command(&mut burst, &[b"GET", b"a"]);
+    encode_command(&mut burst, &[b"SET", b"b", b"2"]);
+    conn.feed(DemiBuffer::from(burst));
+    let r = eng.drain(&mut conn, rt.now());
+    let flat = |segs: &[DemiBuffer]| -> Vec<u8> {
+        segs.iter().flat_map(|s| s.as_slice().to_vec()).collect()
+    };
+    assert_eq!(flat(&r.immediate), b"+PONG\r\n$-1\r\n");
+    assert_eq!(flat(&r.deferred), b"+OK\r\n$1\r\n1\r\n+OK\r\n");
+    let batch = r.batch.expect("two SETs group-commit as one record");
+    fs.blocking_push(qd, &Sga::from_bufs(vec![DemiBuffer::from(batch)]))
+        .unwrap();
+
+    // Crash: a fresh catfs on the same device replays the record.
+    let rt2 = Runtime::with_clock(rt.clock().clone());
+    let fs2 = Catfs::new(&rt2, device);
+    let rqd = fs2.recover("kv-test.aof").unwrap();
+    let mut recovered = KvStore::new(1 << 20, rt2.now());
+    let (_, sga) = fs2.blocking_pop(rqd).unwrap().expect_pop();
+    for entry in decode_batch(&sga.to_vec()).unwrap() {
+        apply(&mut recovered, &entry, rt2.now());
+    }
+    let dump = recovered.dump(rt2.now());
+    assert_eq!(dump.len(), 2);
+    assert_eq!(dump[0], (b"a".to_vec(), b"1".to_vec()));
+    assert_eq!(dump[1], (b"b".to_vec(), b"2".to_vec()));
+}

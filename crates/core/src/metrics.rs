@@ -120,6 +120,22 @@ pub struct MetricsSnapshot {
     pub nic_slot_drops: [u64; NIC_SLOT_COUNTERS],
     /// Requests served device-side per SmartNIC program slot.
     pub nic_slot_served: [u64; NIC_SLOT_COUNTERS],
+    /// Deficit-round-robin fill rounds run by the weighted-fair TX
+    /// scheduler since the last reset, from the demi-tenant counters
+    /// (E20). Zero unless a stack was built with tenancy enabled.
+    pub tx_deficit_rounds: u64,
+    /// TX fill passes in which a tenant's token bucket deferred its lane
+    /// (rate limiting engaged).
+    pub rate_limited_frames: u64,
+    /// Frames dropped at a tenant quota boundary: full TX staging lane,
+    /// exhausted RX slice, or TIME_WAIT partition eviction.
+    pub quota_drops: u64,
+    /// Cross-tenant accesses refused: buffer view/clone/prepend attempts
+    /// and port bind/listen/connect denials.
+    pub cross_tenant_denials: u64,
+    /// Allocations refused because a tenant's private mempool partition
+    /// was spent.
+    pub pool_exhaustions: u64,
 }
 
 impl MetricsSnapshot {
@@ -188,6 +204,11 @@ impl MetricsSnapshot {
         for (a, b) in self.nic_slot_served.iter_mut().zip(other.nic_slot_served) {
             *a += b;
         }
+        self.tx_deficit_rounds += other.tx_deficit_rounds;
+        self.rate_limited_frames += other.rate_limited_frames;
+        self.quota_drops += other.quota_drops;
+        self.cross_tenant_denials += other.cross_tenant_denials;
+        self.pool_exhaustions += other.pool_exhaustions;
     }
 }
 
@@ -243,6 +264,7 @@ struct MetricsInner {
     shard_baseline: Baseline<ShardSnapshot>,
     conn_baseline: Baseline<ConnSnapshot>,
     nic_slot_baseline: Baseline<NicSlotSnapshot>,
+    tenant_baseline: Baseline<demi_tenant::counters::TenantSnapshot>,
 }
 
 impl Default for MetricsInner {
@@ -256,6 +278,7 @@ impl Default for MetricsInner {
             shard_baseline: Baseline::new(net_stack::counters::shard_snapshot()),
             conn_baseline: Baseline::new(net_stack::counters::conn_snapshot()),
             nic_slot_baseline: Baseline::new(dpdk_sim::counters::nic_slot_snapshot()),
+            tenant_baseline: Baseline::new(demi_tenant::counters::snapshot()),
         }
     }
 }
@@ -365,6 +388,14 @@ impl Metrics {
         snap.nic_slot_frames = slots.frames;
         snap.nic_slot_drops = slots.drops;
         snap.nic_slot_served = slots.served;
+        let tenant = inner
+            .tenant_baseline
+            .movement(demi_tenant::counters::snapshot());
+        snap.tx_deficit_rounds = tenant.tx_deficit_rounds;
+        snap.rate_limited_frames = tenant.rate_limited_frames;
+        snap.quota_drops = tenant.quota_drops;
+        snap.cross_tenant_denials = tenant.cross_tenant_denials;
+        snap.pool_exhaustions = tenant.pool_exhaustions;
         snap
     }
 
@@ -395,6 +426,9 @@ impl Metrics {
         inner
             .nic_slot_baseline
             .rebase(dpdk_sim::counters::nic_slot_snapshot());
+        inner
+            .tenant_baseline
+            .rebase(demi_tenant::counters::snapshot());
     }
 }
 
@@ -528,6 +562,31 @@ mod tests {
         assert_eq!(m.snapshot().nic_slot_cycles[1], 0);
         dpdk_sim::counters::note_slot_exec(1, 7);
         assert_eq!(m.snapshot().nic_slot_cycles[1], 7);
+    }
+
+    #[test]
+    fn tenant_counters_fold_merge_and_rebase() {
+        let m = Metrics::new();
+        demi_tenant::counters::note_tx_deficit_round();
+        demi_tenant::counters::note_rate_limited_frame();
+        demi_tenant::counters::note_quota_drop();
+        demi_tenant::counters::note_cross_tenant_denial();
+        demi_tenant::counters::note_pool_exhaustion();
+        let s = m.snapshot();
+        assert_eq!(s.tx_deficit_rounds, 1);
+        assert_eq!(s.rate_limited_frames, 1);
+        assert_eq!(s.quota_drops, 1);
+        assert_eq!(s.cross_tenant_denials, 1);
+        assert_eq!(s.pool_exhaustions, 1);
+        let mut merged = MetricsSnapshot::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.quota_drops, 2, "hub merge sums tenant counters");
+        assert_eq!(merged.cross_tenant_denials, 2);
+        m.reset();
+        assert_eq!(m.snapshot().tx_deficit_rounds, 0);
+        demi_tenant::counters::note_quota_drop();
+        assert_eq!(m.snapshot().quota_drops, 1);
     }
 
     #[test]

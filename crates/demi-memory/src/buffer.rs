@@ -22,6 +22,8 @@ use std::ops::Deref;
 use std::ptr::NonNull;
 use std::rc::{Rc, Weak};
 
+use demi_tenant::TenantId;
+
 use crate::counters;
 use crate::pool::{BufferPool, PoolInner};
 
@@ -36,6 +38,10 @@ pub enum HeadroomError {
     /// headroom region may be visible to someone else. Writing it would
     /// mutate shared data — the same discipline as [`DemiBuffer::try_mut`].
     Shared,
+    /// The buffer belongs to another tenant — writing headers into a
+    /// foreign tenant's storage is a protection violation, not a
+    /// capacity problem.
+    ForeignTenant(CrossTenantAccess),
 }
 
 impl fmt::Display for HeadroomError {
@@ -48,11 +54,34 @@ impl fmt::Display for HeadroomError {
             HeadroomError::Shared => {
                 write!(f, "headroom shared with another live view")
             }
+            HeadroomError::ForeignTenant(denial) => denial.fmt(f),
         }
     }
 }
 
 impl std::error::Error for HeadroomError {}
+
+/// A denied cross-tenant buffer access: the ambient tenant tried to
+/// view, clone, mutate, or prepend into storage owned by another tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossTenantAccess {
+    /// The tenant that owns the storage.
+    pub owner: TenantId,
+    /// The ambient tenant that attempted the access.
+    pub accessor: TenantId,
+}
+
+impl fmt::Display for CrossTenantAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cross-tenant buffer access denied: {} attempted to access storage owned by {}",
+            self.accessor, self.owner
+        )
+    }
+}
+
+impl std::error::Error for CrossTenantAccess {}
 
 /// Where a buffer's storage returns when its last handle drops.
 pub(crate) struct PoolHome {
@@ -77,10 +106,19 @@ pub(crate) struct BufInner {
     /// registry is touched on every hot-path prepend/trim, so a linear scan
     /// over an inline-ish vector beats tree bookkeeping.
     views: RefCell<Vec<(usize, usize)>>,
+    /// The tenant whose allocation this is. Stamped at construction from
+    /// the ambient tenant (or the owning pool's tenant) and consulted by
+    /// every handle-creating or mutating operation: a foreign tenant may
+    /// never obtain a view into this storage.
+    tenant: Cell<TenantId>,
 }
 
 impl BufInner {
     fn from_box(storage: Box<[u8]>, home: Option<PoolHome>) -> Self {
+        Self::from_box_for(storage, home, demi_tenant::current())
+    }
+
+    fn from_box_for(storage: Box<[u8]>, home: Option<PoolHome>, tenant: TenantId) -> Self {
         let cap = storage.len();
         let ptr = Box::into_raw(storage) as *mut u8;
         BufInner {
@@ -90,6 +128,7 @@ impl BufInner {
             cap,
             home: Cell::new(home),
             views: RefCell::new(Vec::with_capacity(2)),
+            tenant: Cell::new(tenant),
         }
     }
 
@@ -193,6 +232,43 @@ impl DemiBuffer {
         DemiBuffer { inner, off, len }
     }
 
+    /// The tenant that owns this buffer's storage. `TenantId::HOST` for
+    /// every buffer allocated outside a tenant scope — i.e. all existing
+    /// single-application workloads.
+    pub fn tenant(&self) -> TenantId {
+        self.inner.tenant.get()
+    }
+
+    /// Whether the ambient tenant may touch this storage; on denial the
+    /// event is counted and the denial returned. The rule is
+    /// `demi_tenant::may_access`: the host supervisor touches anything,
+    /// host-owned buffers are public, tenants touch only their own.
+    fn check_access(&self) -> Result<(), CrossTenantAccess> {
+        let owner = self.inner.tenant.get();
+        if demi_tenant::may_access(owner) {
+            Ok(())
+        } else {
+            demi_tenant::counters::note_cross_tenant_denial();
+            Err(CrossTenantAccess {
+                owner,
+                accessor: demi_tenant::current(),
+            })
+        }
+    }
+
+    /// Re-stamps the buffer's owning tenant. Only the host supervisor or
+    /// the current owner may retag — this is how the stack attributes a
+    /// device-allocated RX frame to the tenant owning its flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ambient tenant may not access the buffer.
+    pub fn retag(&self, tenant: TenantId) {
+        self.check_access()
+            .expect("cross-tenant retag is a protection violation");
+        self.inner.tenant.set(tenant);
+    }
+
     /// Creates an unpooled buffer holding a copy of `data`.
     ///
     /// Counts one allocation and one copy of `data.len()` bytes toward the
@@ -249,8 +325,11 @@ impl DemiBuffer {
     /// no bytes to mutate and no headroom to prepend into.
     pub fn empty() -> Self {
         thread_local! {
+            // Stamped HOST explicitly: the storage is shared by every
+            // empty buffer on the thread regardless of which tenant
+            // first constructed one, and zero bytes disclose nothing.
             static EMPTY_INNER: Rc<BufInner> =
-                Rc::new(BufInner::from_box(Box::from([]), None));
+                Rc::new(BufInner::from_box_for(Box::from([]), None, TenantId::HOST));
         }
         EMPTY_INNER.with(|inner| Self::new_handle(Rc::clone(inner), 0, 0))
     }
@@ -258,8 +337,19 @@ impl DemiBuffer {
     /// Copies this view into a fresh unpooled buffer with `headroom` bytes
     /// of prepend room. This is the *honestly counted* fallback for when
     /// [`DemiBuffer::prepend`] is refused: one allocation, one payload copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer belongs to a foreign tenant — the copy would
+    /// read the owner's payload bytes.
     pub fn copy_with_headroom(&self, headroom: usize) -> Self {
+        self.check_access()
+            .expect("cross-tenant copy is a protection violation");
         let mut fresh = Self::zeroed_with_headroom(headroom, self.len);
+        // The copy holds the owner's bytes, so it inherits the owner's
+        // stamp even when the host supervisor performs the copy — TX
+        // accounting keeps attributing the frame to its tenant.
+        fresh.inner.tenant.set(self.inner.tenant.get());
         counters::note_copy(self.len);
         fresh
             .try_mut()
@@ -268,11 +358,22 @@ impl DemiBuffer {
         fresh
     }
 
-    /// Wraps pool-owned storage; the view covers `[off, off + len)`.
-    pub(crate) fn from_pool(storage: Box<[u8]>, off: usize, len: usize, home: PoolHome) -> Self {
+    /// Wraps pool-owned storage; the view covers `[off, off + len)` and
+    /// the buffer is stamped with the pool's owning tenant.
+    pub(crate) fn from_pool(
+        storage: Box<[u8]>,
+        off: usize,
+        len: usize,
+        home: PoolHome,
+        tenant: TenantId,
+    ) -> Self {
         debug_assert!(off + len <= storage.len());
         counters::note_alloc();
-        Self::new_handle(Rc::new(BufInner::from_box(storage, Some(home))), off, len)
+        Self::new_handle(
+            Rc::new(BufInner::from_box_for(storage, Some(home), tenant)),
+            off,
+            len,
+        )
     }
 
     /// Bytes visible through this handle.
@@ -319,8 +420,13 @@ impl DemiBuffer {
     /// handle to the storage (no device or other component holds a clone).
     ///
     /// Returns `None` when the buffer is shared — the caller should allocate
-    /// a fresh buffer instead, exactly the paper's recommended discipline.
+    /// a fresh buffer instead, exactly the paper's recommended discipline —
+    /// or when the buffer belongs to a foreign tenant (the denial is
+    /// counted).
     pub fn try_mut(&mut self) -> Option<&mut [u8]> {
+        if self.check_access().is_err() {
+            return None;
+        }
         if Rc::strong_count(&self.inner) != 1 {
             return None;
         }
@@ -350,6 +456,9 @@ impl DemiBuffer {
     /// [`HeadroomError::Exhausted`] when fewer than `n` headroom bytes
     /// remain; there is no silent reallocation.
     pub fn prepend(&mut self, n: usize) -> Result<&mut [u8], HeadroomError> {
+        if let Err(denial) = self.check_access() {
+            return Err(HeadroomError::ForeignTenant(denial));
+        }
         if self.inner.any_view_below(self.off) {
             return Err(HeadroomError::Shared);
         }
@@ -386,8 +495,11 @@ impl DemiBuffer {
     ///
     /// # Panics
     ///
-    /// Panics if `at > self.len()`.
+    /// Panics if `at > self.len()` or if the buffer belongs to a foreign
+    /// tenant.
     pub fn split_off(&mut self, at: usize) -> DemiBuffer {
+        self.check_access()
+            .expect("cross-tenant split_off is a protection violation");
         assert!(at <= self.len, "split_off beyond view");
         let tail = Self::new_handle(self.inner.clone(), self.off + at, self.len - at);
         self.len = at;
@@ -409,10 +521,36 @@ impl DemiBuffer {
     ///
     /// # Panics
     ///
-    /// Panics if the range is out of bounds or inverted.
+    /// Panics if the range is out of bounds or inverted, or if the
+    /// buffer belongs to a foreign tenant (use [`DemiBuffer::try_slice`]
+    /// for a fallible probe).
     pub fn slice(&self, start: usize, end: usize) -> DemiBuffer {
+        self.try_slice(start, end)
+            .expect("cross-tenant slice is a protection violation")
+    }
+
+    /// A new handle viewing `[start, end)`, refused (and counted) if the
+    /// buffer belongs to a foreign tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn try_slice(&self, start: usize, end: usize) -> Result<DemiBuffer, CrossTenantAccess> {
+        self.check_access()?;
         assert!(start <= end && end <= self.len, "slice out of bounds");
-        Self::new_handle(self.inner.clone(), self.off + start, end - start)
+        Ok(Self::new_handle(
+            self.inner.clone(),
+            self.off + start,
+            end - start,
+        ))
+    }
+
+    /// A new handle over the whole view, refused (and counted) if the
+    /// buffer belongs to a foreign tenant. [`DemiBuffer::clone`] is this
+    /// with the denial escalated to a panic.
+    pub fn try_clone(&self) -> Result<DemiBuffer, CrossTenantAccess> {
+        self.check_access()?;
+        Ok(Self::new_handle(self.inner.clone(), self.off, self.len))
     }
 
     /// Shrinks the view to its first `len` bytes.
@@ -458,8 +596,15 @@ impl Drop for DemiBuffer {
 
 impl Clone for DemiBuffer {
     /// Clones the *handle*; storage is shared, not copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer belongs to a foreign tenant — a clone is a
+    /// new view into the owner's bytes, which isolation forbids. Use
+    /// [`DemiBuffer::try_clone`] to probe without panicking.
     fn clone(&self) -> Self {
-        Self::new_handle(self.inner.clone(), self.off, self.len)
+        self.try_clone()
+            .expect("cross-tenant clone is a protection violation")
     }
 }
 
@@ -773,6 +918,76 @@ mod tests {
         assert_eq!(b.as_slice(), &[1, 2, 3]);
         assert_eq!(delta.allocs, 1);
         assert_eq!(delta.bytes_copied, 0);
+    }
+
+    #[test]
+    fn buffers_are_stamped_with_the_allocating_tenant() {
+        let host = DemiBuffer::from_slice(b"host");
+        assert_eq!(host.tenant(), TenantId::HOST);
+        let t = TenantId(7);
+        let owned = demi_tenant::scope(t, || DemiBuffer::from_slice(b"mine"));
+        assert_eq!(owned.tenant(), t);
+        // Empty buffers share storage and stay host-stamped regardless
+        // of who constructs them.
+        let e = demi_tenant::scope(t, DemiBuffer::empty);
+        assert_eq!(e.tenant(), TenantId::HOST);
+    }
+
+    #[test]
+    fn cross_tenant_views_are_denied_and_counted() {
+        let owner = TenantId(1);
+        let thief = TenantId(2);
+        let buf = demi_tenant::scope(owner, || DemiBuffer::from_slice(b"secret"));
+        let before = demi_tenant::counters::snapshot();
+        demi_tenant::scope(thief, || {
+            let denial = buf.try_clone().unwrap_err();
+            assert_eq!((denial.owner, denial.accessor), (owner, thief));
+            assert!(buf.try_slice(0, 3).is_err());
+            let mut handle = demi_tenant::scope(owner, || buf.try_clone().unwrap());
+            assert!(handle.try_mut().is_none(), "foreign mutation denied");
+            assert_eq!(
+                handle.prepend(0),
+                Err(HeadroomError::ForeignTenant(CrossTenantAccess {
+                    owner,
+                    accessor: thief
+                }))
+            );
+        });
+        let d = demi_tenant::counters::snapshot().delta(&before);
+        assert!(d.cross_tenant_denials >= 4, "every denial is counted");
+        // The owner and the host supervisor still have full access.
+        demi_tenant::scope(owner, || assert!(buf.try_clone().is_ok()));
+        assert!(buf.try_clone().is_ok(), "ambient host may access");
+        assert_eq!(buf.handle_count(), 1, "no foreign handle leaked");
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-tenant clone is a protection violation")]
+    fn cross_tenant_clone_is_a_hard_error() {
+        let buf = demi_tenant::scope(TenantId(1), || DemiBuffer::from_slice(b"x"));
+        demi_tenant::scope(TenantId(2), || {
+            let _ = buf.clone();
+        });
+    }
+
+    #[test]
+    fn retag_transfers_ownership_to_a_tenant() {
+        let buf = DemiBuffer::from_slice(b"rx frame");
+        let t = TenantId(4);
+        buf.retag(t); // Host attributes the frame to the flow's tenant.
+        assert_eq!(buf.tenant(), t);
+        demi_tenant::scope(t, || assert!(buf.try_clone().is_ok()));
+        demi_tenant::scope(TenantId(5), || assert!(buf.try_clone().is_err()));
+    }
+
+    #[test]
+    fn copy_with_headroom_inherits_the_owner_stamp() {
+        let t = TenantId(3);
+        let src = demi_tenant::scope(t, || DemiBuffer::from_slice(b"payload"));
+        // The host stack performs the counted copy on the tenant's
+        // behalf; attribution must follow the bytes.
+        let copy = src.copy_with_headroom(16);
+        assert_eq!(copy.tenant(), t);
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //!   its cost is paid once per region on the control path (experiment E5).
 //! * [`Registrar`] — the hook a simulated device implements to observe
 //!   region registration (pin accounting, IOMMU-style mapping).
+//! * Tenant isolation — every buffer is stamped with the tenant that
+//!   allocated it ([`DemiBuffer::tenant`]); cross-tenant views, clones,
+//!   prepends, and copies are hard errors (counted denials), so one
+//!   tenant can never observe another's payload bytes. Each tenant gets
+//!   a private pool partition ([`BufferPool::for_tenant`]) whose byte
+//!   budget turns exhaustion into the typed, recoverable
+//!   [`PoolExhausted`] error — one tenant leaking buffers to exhaustion
+//!   never blocks another tenant's allocations.
 
 pub mod buffer;
 pub mod counters;
@@ -28,8 +36,9 @@ pub mod manager;
 pub mod pool;
 pub mod registration;
 
-pub use buffer::{DemiBuffer, HeadroomError};
+pub use buffer::{CrossTenantAccess, DemiBuffer, HeadroomError};
 pub use counters::DatapathSnapshot;
+pub use demi_tenant::TenantId;
 pub use manager::MemoryManager;
-pub use pool::{BufferPool, PoolStats, DEFAULT_HEADROOM, SIZE_CLASSES};
+pub use pool::{BufferPool, PoolExhausted, PoolStats, DEFAULT_HEADROOM, SIZE_CLASSES};
 pub use registration::{CountingRegistrar, RegionId, RegionStats, Registrar};

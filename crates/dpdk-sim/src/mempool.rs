@@ -2,7 +2,9 @@
 
 use std::rc::Rc;
 
-use demi_memory::{counters, BufferPool, DemiBuffer, PoolStats, RegionStats, Registrar};
+use demi_memory::{
+    counters, BufferPool, DemiBuffer, PoolExhausted, PoolStats, RegionStats, Registrar, TenantId,
+};
 
 use crate::mbuf::Mbuf;
 
@@ -38,6 +40,26 @@ impl Mempool {
         }
     }
 
+    /// Creates `tenant`'s private mempool partition: mbufs are stamped
+    /// with the tenant and total pinned storage is capped at
+    /// `budget_bytes` (`None` = uncapped). This is the device face of
+    /// per-tenant memory isolation — a tenant leaking mbufs exhausts
+    /// only its own partition.
+    pub fn for_tenant(tenant: TenantId, budget_bytes: Option<u64>) -> Self {
+        let registrar = Rc::new(demi_memory::CountingRegistrar::new());
+        let pool = BufferPool::for_tenant_with_registrar(tenant, budget_bytes, registrar.clone());
+        Mempool {
+            pool,
+            registrar,
+            mbuf_capacity: Self::DEFAULT_MBUF_CAPACITY,
+        }
+    }
+
+    /// The tenant owning this partition (`HOST` for the shared pool).
+    pub fn tenant(&self) -> TenantId {
+        self.pool.tenant()
+    }
+
     /// Allocates an mbuf sized for a frame of `len` bytes.
     ///
     /// # Panics
@@ -45,12 +67,27 @@ impl Mempool {
     /// Panics if `len` exceeds the pool's mbuf capacity, mirroring a real
     /// driver's refusal to transmit a frame larger than the data room.
     pub fn alloc(&self, len: usize) -> Mbuf {
+        match self.try_alloc(len) {
+            Ok(mbuf) => mbuf,
+            Err(e) => panic!("{e} (use try_alloc to degrade gracefully)"),
+        }
+    }
+
+    /// Allocates an mbuf sized for a frame of `len` bytes, reporting
+    /// [`PoolExhausted`] when a budgeted tenant partition is spent
+    /// instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the pool's mbuf capacity (a malformed
+    /// request, not a resource condition).
+    pub fn try_alloc(&self, len: usize) -> Result<Mbuf, PoolExhausted> {
         assert!(
             len <= self.mbuf_capacity,
             "frame of {len} bytes exceeds mbuf capacity {}",
             self.mbuf_capacity
         );
-        Mbuf::from_data(self.pool.alloc(len))
+        Ok(Mbuf::from_data(self.pool.try_alloc(len)?))
     }
 
     /// Allocates an mbuf holding a copy of `frame` (a counted payload copy
@@ -131,6 +168,23 @@ mod tests {
     fn oversized_frame_panics() {
         let pool = Mempool::with_mbuf_capacity(64);
         let _ = pool.alloc(65);
+    }
+
+    #[test]
+    fn tenant_partition_stamps_and_caps() {
+        let t = TenantId(3);
+        // One 4096-byte size-class buffer (the class serving MTU frames).
+        let pool = Mempool::for_tenant(t, Some(4096));
+        assert_eq!(pool.tenant(), t);
+        let a = pool.try_alloc(1500).unwrap();
+        assert_eq!(a.data.tenant(), t);
+        // The next alloc must fail typed, not panic, and name the tenant.
+        assert_eq!(
+            pool.try_alloc(1500).unwrap_err(),
+            PoolExhausted { tenant: t }
+        );
+        drop(a);
+        assert!(pool.try_alloc(1500).is_ok(), "frees recover the budget");
     }
 
     #[test]

@@ -49,5 +49,5 @@ pub mod udp;
 pub use fasthash::{FastHashMap, FastHashSet};
 pub use ports::PortAllocator;
 pub use rings::{mesh, RingStats, ShardMsg, ShardRings};
-pub use stack::{NetworkStack, ShardStats, StackConfig, StackStats};
+pub use stack::{NetworkStack, ShardStats, StackConfig, StackStats, TenancyCfg, TenantLaneStats};
 pub use types::{NetError, SocketAddr};

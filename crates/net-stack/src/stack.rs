@@ -41,7 +41,8 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use demi_memory::DemiBuffer;
+use demi_memory::{DemiBuffer, TenantId};
+use demi_tenant::{counters as tenant_counters, TenantRegistry, TokenBucket};
 use dpdk_sim::{
     rss, DpdkPort, FlowKey, FlowShadow, Mbuf, NicProgram, OffloadEvent, OffloadService,
     OffloadStats, ProgramSlot, TcpOffload,
@@ -77,6 +78,44 @@ pub const MAX_HEADER_LEN: usize = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_MAX_HEA
 // must fit in it or the "default allocation ⇒ zero-copy TX" promise breaks.
 const _: () = assert!(MAX_HEADER_LEN <= demi_memory::DEFAULT_HEADROOM);
 
+/// Multi-tenant device-sharing policy for one stack (see DESIGN.md,
+/// "Multi-tenancy"). Absent (`StackConfig::tenancy = None`, the default)
+/// the stack behaves exactly as before: one implicit HOST tenant, no
+/// policing, no scheduling — the zero-cost single-tenant path.
+#[derive(Clone)]
+pub struct TenancyCfg {
+    /// The shared tenant table: specs (weights, lane bounds, rate
+    /// limits, TIME_WAIT quotas) and the port-ownership map. Tenants
+    /// must be registered *before* the stack is built — each shard
+    /// snapshots the table into its TX lanes and RX slices.
+    pub registry: Arc<TenantRegistry>,
+    /// Optional per-poll-pass TX byte budget shared by every tenant
+    /// lane on a shard. `None` (the default) leaves the link unpaced:
+    /// the deficit round-robin then only *orders* frames. With a cap,
+    /// saturation becomes observable and DRR's proportional shares are
+    /// exact per pass — the configuration the E20 bench measures.
+    pub tx_pass_bytes: Option<u64>,
+}
+
+impl TenancyCfg {
+    /// Policy over `registry` with an unpaced link.
+    pub fn new(registry: Arc<TenantRegistry>) -> Self {
+        TenancyCfg {
+            registry,
+            tx_pass_bytes: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for TenancyCfg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenancyCfg")
+            .field("registry", &self.registry)
+            .field("tx_pass_bytes", &self.tx_pass_bytes)
+            .finish()
+    }
+}
+
 /// Stack construction parameters.
 #[derive(Debug, Clone)]
 pub struct StackConfig {
@@ -111,6 +150,9 @@ pub struct StackConfig {
     pub handoff_capacity: usize,
     /// TCP tunables.
     pub tcp: TcpConfig,
+    /// Multi-tenant device sharing, when several mutually untrusting
+    /// applications share this port. `None` = single-tenant, no policy.
+    pub tenancy: Option<TenancyCfg>,
 }
 
 impl StackConfig {
@@ -128,6 +170,7 @@ impl StackConfig {
             sharded: true,
             handoff_capacity: 1024,
             tcp: TcpConfig::default(),
+            tenancy: None,
         }
     }
 }
@@ -270,6 +313,17 @@ impl NetworkStack {
                 } else {
                     (0..num_queues).collect()
                 };
+                let mut tcp =
+                    TcpPeer::with_id_space(config.ip, config.tcp, i as u32, num_shards as u32);
+                if let Some(tcfg) = &config.tenancy {
+                    // TIME_WAIT capacity is partitioned per tenant: each
+                    // shard's peer learns every tenant's quota up front.
+                    for (t, spec) in tcfg.registry.tenants() {
+                        if let Some(q) = spec.tw_quota {
+                            tcp.set_tenant_tw_quota(t.0, q);
+                        }
+                    }
+                }
                 RefCell::new(Shard {
                     index: i,
                     num_shards,
@@ -277,7 +331,7 @@ impl NetworkStack {
                     rr_next: 0,
                     arp: ArpCache::new(config.arp_ttl, config.arp_retry, config.arp_tries),
                     udp: UdpPeer::new(config.udp_queue_depth),
-                    tcp: TcpPeer::with_id_space(config.ip, config.tcp, i as u32, num_shards as u32),
+                    tcp,
                     pongs: Vec::new(),
                     tx_ring: Vec::new(),
                     tx_stamps: Vec::new(),
@@ -294,6 +348,10 @@ impl NetworkStack {
                     config: config.clone(),
                     stats: StackStats::default(),
                     shard_stats: ShardStats::default(),
+                    tenancy: config
+                        .tenancy
+                        .as_ref()
+                        .map(|t| ShardTenancy::new(t, config.rx_budget)),
                 })
             })
             .collect();
@@ -489,7 +547,8 @@ impl NetworkStack {
             .flat_map(|s| {
                 let mut shard = s.borrow_mut();
                 let tcp = shard.tcp.next_deadline();
-                [shard.arp.next_deadline(), tcp]
+                let bucket = shard.tenancy_next_deadline();
+                [shard.arp.next_deadline(), tcp, bucket]
             })
             .flatten()
             .min()
@@ -562,6 +621,59 @@ impl NetworkStack {
         total
     }
 
+    /// Per-tenant datapath counters, summed across shards. Empty without
+    /// tenancy. Order matches registration order.
+    pub fn tenant_stats(&self) -> Vec<TenantLaneStats> {
+        let Some(tcfg) = &self.config.tenancy else {
+            return Vec::new();
+        };
+        let mut out: Vec<TenantLaneStats> = tcfg
+            .registry
+            .tenants()
+            .iter()
+            .map(|&(t, _)| TenantLaneStats {
+                tenant: t.0,
+                ..TenantLaneStats::default()
+            })
+            .collect();
+        for s in &self.shards {
+            let sh = s.borrow();
+            let Some(ten) = &sh.tenancy else { continue };
+            for lane in &ten.lanes {
+                if let Some(o) = out.iter_mut().find(|o| o.tenant == lane.tenant.0) {
+                    o.sent_frames += lane.stats.sent_frames;
+                    o.sent_bytes += lane.stats.sent_bytes;
+                    o.quota_drops += lane.stats.quota_drops;
+                    o.rate_deferrals += lane.stats.rate_deferrals;
+                    o.rx_quota_drops += lane.stats.rx_quota_drops;
+                    o.staged_frames += lane.staging.len() as u64;
+                }
+            }
+        }
+        out
+    }
+
+    /// Compact TIME_WAIT records currently charged to `tenant`, summed
+    /// across shards — the observable for the per-tenant TIME_WAIT
+    /// partition (a SYN/FIN flood from one tenant must leave every other
+    /// tenant's count untouched).
+    pub fn tcp_tw_count_for(&self, tenant: u16) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.borrow().tcp.tw_count_for(tenant))
+            .sum()
+    }
+
+    /// Occupied SYN-table slots for the listener on `port`, summed across
+    /// shards. The SYN table is per-listener (and a port has one owning
+    /// tenant), so this is the per-tenant half-open partition.
+    pub fn tcp_syn_backlog_used(&self, port: u16) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.borrow().tcp.syn_backlog_used(port))
+            .sum()
+    }
+
     /// The shard owning connection `conn` — recoverable from the id alone
     /// because shard *i* allocates ids `i, i+N, i+2N, …`.
     fn conn_shard(&self, conn: ConnId) -> &RefCell<Shard> {
@@ -611,6 +723,7 @@ impl NetworkStack {
 
     /// Binds a UDP port.
     pub fn udp_bind(&self, port: u16) -> Result<(), NetError> {
+        self.check_bind(port)?;
         self.shards[0].borrow_mut().udp.bind(port)?;
         for s in &self.shards[1..] {
             s.borrow_mut()
@@ -621,9 +734,17 @@ impl NetworkStack {
         Ok(())
     }
 
-    /// Binds an ephemeral UDP port and returns it.
+    /// Binds an ephemeral UDP port and returns it. Under tenancy the
+    /// port is granted to the binding tenant, so its datagrams are
+    /// policed against that tenant's RX slice.
     pub fn udp_bind_ephemeral(&self) -> Result<u16, NetError> {
         let port = self.shards[0].borrow_mut().udp.bind_ephemeral()?;
+        if let Some(tcfg) = &self.config.tenancy {
+            let t = demi_tenant::current();
+            if !t.is_host() {
+                tcfg.registry.grant_port(t, port);
+            }
+        }
         for s in &self.shards[1..] {
             s.borrow_mut()
                 .udp
@@ -710,11 +831,34 @@ impl NetworkStack {
     // TCP.
     // ------------------------------------------------------------------
 
+    /// Tenancy port-ownership gate for bind-like operations: the ambient
+    /// tenant may only take ports the host granted it, and the host may
+    /// only take unowned ports. Returns the port's owner (for TIME_WAIT
+    /// tagging) when tenancy is on, `None` otherwise; denials are
+    /// counted.
+    fn check_bind(&self, port: u16) -> Result<Option<TenantId>, NetError> {
+        let Some(tcfg) = &self.config.tenancy else {
+            return Ok(None);
+        };
+        let t = demi_tenant::current();
+        if !tcfg.registry.may_bind(t, port) {
+            tenant_counters::note_cross_tenant_denial();
+            return Err(NetError::TenantDenied(port));
+        }
+        Ok(Some(tcfg.registry.port_owner(port)))
+    }
+
     /// Starts listening on a TCP port. The listener is replicated on every
     /// shard (SO_REUSEPORT-style): each shard accepts the handshakes RSS
     /// steers to it into its own backlog, and [`NetworkStack::tcp_accept`]
     /// drains them all.
     pub fn tcp_listen(&self, port: u16, backlog: usize) -> Result<ListenerId, NetError> {
+        // Tenancy gate first: a tenant may only listen on ports the host
+        // granted it, and the host itself must not squat on a tenant's
+        // partition. The port's owner also tags each shard's TIME_WAIT
+        // partition, so records from this listener's connections are
+        // charged to the right tenant.
+        let owner = self.check_bind(port)?;
         let mut ctrl = self.ctrl.borrow_mut();
         // One listen per port per stack; acquiring a listener reference in
         // the shared namespace fails only if a connection exclusively
@@ -726,7 +870,11 @@ impl NetworkStack {
             .shards
             .iter()
             .map(|s| {
-                s.borrow_mut()
+                let mut shard = s.borrow_mut();
+                if let Some(owner) = owner {
+                    shard.tcp.tag_port_tenant(port, owner.0);
+                }
+                shard
                     .tcp
                     .listen(port, backlog)
                     .expect("facade owns the port namespace")
@@ -783,8 +931,22 @@ impl NetworkStack {
             None => self.ports.alloc_ephemeral(),
         }
         .ok_or(NetError::EphemeralPortsExhausted)?;
+        // The freshly drawn ephemeral port is granted to the connecting
+        // tenant for the connection's lifetime (revoked when the port is
+        // released after close/TIME_WAIT), so its RX frames are policed
+        // against — and its TIME_WAIT record charged to — that tenant.
+        let tw_tenant = self.config.tenancy.as_ref().map(|tcfg| {
+            let t = demi_tenant::current();
+            if !t.is_host() {
+                tcfg.registry.grant_port(t, port);
+            }
+            t
+        });
         let owner = self.shard_for(port, remote);
         let mut shard = self.shards[owner].borrow_mut();
+        if let Some(t) = tw_tenant {
+            shard.tcp.tag_port_tenant(port, t.0);
+        }
         let now = shard.clock.now();
         let conn = shard.tcp.connect_bound(port, remote, now);
         shard.flush_tcp();
@@ -966,6 +1128,112 @@ impl NetworkStack {
     }
 }
 
+/// Per-tenant datapath accounting, summed across shards by
+/// [`NetworkStack::tenant_stats`]. The adversarial-isolation bench (E20)
+/// reads these to prove the shared doorbell served tenants by weight.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantLaneStats {
+    /// The tenant these counters describe.
+    pub tenant: u16,
+    /// Frames admitted from this tenant's staging lane into the shared
+    /// TX ring by the deficit round-robin.
+    pub sent_frames: u64,
+    /// Bytes admitted alongside `sent_frames`.
+    pub sent_bytes: u64,
+    /// Frames dropped at the lane bound (offered load beyond the
+    /// tenant's staging quota).
+    pub quota_drops: u64,
+    /// Head-of-lane frames deferred by the tenant's token bucket (one
+    /// count per deferred fill pass, not per retry of the same frame).
+    pub rate_deferrals: u64,
+    /// RX frames dropped because the tenant exhausted its per-pass RX
+    /// budget slice.
+    pub rx_quota_drops: u64,
+    /// Frames currently parked in the staging lane (a gauge, not a
+    /// counter).
+    pub staged_frames: u64,
+}
+
+/// One tenant's bounded TX staging lane on one shard: frames a tenant
+/// offers wait here, ahead of the *shared* coalescing ring, until the
+/// deficit round-robin admits them. The lane bound and the token bucket
+/// are this tenant's problem alone — a flooding tenant fills its own
+/// lane and drops its own frames.
+struct TxLane {
+    tenant: TenantId,
+    weight: u32,
+    capacity: usize,
+    /// DRR deficit: bytes this lane may still send in the current round.
+    deficit: u64,
+    bucket: Option<TokenBucket>,
+    staging: VecDeque<Mbuf>,
+    stats: TenantLaneStats,
+}
+
+/// One shard's view of the tenancy policy: a TX lane and an RX budget
+/// slice per registered tenant. HOST traffic (control frames, and every
+/// frame of a tenancy-free stack) bypasses all of it.
+struct ShardTenancy {
+    registry: Arc<TenantRegistry>,
+    lanes: Vec<TxLane>,
+    /// Lane the next DRR round starts at, rotated for fairness.
+    next_lane: usize,
+    /// A budget-capped fill stopped mid-round inside `next_lane`: the
+    /// next fill must resume that lane *without* re-crediting its
+    /// quantum, or a budget smaller than one lane's per-round service
+    /// would re-credit the same lane forever and starve the rest.
+    resume_mid_round: bool,
+    tx_pass_bytes: Option<u64>,
+    /// Per-lane RX frames admitted this pass (reset each `rx_pass`)
+    /// against the precomputed per-pass slice.
+    rx_used: Vec<usize>,
+    rx_slice: Vec<usize>,
+}
+
+impl ShardTenancy {
+    fn new(cfg: &TenancyCfg, rx_budget: usize) -> Self {
+        let tenants = cfg.registry.tenants();
+        let total_share: u64 = tenants
+            .iter()
+            .map(|(_, s)| s.rx_share as u64)
+            .sum::<u64>()
+            .max(1);
+        let rx_slice: Vec<usize> = tenants
+            .iter()
+            .map(|(_, s)| ((rx_budget as u64 * s.rx_share as u64 / total_share).max(1)) as usize)
+            .collect();
+        let lanes: Vec<TxLane> = tenants
+            .iter()
+            .map(|&(t, ref spec)| TxLane {
+                tenant: t,
+                weight: spec.weight.max(1),
+                capacity: spec.tx_lane_frames.max(1),
+                deficit: 0,
+                bucket: spec.rate.map(TokenBucket::new),
+                staging: VecDeque::new(),
+                stats: TenantLaneStats {
+                    tenant: t.0,
+                    ..TenantLaneStats::default()
+                },
+            })
+            .collect();
+        let n = lanes.len();
+        ShardTenancy {
+            registry: Arc::clone(&cfg.registry),
+            lanes,
+            next_lane: 0,
+            resume_mid_round: false,
+            tx_pass_bytes: cfg.tx_pass_bytes,
+            rx_used: vec![0; n],
+            rx_slice,
+        }
+    }
+
+    fn lane_idx(&self, tenant: TenantId) -> Option<usize> {
+        self.lanes.iter().position(|l| l.tenant == tenant)
+    }
+}
+
 /// One shard: a complete protocol instance bound to a subset of the
 /// device's RX queues (exactly one when sharded; all of them in the
 /// single-shard baseline).
@@ -1019,6 +1287,9 @@ struct Shard {
     tcp_out: Vec<(Ipv4Addr, TcpSegmentOut)>,
     stats: StackStats,
     shard_stats: ShardStats,
+    /// Multi-tenant TX lanes and RX slices; `None` on a single-tenant
+    /// stack (the unconditional fast path).
+    tenancy: Option<ShardTenancy>,
 }
 
 impl Shard {
@@ -1043,11 +1314,13 @@ impl Shard {
         // Flows that completed host-side work this pass (reply ACKed,
         // queues drained) are quiescent now: hand them to the device.
         self.rearm_offload();
+        // The flush runs before the work snapshot: DRR-admitted tenant
+        // frames count `tx_frames` at admission, inside `flush_tx`.
+        let tx_backlog = self.flush_tx();
         let after = self.stats.rx_frames + self.stats.tx_frames + self.stats.unreachable_drops;
-        self.flush_tx();
         let handoffs = (self.shard_stats.handoffs_in - handoffs_before) as usize;
         let offload_events = (self.shard_stats.offload_events_applied - offload_before) as usize;
-        (after - before) as usize + handoffs + timer_events + backlog + offload_events
+        (after - before) as usize + handoffs + timer_events + backlog + offload_events + tx_backlog
     }
 
     /// Drains up to `rx_budget` frames — handoffs from other shards first,
@@ -1057,6 +1330,11 @@ impl Shard {
     /// without this pass starving timers or the other pollers.
     fn rx_pass(&mut self) -> usize {
         let budget = self.config.rx_budget;
+        // Each pass re-opens every tenant's RX slice; what a tenant did
+        // not use last pass does not carry over (no RX banking).
+        if let Some(ten) = &mut self.tenancy {
+            ten.rx_used.fill(0);
+        }
         // One clock read per pass, not per frame: every per-frame handler
         // below receives the hoisted timestamp.
         let now = self.clock.now();
@@ -1167,6 +1445,31 @@ impl Shard {
         self.dispatch_frame(mbuf, now);
     }
 
+    /// Per-tenant RX budget slices: each poll pass splits the shard's RX
+    /// budget across tenants in proportion to `rx_share`, and a tenant's
+    /// frames beyond its slice are dropped here (counted) — one tenant's
+    /// RX flood can saturate only its own slice of the pass, never the
+    /// whole budget. Frames to host-owned ports are never policed.
+    fn rx_admit(&mut self, dst_port: u16) -> bool {
+        let Some(ten) = &mut self.tenancy else {
+            return true;
+        };
+        let owner = ten.registry.port_owner(dst_port);
+        if owner.is_host() {
+            return true;
+        }
+        let Some(idx) = ten.lane_idx(owner) else {
+            return true;
+        };
+        if ten.rx_used[idx] >= ten.rx_slice[idx] {
+            ten.lanes[idx].stats.rx_quota_drops += 1;
+            tenant_counters::note_quota_drop();
+            return false;
+        }
+        ten.rx_used[idx] += 1;
+        true
+    }
+
     fn dispatch_frame(&mut self, mbuf: Mbuf, now: SimTime) {
         let ethertype = match EthHeader::parse(mbuf.as_slice()) {
             Ok((eth, _)) => eth.ethertype,
@@ -1239,6 +1542,21 @@ impl Shard {
             let ihl = ((ip_bytes[0] & 0x0F) as usize) * 4;
             (ip.src, ip.protocol, ETH_HEADER_LEN + ihl, payload.len())
         };
+        // RX budget policing happens here — after demux scalars are known
+        // (the destination port names the owning tenant) but before any
+        // protocol work is spent on the frame. Both arrival paths (own
+        // queue and handoff) funnel through this point exactly once.
+        if self.tenancy.is_some()
+            && matches!(protocol, IpProtocol::Udp | IpProtocol::Tcp)
+            && mbuf.as_slice().len() >= ip_payload_off + 4
+        {
+            let frame = mbuf.as_slice();
+            let dst_port =
+                u16::from_be_bytes([frame[ip_payload_off + 2], frame[ip_payload_off + 3]]);
+            if !self.rx_admit(dst_port) {
+                return;
+            }
+        }
         match protocol {
             IpProtocol::Icmp => {
                 let view = mbuf
@@ -1444,8 +1762,13 @@ impl Shard {
         self.tcp_out = out;
         // Ephemeral ports freed by expired TIME_WAIT records (or aborted
         // connections) go back to the host-wide namespace here, after the
-        // final segments of those connections are on the wire.
+        // final segments of those connections are on the wire. Transient
+        // tenant grants (made at connect time) are revoked in the same
+        // breath, so a recycled port arrives unowned.
         while let Some(p) = self.tcp.pop_released_port() {
+            if let Some(ten) = &self.tenancy {
+                ten.registry.revoke_port(p);
+            }
             self.ports.release(p);
         }
     }
@@ -1537,6 +1860,32 @@ impl Shard {
         };
         eth.prepend_onto(&mut frame)
             .expect("headroom ensured above");
+        // TX attribution is the buffer stamp: headers were prepended in
+        // place (or copied stamp-preserving), so the frame still names
+        // the tenant whose payload it carries. Tenant frames park in the
+        // tenant's own bounded staging lane until the deficit round-robin
+        // admits them; HOST frames (stack control traffic, single-tenant
+        // stacks) go straight to the shared ring with control-plane
+        // priority.
+        let tenant = frame.tenant();
+        if !tenant.is_host() {
+            if let Some(idx) = self.tenancy.as_ref().and_then(|t| t.lane_idx(tenant)) {
+                let ten = self.tenancy.as_mut().expect("lane found above");
+                let lane = &mut ten.lanes[idx];
+                if lane.staging.len() >= lane.capacity {
+                    // The flooding tenant's own frame drops at its own
+                    // bound — the shared ring never sees the overflow.
+                    lane.stats.quota_drops += 1;
+                    tenant_counters::note_quota_drop();
+                    return;
+                }
+                lane.staging.push_back(Mbuf::from_data(frame));
+                if !self.config.tx_coalesce {
+                    self.flush_tx();
+                }
+                return;
+            }
+        }
         self.stats.tx_frames += 1;
         self.tx_ring.push(Mbuf::from_data(frame));
         if demi_telemetry::enabled() {
@@ -1547,15 +1896,146 @@ impl Shard {
         }
     }
 
+    /// Deficit-round-robin admission from the tenant staging lanes into
+    /// the shared TX ring, ahead of the single `tx_burst` doorbell.
+    /// Each round credits every backlogged lane `weight × MTU` bytes of
+    /// deficit and serves its head frames while they fit — so under
+    /// saturation tenants share the doorbell in proportion to weight,
+    /// regardless of offered load. A lane whose head the token bucket
+    /// refuses is deferred (deficit reset: the bucket, not the round,
+    /// owns its next send time) and wakes via the bucket deadline folded
+    /// into [`NetworkStack::next_deadline`]. Returns the frames left
+    /// staged by the shared per-pass byte budget — reported as poll
+    /// backlog so the scheduler keeps draining; rate-limited leftovers
+    /// are *not* counted (polling cannot make tokens refill).
+    fn drr_fill(&mut self) -> usize {
+        let Shard {
+            tenancy,
+            tx_ring,
+            tx_stamps,
+            stats,
+            clock,
+            config,
+            ..
+        } = self;
+        let Some(ten) = tenancy else {
+            return 0;
+        };
+        if ten.lanes.iter().all(|l| l.staging.is_empty()) {
+            return 0;
+        }
+        let now_ns = clock.now().as_nanos();
+        let telemetry = demi_telemetry::enabled();
+        let mut remaining = ten.tx_pass_bytes;
+        let quantum_unit = config.mtu as u64;
+        let nlanes = ten.lanes.len();
+        let mut budget_capped = false;
+        let mut capped_at = ten.next_lane;
+        // A prior budget-capped fill stopped mid-round in `next_lane`:
+        // that lane already holds this round's quantum, so the first
+        // visit resumes it credit-free.
+        let mut skip_credit = std::mem::take(&mut ten.resume_mid_round);
+        'fill: loop {
+            let mut progressed = false;
+            tenant_counters::note_tx_deficit_round();
+            for off in 0..nlanes {
+                let idx = (ten.next_lane + off) % nlanes;
+                let lane = &mut ten.lanes[idx];
+                let resumed = off == 0 && std::mem::take(&mut skip_credit);
+                if lane.staging.is_empty() {
+                    lane.deficit = 0;
+                    continue;
+                }
+                if !resumed {
+                    lane.deficit = lane
+                        .deficit
+                        .saturating_add(lane.weight as u64 * quantum_unit);
+                }
+                let mut deferred = false;
+                while let Some(front) = lane.staging.front() {
+                    let bytes = front.as_slice().len() as u64;
+                    if bytes > lane.deficit {
+                        break;
+                    }
+                    if remaining.is_some_and(|rem| bytes > rem) {
+                        budget_capped = true;
+                        capped_at = idx;
+                        break 'fill;
+                    }
+                    if let Some(b) = &mut lane.bucket {
+                        if !b.try_consume(bytes, now_ns) {
+                            deferred = true;
+                            break;
+                        }
+                    }
+                    let mbuf = lane.staging.pop_front().expect("peeked above");
+                    lane.deficit -= bytes;
+                    if let Some(rem) = &mut remaining {
+                        *rem -= bytes;
+                    }
+                    lane.stats.sent_frames += 1;
+                    lane.stats.sent_bytes += bytes;
+                    stats.tx_frames += 1;
+                    tx_ring.push(mbuf);
+                    if telemetry {
+                        tx_stamps.push(demi_telemetry::now_ns());
+                    }
+                    progressed = true;
+                }
+                if deferred {
+                    lane.deficit = 0;
+                    lane.stats.rate_deferrals += 1;
+                    tenant_counters::note_rate_limited_frame();
+                }
+                if lane.staging.is_empty() {
+                    lane.deficit = 0;
+                }
+            }
+            ten.next_lane = (ten.next_lane + 1) % nlanes;
+            if !progressed {
+                break;
+            }
+        }
+        if budget_capped {
+            // Resume the interrupted round exactly where it stopped.
+            ten.next_lane = capped_at;
+            ten.resume_mid_round = true;
+            ten.lanes.iter().map(|l| l.staging.len()).sum()
+        } else {
+            0
+        }
+    }
+
+    /// Earliest token-bucket wakeup across this shard's staged lanes —
+    /// the virtual time the next rate-limited head frame fits. Folding
+    /// this into the stack's timer horizon makes a paced lane resume
+    /// exactly on schedule instead of whenever other traffic polls.
+    fn tenancy_next_deadline(&self) -> Option<SimTime> {
+        let ten = self.tenancy.as_ref()?;
+        let now_ns = self.clock.now().as_nanos();
+        ten.lanes
+            .iter()
+            .filter_map(|lane| {
+                let front = lane.staging.front()?;
+                let bucket = lane.bucket.as_ref()?;
+                let ready = bucket.next_ready_ns(front.as_slice().len() as u64, now_ns)?;
+                Some(SimTime::from_nanos(ready))
+            })
+            .min()
+    }
+
     /// Hands the whole TX ring to the device in one burst, preserving
     /// enqueue order. Runs at the end of every poll pass — and every
     /// blocking wait pumps the pollers before advancing virtual time, so
     /// coalescing never holds a frame across a wait: latency is not traded
-    /// for throughput.
-    fn flush_tx(&mut self) {
+    /// for throughput. Tenant staging lanes drain through the deficit
+    /// round-robin first; the returned count is their budget-capped
+    /// leftover (poll backlog), zero without tenancy.
+    fn flush_tx(&mut self) -> usize {
+        let leftover = self.drr_fill();
         if self.tx_ring.is_empty() {
             self.tx_stamps.clear();
-            return;
+            return leftover;
         }
         self.port.tx_burst(&self.tx_ring);
         // One sample per stamped frame. Telemetry toggled mid-ring leaves
@@ -1571,6 +2051,7 @@ impl Shard {
         }
         self.tx_stamps.clear();
         self.tx_ring.clear();
+        leftover
     }
 }
 

@@ -164,6 +164,10 @@ struct TimeWaitRecord {
     /// stale.
     wheel_gen: u32,
     ephemeral: bool,
+    /// The tenant this record is charged to (0 = host, uncounted).
+    /// TIME_WAIT capacity is partitioned per tenant: over quota, the
+    /// tenant's *own* oldest record is evicted, never another's.
+    tenant: u16,
 }
 
 /// Memory accounting for one peer's connection state — the real
@@ -228,6 +232,17 @@ pub struct TcpPeer {
     /// handles and wheel entries can find them.
     tw: FastHashMap<u64, TimeWaitRecord>,
     tw_by_id: FastHashMap<u32, u64>,
+    /// Port → owning tenant, stamped by the stack at listen/connect.
+    /// Absent ports are host-owned (untracked).
+    port_tenants: FastHashMap<u16, u16>,
+    /// Per-tenant caps on parked TIME_WAIT records.
+    tw_quota: FastHashMap<u16, usize>,
+    /// Per-tenant occupancy against `tw_quota`.
+    tw_count: FastHashMap<u16, usize>,
+    /// Per-tenant insertion order of TIME_WAIT flow keys, for oldest-
+    /// first quota eviction. Keys whose record already left (expiry,
+    /// RST) are skipped lazily.
+    tw_order: FastHashMap<u16, VecDeque<u64>>,
     listeners: FastHashMap<ListenerId, Listener>,
     listening_ports: FastHashMap<u16, ListenerId>,
     bound_ports: HashSet<u16>,
@@ -296,6 +311,10 @@ impl TcpPeer {
             last_demux: None,
             tw: FastHashMap::default(),
             tw_by_id: FastHashMap::default(),
+            port_tenants: FastHashMap::default(),
+            tw_quota: FastHashMap::default(),
+            tw_count: FastHashMap::default(),
+            tw_order: FastHashMap::default(),
             listeners: FastHashMap::default(),
             listening_ports: FastHashMap::default(),
             bound_ports: HashSet::new(),
@@ -776,6 +795,79 @@ impl TcpPeer {
         self.tw.get(self.tw_by_id.get(&owner)?)
     }
 
+    /// Tags `port` with its owning tenant: TIME_WAIT records from
+    /// connections on the port are charged to that tenant's partition.
+    /// Tenant 0 (host) clears the tag.
+    pub fn tag_port_tenant(&mut self, port: u16, tenant: u16) {
+        if tenant == 0 {
+            self.port_tenants.remove(&port);
+        } else {
+            self.port_tenants.insert(port, tenant);
+        }
+    }
+
+    /// Caps the parked TIME_WAIT records charged to `tenant`: beyond the
+    /// quota the tenant's own oldest record is evicted (a quota drop) —
+    /// never another tenant's. TIME_WAIT memory is thereby partitioned.
+    pub fn set_tenant_tw_quota(&mut self, tenant: u16, quota: usize) {
+        self.tw_quota.insert(tenant, quota.max(1));
+    }
+
+    /// Parked TIME_WAIT records currently charged to `tenant`.
+    pub fn tw_count_for(&self, tenant: u16) -> usize {
+        self.tw_count.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Occupied SYN-table slots for the listener on `port` (0 when not
+    /// listening). SYN tables are per-listener — and a port has one
+    /// owning tenant — so this is the per-tenant half-open partition.
+    pub fn syn_backlog_used(&self, port: u16) -> usize {
+        self.listening_ports
+            .get(&port)
+            .and_then(|lid| self.listeners.get(lid))
+            .map(|l| l.syn_table.iter().filter(|e| e.is_some()).count())
+            .unwrap_or(0)
+    }
+
+    /// Releases one TIME_WAIT charge against `tenant`'s partition.
+    fn tw_uncharge(&mut self, tenant: u16) {
+        if tenant != 0 {
+            if let Some(c) = self.tw_count.get_mut(&tenant) {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Evicts `tenant`'s own oldest parked TIME_WAIT record to make room
+    /// under its quota (stale order keys are skipped). Ports release as
+    /// on expiry.
+    fn evict_oldest_tw(&mut self, tenant: u16) -> bool {
+        loop {
+            let key = {
+                let Some(order) = self.tw_order.get_mut(&tenant) else {
+                    return false;
+                };
+                let Some(key) = order.pop_front() else {
+                    return false;
+                };
+                key
+            };
+            let evictable = self.tw.get(&key).is_some_and(|r| r.tenant == tenant);
+            if !evictable {
+                continue;
+            }
+            let rec = self.tw.remove(&key).expect("checked above");
+            self.tw_by_id.remove(&rec.owner_id);
+            if rec.ephemeral {
+                self.bound_ports.remove(&rec.local_port);
+                self.released_ports.push(rec.local_port);
+            }
+            self.tw_uncharge(tenant);
+            demi_tenant::counters::note_quota_drop();
+            return true;
+        }
+    }
+
     fn drop_tw_by_id(&mut self, owner: u32) {
         if let Some(key) = self.tw_by_id.remove(&owner) {
             if let Some(rec) = self.tw.remove(&key) {
@@ -783,6 +875,7 @@ impl TcpPeer {
                     self.bound_ports.remove(&rec.local_port);
                     self.released_ports.push(rec.local_port);
                 }
+                self.tw_uncharge(rec.tenant);
             }
         }
     }
@@ -814,6 +907,20 @@ impl TcpPeer {
         let key = flow_key(local_port, remote.ip, remote.port);
         // The slot free keeps the port: the record owns it until 2·MSL.
         self.free_slot(slot, false);
+        // Charge the record to the port's owning tenant; at quota the
+        // tenant's own oldest record makes room first.
+        let tenant = self.port_tenants.get(&local_port).copied().unwrap_or(0);
+        if tenant != 0 {
+            if let Some(&quota) = self.tw_quota.get(&tenant) {
+                while self.tw_count_for(tenant) >= quota {
+                    if !self.evict_oldest_tw(tenant) {
+                        break;
+                    }
+                }
+            }
+            *self.tw_count.entry(tenant).or_insert(0) += 1;
+            self.tw_order.entry(tenant).or_default().push_back(key);
+        }
         self.tw.insert(
             key,
             TimeWaitRecord {
@@ -824,6 +931,7 @@ impl TcpPeer {
                 owner_id: id.0,
                 wheel_gen: 0,
                 ephemeral,
+                tenant,
             },
         );
         self.tw_by_id.insert(id.0, key);
@@ -855,6 +963,7 @@ impl TcpPeer {
                 self.bound_ports.remove(&rec.local_port);
                 self.released_ports.push(rec.local_port);
             }
+            self.tw_uncharge(rec.tenant);
             return true;
         }
         if hdr.flags.fin {
@@ -908,6 +1017,7 @@ impl TcpPeer {
             self.bound_ports.remove(&rec.local_port);
             self.released_ports.push(rec.local_port);
         }
+        self.tw_uncharge(rec.tenant);
         crate::counters::note_tw_expired();
         true
     }

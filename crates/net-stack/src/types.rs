@@ -58,6 +58,10 @@ pub enum NetError {
     /// The device cannot satisfy the request (no program slots, offload
     /// already installed, ...).
     Unsupported(&'static str),
+    /// Multi-tenant port-ownership denial: the ambient tenant tried to
+    /// bind/listen/connect on a port another tenant owns (counted as a
+    /// cross-tenant denial).
+    TenantDenied(u16),
 }
 
 impl fmt::Display for NetError {
@@ -77,6 +81,9 @@ impl fmt::Display for NetError {
             NetError::Timeout => write!(f, "operation timed out"),
             NetError::Malformed(what) => write!(f, "malformed {what}"),
             NetError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            NetError::TenantDenied(p) => {
+                write!(f, "tenant denied: port {p} is owned by another tenant")
+            }
         }
     }
 }

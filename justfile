@@ -22,7 +22,12 @@
 # steady-state echo); the release-mode kv run asserts the E19 invariants
 # (pipelined RESP bursts drained in one engine pass, zero payload copies
 # through the warmed GET path, host/device cache write-through coherence,
-# group-commit replay of exactly the acknowledged state).
+# group-commit replay of exactly the acknowledged state); the release-mode
+# tenant run asserts the E20 invariants (port-ownership gates, bounded
+# per-tenant TX lanes, weighted-fair DRR even under sub-quantum budgets,
+# token-bucket pacing on virtual time, partitioned SYN/TIME_WAIT state,
+# cross-tenant buffer denial, and the hostile-neighbour differential
+# property).
 verify:
     cargo build --release
     cargo test -q
@@ -35,6 +40,7 @@ verify:
     cargo test --release -q --test timewait
     cargo test --release -q --test conn_scale
     cargo test --release -q --test kv
+    cargo test --release -q --test tenant
     cargo fmt --check
     cargo clippy -- -D warnings
 
@@ -52,10 +58,11 @@ verify-all:
     cargo test --release -q --test timewait
     cargo test --release -q --test conn_scale
     cargo test --release -q --test kv
+    cargo test --release -q --test tenant
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Regenerate every experiment table (E1–E19).
+# Regenerate every experiment table (E1–E20).
 experiments:
     cargo bench -p demi-bench
 
@@ -109,3 +116,12 @@ bench-connscale:
 # exactly the acknowledged SETs; results land in target/e19_kv_server.json.
 bench-kv:
     cargo bench -p demi-bench --bench e19_kv_server
+
+# The multi-tenant isolation experiment alone: a hostile tenant flooding
+# TX at 10x+ its fair share, leaking its pool dry, and spraying SYNs,
+# with asserted victim bounds (p99 <= 2x the hostile-absent baseline,
+# >= 90% of the weighted fair share, untouched SYN/TIME_WAIT partitions,
+# zero cross-tenant buffer views) plus the shared-FIFO contrast case;
+# results land in target/e20_tenant_isolation.json.
+bench-tenant:
+    cargo bench -p demi-bench --bench e20_tenant_isolation

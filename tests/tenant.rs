@@ -1,0 +1,644 @@
+//! Multi-tenant device-sharing invariants (PR 10, toward E20).
+//!
+//! Several mutually untrusting applications share one device; the
+//! tenancy layer must make that sharing safe *and* fair:
+//!
+//! * **Port ownership** — a tenant binds only ports the host granted
+//!   it; foreign binds fail typed and are counted, never silently
+//!   rerouted.
+//! * **TX quotas** — a flooding tenant's frames drop at its own bounded
+//!   staging lane; the shared ring never sees the overflow.
+//! * **Weighted fairness** — under saturation the deficit round-robin
+//!   serves tenants in proportion to weight, even when the per-pass
+//!   byte budget is smaller than one lane's quantum.
+//! * **Rate limits** — a token bucket paces a tenant's TX to its
+//!   configured bytes/sec on the virtual clock, waking exactly on the
+//!   bucket deadline.
+//! * **Partitioned TCP state** — SYN floods fill only the hostile
+//!   listener's fixed table, and TIME_WAIT quota evictions take the
+//!   hostile tenant's own oldest record, never a neighbour's.
+//! * **Memory isolation** — cross-tenant buffer views and binds always
+//!   deny, and a hostile tenant's activity never perturbs a victim's
+//!   byte stream (the differential property E20 measures at scale).
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use demi_memory::{BufferPool, DemiBuffer, DEFAULT_HEADROOM};
+use demi_tenant::{RateLimit, TenantId, TenantRegistry, TenantSpec};
+use dpdk_sim::{DpdkPort, PortConfig};
+use net_stack::counters as nsc;
+use net_stack::tcp::State;
+use net_stack::types::{NetError, SocketAddr};
+use net_stack::{NetworkStack, StackConfig, TenancyCfg};
+use proptest::prelude::*;
+use sim_fabric::{Fabric, MacAddress};
+
+fn ip(last: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, last)
+}
+
+/// A plain single-tenant host (no tenancy policy).
+fn host(fabric: &Fabric, last: u8) -> NetworkStack {
+    let port = DpdkPort::new(fabric, PortConfig::basic(MacAddress::from_last_octet(last)));
+    NetworkStack::new(port, fabric.clock(), StackConfig::new(ip(last)))
+}
+
+/// A host enforcing the given tenancy policy.
+fn tenant_host(fabric: &Fabric, last: u8, tenancy: TenancyCfg) -> NetworkStack {
+    let port = DpdkPort::new(fabric, PortConfig::basic(MacAddress::from_last_octet(last)));
+    let mut cfg = StackConfig::new(ip(last));
+    cfg.tenancy = Some(tenancy);
+    NetworkStack::new(port, fabric.clock(), cfg)
+}
+
+/// Runs the world until `until` returns true or the simulation wedges.
+fn settle(fabric: &Fabric, stacks: &[&NetworkStack], mut until: impl FnMut() -> bool) {
+    for _ in 0..200_000 {
+        for s in stacks {
+            s.poll();
+        }
+        if until() {
+            return;
+        }
+        if fabric.advance_to_next_event() {
+            continue;
+        }
+        let deadline = stacks.iter().filter_map(|s| s.next_deadline()).min();
+        match deadline {
+            Some(t) => fabric.clock().advance_to(t),
+            None => panic!("simulation went quiescent before the condition held"),
+        }
+    }
+    panic!("simulation did not settle");
+}
+
+/// Resolves ARP in both directions over a throwaway host-owned UDP port,
+/// so later tenant sends stage immediately instead of parking in the ARP
+/// pending queue.
+fn warm_arp(fabric: &Fabric, a: &NetworkStack, b: &NetworkStack) {
+    a.udp_bind(9901).unwrap();
+    b.udp_bind(9901).unwrap();
+    let to_b = SocketAddr::new(b.local_ip(), 9901);
+    let to_a = SocketAddr::new(a.local_ip(), 9901);
+    a.udp_sendto(9901, to_b, DemiBuffer::from_slice(b"warm"))
+        .unwrap();
+    b.udp_sendto(9901, to_a, DemiBuffer::from_slice(b"warm"))
+        .unwrap();
+    settle(fabric, &[a, b], || {
+        a.udp_pending(9901) > 0 && b.udp_pending(9901) > 0
+    });
+    while a.udp_recv_from(9901).is_some() {}
+    while b.udp_recv_from(9901).is_some() {}
+}
+
+/// A tenant-stamped payload with enough headroom for zero-copy headers.
+fn tenant_payload(pool: &BufferPool, len: usize, fill: u8) -> DemiBuffer {
+    let mut buf = pool.alloc_with_headroom(DEFAULT_HEADROOM, len);
+    buf.try_mut().expect("fresh buffer is exclusive").fill(fill);
+    buf
+}
+
+/// Wire bytes of a UDP frame carrying `payload` bytes (ETH+IP+UDP = 42).
+const fn udp_frame_bytes(payload: u64) -> u64 {
+    payload + 42
+}
+
+#[test]
+fn port_ownership_gates_bind_and_listen() {
+    let fabric = Fabric::new(41);
+    let registry = Arc::new(TenantRegistry::new());
+    let alice = registry.register(TenantSpec::named("alice", 1));
+    let bob = registry.register(TenantSpec::named("bob", 1));
+    registry.grant_port(alice, 8080);
+    let a = tenant_host(&fabric, 1, TenancyCfg::new(Arc::clone(&registry)));
+
+    let before = demi_tenant::counters::snapshot();
+    demi_tenant::scope(bob, || {
+        // Bob may not take Alice's port over either protocol...
+        assert_eq!(
+            a.tcp_listen(8080, 8).unwrap_err(),
+            NetError::TenantDenied(8080)
+        );
+        assert_eq!(a.udp_bind(8080).unwrap_err(), NetError::TenantDenied(8080));
+        // ...nor squat on an unowned port: tenants bind only what the
+        // host granted them.
+        assert_eq!(
+            a.tcp_listen(9090, 8).unwrap_err(),
+            NetError::TenantDenied(9090)
+        );
+    });
+    // The host supervisor must not squat on a tenant's partition either.
+    assert_eq!(a.udp_bind(8080).unwrap_err(), NetError::TenantDenied(8080));
+    // The owner binds fine.
+    demi_tenant::scope(alice, || {
+        a.tcp_listen(8080, 8).unwrap();
+    });
+    let denied = demi_tenant::counters::snapshot().delta(&before);
+    assert!(
+        denied.cross_tenant_denials >= 4,
+        "every refusal is a counted isolation event, got {}",
+        denied.cross_tenant_denials
+    );
+}
+
+#[test]
+fn tx_lane_quota_drops_overflow_at_the_lane() {
+    let fabric = Fabric::new(42);
+    let registry = Arc::new(TenantRegistry::new());
+    let mut spec = TenantSpec::named("flooder", 1);
+    spec.tx_lane_frames = 4;
+    let t = registry.register(spec);
+    registry.grant_port(t, 7000);
+    let mut tenancy = TenancyCfg::new(Arc::clone(&registry));
+    // A frozen link: the per-pass budget admits nothing, so the lane
+    // bound is the only thing between the flood and the shared ring.
+    tenancy.tx_pass_bytes = Some(0);
+    let a = tenant_host(&fabric, 1, tenancy);
+    let b = host(&fabric, 2);
+    warm_arp(&fabric, &a, &b);
+
+    demi_tenant::scope(t, || a.udp_bind(7000).unwrap());
+    let pool = BufferPool::for_tenant(t, None);
+    let before = demi_tenant::counters::snapshot();
+    for _ in 0..10 {
+        let payload = tenant_payload(&pool, 64, 0xF1);
+        a.udp_sendto(7000, SocketAddr::new(ip(2), 7000), payload)
+            .unwrap();
+    }
+    let stats = a.tenant_stats();
+    let lane = stats.iter().find(|s| s.tenant == t.0).unwrap();
+    assert_eq!(lane.staged_frames, 4, "the lane holds exactly its bound");
+    assert_eq!(lane.quota_drops, 6, "overflow drops at the lane");
+    assert_eq!(lane.sent_frames, 0, "the frozen link admitted nothing");
+    assert!(
+        demi_tenant::counters::snapshot().delta(&before).quota_drops >= 6,
+        "lane drops are counted isolation events"
+    );
+    // The budget-capped leftover is reported as poll backlog so the
+    // scheduler keeps coming back for it.
+    assert!(a.poll() >= 4);
+}
+
+#[test]
+fn drr_converges_to_weighted_shares_under_saturation() {
+    let fabric = Fabric::new(43);
+    let registry = Arc::new(TenantRegistry::new());
+    let alice = registry.register(TenantSpec::named("alice", 3));
+    let bob = registry.register(TenantSpec::named("bob", 1));
+    registry.grant_port(alice, 7100);
+    registry.grant_port(bob, 7200);
+    let mut tenancy = TenancyCfg::new(Arc::clone(&registry));
+    // Per-pass budget of ~5.7 frames: the link saturates and DRR's
+    // proportional shares become observable.
+    tenancy.tx_pass_bytes = Some(6000);
+    let a = tenant_host(&fabric, 1, tenancy);
+    let b = host(&fabric, 2);
+    warm_arp(&fabric, &a, &b);
+
+    demi_tenant::scope(alice, || a.udp_bind(7100).unwrap());
+    demi_tenant::scope(bob, || a.udp_bind(7200).unwrap());
+    let pa = BufferPool::for_tenant(alice, None);
+    let pb = BufferPool::for_tenant(bob, None);
+    for _ in 0..60 {
+        a.udp_sendto(
+            7100,
+            SocketAddr::new(ip(2), 7100),
+            tenant_payload(&pa, 1000, 0xAA),
+        )
+        .unwrap();
+        a.udp_sendto(
+            7200,
+            SocketAddr::new(ip(2), 7200),
+            tenant_payload(&pb, 1000, 0xBB),
+        )
+        .unwrap();
+    }
+    for _ in 0..8 {
+        a.poll();
+    }
+    let stats = a.tenant_stats();
+    let sa = stats.iter().find(|s| s.tenant == alice.0).unwrap();
+    let sb = stats.iter().find(|s| s.tenant == bob.0).unwrap();
+    assert!(
+        sa.staged_frames > 0 && sb.staged_frames > 0,
+        "both lanes must still be backlogged for the share to be meaningful"
+    );
+    let ratio = sa.sent_bytes as f64 / sb.sent_bytes as f64;
+    assert!(
+        (2.2..=3.8).contains(&ratio),
+        "weight-3 : weight-1 service ratio should be ~3, got {ratio:.2} \
+         (alice {} B, bob {} B)",
+        sa.sent_bytes,
+        sb.sent_bytes
+    );
+}
+
+#[test]
+fn budget_smaller_than_one_quantum_never_starves_later_lanes() {
+    // Regression for the mid-round resume: with a per-pass byte budget
+    // smaller than the first lane's round service, a naive DRR would
+    // re-credit that lane's quantum on every pass and the second lane
+    // would never transmit a single frame.
+    let fabric = Fabric::new(44);
+    let registry = Arc::new(TenantRegistry::new());
+    let alice = registry.register(TenantSpec::named("alice", 8));
+    let bob = registry.register(TenantSpec::named("bob", 1));
+    registry.grant_port(alice, 7100);
+    registry.grant_port(bob, 7200);
+    let mut tenancy = TenancyCfg::new(Arc::clone(&registry));
+    tenancy.tx_pass_bytes = Some(1100); // one 1042-byte frame per pass
+    let a = tenant_host(&fabric, 1, tenancy);
+    let b = host(&fabric, 2);
+    warm_arp(&fabric, &a, &b);
+
+    demi_tenant::scope(alice, || a.udp_bind(7100).unwrap());
+    demi_tenant::scope(bob, || a.udp_bind(7200).unwrap());
+    let pa = BufferPool::for_tenant(alice, None);
+    let pb = BufferPool::for_tenant(bob, None);
+    for _ in 0..40 {
+        a.udp_sendto(
+            7100,
+            SocketAddr::new(ip(2), 7100),
+            tenant_payload(&pa, 1000, 0xAA),
+        )
+        .unwrap();
+        a.udp_sendto(
+            7200,
+            SocketAddr::new(ip(2), 7200),
+            tenant_payload(&pb, 1000, 0xBB),
+        )
+        .unwrap();
+    }
+    for _ in 0..18 {
+        a.poll();
+    }
+    let stats = a.tenant_stats();
+    let sa = stats.iter().find(|s| s.tenant == alice.0).unwrap();
+    let sb = stats.iter().find(|s| s.tenant == bob.0).unwrap();
+    assert!(
+        sb.sent_frames >= 1,
+        "the weight-1 lane must be served across budget-capped rounds"
+    );
+    assert!(
+        sa.sent_frames > sb.sent_frames,
+        "the weight-8 lane still dominates ({} vs {})",
+        sa.sent_frames,
+        sb.sent_frames
+    );
+}
+
+#[test]
+fn token_bucket_paces_tx_to_the_configured_rate_on_virtual_time() {
+    const PAYLOAD: u64 = 1000;
+    const FRAMES: u64 = 20;
+    const RATE: u64 = 1_000_000; // 1 byte per µs of virtual time.
+    let frame = udp_frame_bytes(PAYLOAD);
+    let fabric = Fabric::new(45);
+    let registry = Arc::new(TenantRegistry::new());
+    let mut spec = TenantSpec::named("paced", 1);
+    spec.rate = Some(RateLimit {
+        bytes_per_sec: RATE,
+        burst_bytes: 2 * frame,
+    });
+    let t = registry.register(spec);
+    registry.grant_port(t, 7000);
+    let a = tenant_host(&fabric, 1, TenancyCfg::new(Arc::clone(&registry)));
+    let b = host(&fabric, 2);
+    warm_arp(&fabric, &a, &b);
+    b.udp_bind(7000).unwrap();
+
+    demi_tenant::scope(t, || a.udp_bind(7000).unwrap());
+    let pool = BufferPool::for_tenant(t, None);
+    for _ in 0..FRAMES {
+        a.udp_sendto(
+            7000,
+            SocketAddr::new(ip(2), 7000),
+            tenant_payload(&pool, PAYLOAD as usize, 0xCC),
+        )
+        .unwrap();
+    }
+    let t0 = fabric.clock().now().as_nanos();
+    settle(&fabric, &[&a, &b], || {
+        b.udp_pending(7000) == FRAMES as usize
+    });
+    let elapsed = fabric.clock().now().as_nanos() - t0;
+    // The burst covers 2 frames; the remaining 18 drain at RATE, waking
+    // on the bucket deadline folded into the stack's timer horizon.
+    let expected = (FRAMES - 2) * frame * 1_000_000_000 / RATE;
+    assert!(
+        elapsed >= expected,
+        "drained faster than the rate limit allows: {elapsed} < {expected} ns"
+    );
+    assert!(
+        elapsed <= expected + expected / 5,
+        "paced drain took far longer than the configured rate: \
+         {elapsed} vs {expected} ns"
+    );
+    let stats = a.tenant_stats();
+    let lane = stats.iter().find(|s| s.tenant == t.0).unwrap();
+    assert!(
+        lane.rate_deferrals > 0,
+        "the bucket visibly deferred frames"
+    );
+    assert_eq!(lane.sent_frames, FRAMES);
+}
+
+#[test]
+fn time_wait_quota_evicts_the_hostile_tenants_own_oldest_only() {
+    let fabric = Fabric::new(46);
+    let registry = Arc::new(TenantRegistry::new());
+    let victim = registry.register(TenantSpec::named("victim", 1));
+    let mut spec = TenantSpec::named("hostile", 1);
+    spec.tw_quota = Some(4);
+    let hostile = registry.register(spec);
+    let a = tenant_host(&fabric, 1, TenancyCfg::new(Arc::clone(&registry)));
+    let b = host(&fabric, 2);
+    let lid = b.tcp_listen(9000, 32).unwrap();
+
+    // Open every connection concurrently (2 victim + 10 hostile) so the
+    // whole churn fits well inside one 2·MSL window.
+    let to = SocketAddr::new(ip(2), 9000);
+    let vconns: Vec<_> = demi_tenant::scope(victim, || {
+        (0..2).map(|_| a.tcp_connect(to).unwrap()).collect()
+    });
+    let hconns: Vec<_> = demi_tenant::scope(hostile, || {
+        (0..10).map(|_| a.tcp_connect(to).unwrap()).collect()
+    });
+    let all: Vec<_> = vconns.iter().chain(hconns.iter()).copied().collect();
+    let mut accepted = Vec::new();
+    settle(&fabric, &[&a, &b], || {
+        while let Some(s) = b.tcp_accept(lid).unwrap() {
+            accepted.push(s);
+        }
+        accepted.len() == all.len()
+            && all
+                .iter()
+                .all(|&c| a.tcp_state(c) == Ok(State::Established))
+    });
+    let before = demi_tenant::counters::snapshot();
+    // Full close walk: the client side takes every TIME_WAIT.
+    for &c in &all {
+        a.tcp_close(c).unwrap();
+    }
+    settle(&fabric, &[&a, &b], || {
+        accepted.iter().all(|&s| b.tcp_eof(s))
+    });
+    for &s in &accepted {
+        b.tcp_close(s).unwrap();
+    }
+    settle(&fabric, &[&a, &b], || {
+        all.iter()
+            .all(|&c| a.tcp_state(c) == Ok(State::TimeWait) || a.tcp_state(c) == Ok(State::Closed))
+    });
+    assert_eq!(
+        a.tcp_tw_count_for(hostile.0),
+        4,
+        "the hostile tenant's partition is capped at its quota"
+    );
+    assert_eq!(
+        a.tcp_tw_count_for(victim.0),
+        2,
+        "quota evictions took the hostile tenant's own records, \
+         never the victim's"
+    );
+    assert!(
+        demi_tenant::counters::snapshot().delta(&before).quota_drops >= 6,
+        "each eviction is a counted quota drop"
+    );
+}
+
+#[test]
+fn syn_flood_fills_only_the_hostile_listeners_partition() {
+    let fabric = Fabric::new(47);
+    let registry = Arc::new(TenantRegistry::new());
+    let victim = registry.register(TenantSpec::named("victim", 1));
+    let hostile = registry.register(TenantSpec::named("hostile", 1));
+    registry.grant_port(victim, 80);
+    registry.grant_port(hostile, 81);
+    let b = tenant_host(&fabric, 2, TenancyCfg::new(Arc::clone(&registry)));
+    let a = host(&fabric, 1);
+    demi_tenant::scope(victim, || b.tcp_listen(80, 16).unwrap());
+    demi_tenant::scope(hostile, || b.tcp_listen(81, 4).unwrap());
+
+    // A victim connection established before the flood.
+    let vc = a.tcp_connect(SocketAddr::new(ip(2), 80)).unwrap();
+    settle(&fabric, &[&a, &b], || {
+        a.tcp_state(vc) == Ok(State::Established)
+    });
+
+    // The flood: 4x the hostile listener's backlog in half-open SYNs.
+    // The flooding client stops polling after emitting them, so the
+    // handshakes can never complete and the SYNs pile up half-open.
+    let before = nsc::conn_snapshot();
+    let _floods: Vec<_> = (0..16)
+        .map(|_| a.tcp_connect(SocketAddr::new(ip(2), 81)).unwrap())
+        .collect();
+    for _ in 0..8 {
+        a.poll();
+    }
+    for _ in 0..256 {
+        b.poll();
+        if !fabric.advance_to_next_event() {
+            break;
+        }
+    }
+    assert_eq!(
+        b.tcp_syn_backlog_used(81),
+        4,
+        "the hostile listener's fixed SYN table is full"
+    );
+    assert_eq!(
+        b.tcp_syn_backlog_used(80),
+        0,
+        "the victim listener's SYN partition is untouched by the flood"
+    );
+    assert!(
+        nsc::conn_snapshot().delta(&before).syns_evicted >= 12,
+        "overflow SYNs were evicted from the hostile table, not absorbed"
+    );
+    assert_eq!(
+        a.tcp_state(vc),
+        Ok(State::Established),
+        "the victim's established connection rode out the flood"
+    );
+}
+
+#[test]
+fn rx_slice_polices_a_tenants_inbound_flood() {
+    let fabric = Fabric::new(48);
+    let registry = Arc::new(TenantRegistry::new());
+    let mut vspec = TenantSpec::named("victim", 1);
+    vspec.rx_share = 7;
+    let victim = registry.register(vspec);
+    let hostile = registry.register(TenantSpec::named("hostile", 1));
+    registry.grant_port(victim, 6100);
+    registry.grant_port(hostile, 6000);
+    let port = DpdkPort::new(&fabric, PortConfig::basic(MacAddress::from_last_octet(2)));
+    let mut cfg = StackConfig::new(ip(2));
+    cfg.rx_budget = 8; // victim slice 7 frames/pass, hostile slice 1.
+    cfg.tenancy = Some(TenancyCfg::new(Arc::clone(&registry)));
+    let b = NetworkStack::new(port, fabric.clock(), cfg);
+    let a = host(&fabric, 1);
+    warm_arp(&fabric, &a, &b);
+    demi_tenant::scope(hostile, || b.udp_bind(6000).unwrap());
+    demi_tenant::scope(victim, || b.udp_bind(6100).unwrap());
+    a.udp_bind(6500).unwrap();
+
+    // Flood the hostile tenant's port with 24 datagrams.
+    for _ in 0..24 {
+        a.udp_sendto(
+            6500,
+            SocketAddr::new(ip(2), 6000),
+            DemiBuffer::from_slice(&[0xEE; 64]),
+        )
+        .unwrap();
+    }
+    a.poll();
+    // Land the whole flood in the device ring first, then drain: each
+    // poll pass sees a full ring, so the per-pass slice actually binds.
+    while fabric.advance_to_next_event() {}
+    for _ in 0..8 {
+        b.poll();
+    }
+    let stats = b.tenant_stats();
+    let h = stats.iter().find(|s| s.tenant == hostile.0).unwrap();
+    assert!(
+        h.rx_quota_drops > 0,
+        "the flood exceeded the hostile tenant's RX slice"
+    );
+    assert!(
+        b.udp_pending(6000) < 24,
+        "over-slice datagrams were dropped, not queued"
+    );
+    // The victim's traffic still flows at full fidelity.
+    for _ in 0..5 {
+        a.udp_sendto(
+            6500,
+            SocketAddr::new(ip(2), 6100),
+            DemiBuffer::from_slice(&[0x11; 64]),
+        )
+        .unwrap();
+    }
+    settle(&fabric, &[&a, &b], || b.udp_pending(6100) == 5);
+    let stats = b.tenant_stats();
+    let v = stats.iter().find(|s| s.tenant == victim.0).unwrap();
+    assert_eq!(v.rx_quota_drops, 0, "the victim's slice never saturated");
+}
+
+/// One victim echo session over TCP while a hostile tenant optionally
+/// sprays UDP through the same device. Returns every byte the victim
+/// received back.
+fn victim_stream(chunks: &[Vec<u8>], hostile_active: bool) -> Vec<u8> {
+    let fabric = Fabric::new(99);
+    let registry = Arc::new(TenantRegistry::new());
+    let victim = registry.register(TenantSpec::named("victim", 1));
+    let hostile = registry.register(TenantSpec::named("hostile", 1));
+    let a = tenant_host(&fabric, 1, TenancyCfg::new(Arc::clone(&registry)));
+    let b = host(&fabric, 2);
+    warm_arp(&fabric, &a, &b);
+
+    let lid = b.tcp_listen(7000, 8).unwrap();
+    let conn = demi_tenant::scope(victim, || {
+        a.tcp_connect(SocketAddr::new(ip(2), 7000)).unwrap()
+    });
+    let mut server_conn = None;
+    settle(&fabric, &[&a, &b], || {
+        if server_conn.is_none() {
+            server_conn = b.tcp_accept(lid).unwrap();
+        }
+        server_conn.is_some() && a.tcp_state(conn) == Ok(State::Established)
+    });
+    let sc = server_conn.unwrap();
+
+    let vpool = BufferPool::for_tenant(victim, None);
+    for c in chunks {
+        let mut payload = vpool.alloc_with_headroom(DEFAULT_HEADROOM, c.len());
+        payload
+            .try_mut()
+            .expect("fresh buffer is exclusive")
+            .copy_from_slice(c);
+        a.tcp_send(conn, payload).unwrap();
+    }
+    let hport = demi_tenant::scope(hostile, || a.udp_bind_ephemeral().unwrap());
+    let hpool = BufferPool::for_tenant(hostile, None);
+    let total: usize = chunks.iter().map(|c| c.len()).sum();
+    let mut got = Vec::new();
+    let mut spam_left: u32 = if hostile_active { 64 } else { 0 };
+    settle(&fabric, &[&a, &b], || {
+        if spam_left > 0 {
+            spam_left -= 1;
+            // Spray at an unbound port on the peer: pure device-sharing
+            // pressure through the hostile tenant's TX lane.
+            let _ = a.udp_sendto(
+                hport,
+                SocketAddr::new(ip(2), 9),
+                tenant_payload(&hpool, 400, 0xEE),
+            );
+        }
+        while let Ok(Some(seg)) = b.tcp_recv(sc) {
+            b.tcp_send(sc, seg).unwrap();
+        }
+        while let Ok(Some(seg)) = a.tcp_recv(conn) {
+            got.extend_from_slice(seg.as_slice());
+        }
+        got.len() >= total
+    });
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The differential isolation property: the victim's echoed byte
+    /// stream is identical whether or not the hostile tenant is
+    /// spraying traffic through the shared device.
+    #[test]
+    fn hostile_activity_never_perturbs_the_victim_stream(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..160), 1..4),
+    ) {
+        let expected: Vec<u8> = chunks.concat();
+        let quiet = victim_stream(&chunks, false);
+        prop_assert_eq!(&quiet, &expected);
+        let noisy = victim_stream(&chunks, true);
+        prop_assert_eq!(quiet, noisy);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any cross-tenant buffer access fails typed, is counted, and
+    /// leaves the owner's bytes untouched; and no foreign tenant (nor
+    /// the host) may bind a granted port.
+    #[test]
+    fn cross_tenant_views_and_binds_always_deny_and_never_alias(
+        owner_raw in 1u16..8,
+        other_off in 1u16..7,
+        len in 1usize..200,
+        port in 1024u16..60000,
+    ) {
+        let owner = TenantId(owner_raw);
+        let other = TenantId(1 + (owner_raw - 1 + other_off) % 7);
+        prop_assert_ne!(owner, other);
+        let pool = BufferPool::for_tenant(owner, None);
+        let mut buf = pool.alloc_with_headroom(DEFAULT_HEADROOM, len);
+        buf.try_mut().expect("fresh buffer is exclusive").fill(0xAB);
+        let before = demi_tenant::counters::snapshot();
+        demi_tenant::scope(other, || {
+            prop_assert!(buf.try_slice(0, len).is_err());
+            prop_assert!(buf.try_clone().is_err());
+            prop_assert!(buf.try_mut().is_none());
+            prop_assert!(buf.prepend(1).is_err());
+        });
+        let denied = demi_tenant::counters::snapshot().delta(&before);
+        prop_assert!(denied.cross_tenant_denials >= 4);
+        prop_assert!(buf.as_slice().iter().all(|&x| x == 0xAB));
+
+        let registry = TenantRegistry::new();
+        registry.grant_port(owner, port);
+        prop_assert!(registry.may_bind(owner, port));
+        prop_assert!(!registry.may_bind(other, port));
+        prop_assert!(!registry.may_bind(TenantId::HOST, port));
+    }
+}
